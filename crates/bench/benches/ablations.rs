@@ -1,0 +1,190 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **fast path** on/off (the Fig. 3(b) Part-HTM-no-fast observation);
+//! * **in-flight-validation frequency**: after every sub-HTM commit (the paper's
+//!   §5.3.6 choice) vs only before the global commit (the serializability minimum);
+//! * **signature size**: 512 / 2048 (paper) / 8192 bits — false-conflict rate vs
+//!   HTM capacity cost;
+//! * **sub-HTM retry budget**: 1 / 5 (paper) / 20 attempts before aborting the
+//!   global transaction.
+//!
+//! All run Part-HTM on a space-limited N-Reads-M-Writes cell at 4 threads, where
+//! the partitioned path does the work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use part_htm_core::TmConfig;
+use std::time::Duration;
+use tm_bench::BENCH_THREADS;
+use tm_harness::{run_cell, Algo};
+use tm_sig::SigSpec;
+use tm_workloads::micro::{self, NrmwParams};
+
+fn partitioned_cell(tm: TmConfig, ops: usize) -> u64 {
+    let p = NrmwParams::fig3b();
+    let htm = HtmConfig {
+        read_lines_max: 11_000 / BENCH_THREADS,
+        ..HtmConfig::default()
+    };
+    run_cell(
+        Algo::PartHtm,
+        BENCH_THREADS,
+        ops,
+        htm,
+        tm,
+        p.app_words(),
+        |rt| micro::init(rt, &p),
+        |s, t| micro::Nrmw::new(s, t, 64),
+    )
+    .commits
+}
+
+fn group<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn ablate_fast_path(c: &mut Criterion) {
+    let mut g = group(c, "ablation_fast_path");
+    for (label, skip) in [("with-fast-path", false), ("no-fast-path", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &skip, |b, &skip| {
+            b.iter(|| {
+                partitioned_cell(
+                    TmConfig {
+                        skip_fast: skip,
+                        ..TmConfig::default()
+                    },
+                    8,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_validation_frequency(c: &mut Criterion) {
+    let mut g = group(c, "ablation_inflight_validation");
+    for (label, every) in [("every-sub-htm", true), ("only-before-commit", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &every, |b, &every| {
+            b.iter(|| {
+                partitioned_cell(
+                    TmConfig {
+                        validate_every_sub: every,
+                        ..TmConfig::default()
+                    },
+                    8,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_signature_size(c: &mut Criterion) {
+    let mut g = group(c, "ablation_signature_bits");
+    for bits in [512u32, 2048, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| {
+                partitioned_cell(
+                    TmConfig {
+                        sig_spec: SigSpec::new(bits),
+                        ..TmConfig::default()
+                    },
+                    8,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_sub_retries(c: &mut Criterion) {
+    let mut g = group(c, "ablation_sub_retries");
+    for retries in [1u32, 5, 20] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(retries),
+            &retries,
+            |b, &retries| {
+                b.iter(|| {
+                    partitioned_cell(
+                        TmConfig {
+                            sub_retries: retries,
+                            ..TmConfig::default()
+                        },
+                        8,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Eager (Part-HTM) vs lazy (SpHT) transaction splitting, §3 of the paper:
+/// on a *time*-limited workload both rescue the transaction; on a *space*-limited
+/// workload SpHT's grown redo log defeats it and it falls back to the global lock.
+fn ablate_eager_vs_lazy(c: &mut Criterion) {
+    use tm_workloads::micro::NrmwParams;
+
+    // Time-limited: both split schemes work.
+    let mut g = group(c, "ablation_split_time_limited");
+    for algo in [Algo::PartHtm, Algo::SpHt] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            let p = NrmwParams::fig3c();
+            let htm = HtmConfig { quantum: 40_000, ..HtmConfig::default() };
+            b.iter(|| {
+                run_cell(
+                    algo,
+                    BENCH_THREADS,
+                    8,
+                    htm.clone(),
+                    TmConfig::default(),
+                    p.app_words(),
+                    |rt| tm_workloads::micro::init(rt, &p),
+                    |s, t| tm_workloads::micro::Nrmw::new(s, t, 64),
+                )
+                .commits
+            })
+        });
+    }
+    g.finish();
+
+    // Space-limited: eager splitting commits in hardware, lazy cannot.
+    let mut g = group(c, "ablation_split_space_limited");
+    for algo in [Algo::PartHtm, Algo::SpHt] {
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            let p = NrmwParams::fig3b();
+            let htm = HtmConfig { read_lines_max: 11_000 / BENCH_THREADS, ..HtmConfig::default() };
+            b.iter(|| {
+                run_cell(
+                    algo,
+                    BENCH_THREADS,
+                    6,
+                    htm.clone(),
+                    TmConfig::default(),
+                    p.app_words(),
+                    |rt| tm_workloads::micro::init(rt, &p),
+                    |s, t| tm_workloads::micro::Nrmw::new(s, t, 64),
+                )
+                .commits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_fast_path,
+    ablate_validation_frequency,
+    ablate_signature_size,
+    ablate_sub_retries,
+    ablate_eager_vs_lazy
+);
+criterion_main!(ablations);

@@ -1,0 +1,74 @@
+//! Criterion benches for Fig. 3 (N-Reads-M-Writes): one cell (fixed transactions at
+//! 4 threads) per algorithm per configuration. The full thread-sweep series come
+//! from `repro fig3a|fig3b|fig3c`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use std::time::Duration;
+use tm_bench::{bench_cell, BENCH_THREADS};
+use tm_harness::Algo;
+use tm_workloads::micro::{self, NrmwParams};
+
+fn bench_nrmw(c: &mut Criterion, group: &str, p: NrmwParams, htm: HtmConfig, ops: usize) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let mut algos = Algo::COMPETITORS.to_vec();
+    if group == "fig3b" {
+        algos.push(Algo::PartHtmNoFast);
+    }
+    for algo in algos {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    bench_cell(
+                        algo,
+                        BENCH_THREADS,
+                        ops,
+                        htm.clone(),
+                        p.app_words(),
+                        |rt| micro::init(rt, &p),
+                        |s, t| micro::Nrmw::new(s, t, 64),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig3a(c: &mut Criterion) {
+    bench_nrmw(c, "fig3a", NrmwParams::fig3a(), HtmConfig::default(), 400);
+}
+
+fn fig3b(c: &mut Criterion) {
+    bench_nrmw(
+        c,
+        "fig3b",
+        NrmwParams::fig3b(),
+        HtmConfig {
+            read_lines_max: 11_000 / BENCH_THREADS,
+            ..HtmConfig::default()
+        },
+        8,
+    );
+}
+
+fn fig3c(c: &mut Criterion) {
+    bench_nrmw(
+        c,
+        "fig3c",
+        NrmwParams::fig3c(),
+        HtmConfig {
+            quantum: 40_000,
+            ..HtmConfig::default()
+        },
+        12,
+    );
+}
+
+criterion_group!(fig3, fig3a, fig3b, fig3c);
+criterion_main!(fig3);

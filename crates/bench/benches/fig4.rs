@@ -1,0 +1,47 @@
+//! Criterion benches for Fig. 4 (sorted linked list, 50 % writes): one cell per
+//! algorithm per list size. The full thread sweeps come from `repro fig4a|fig4b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use std::time::Duration;
+use tm_bench::{bench_cell, BENCH_THREADS};
+use tm_harness::Algo;
+use tm_workloads::list::{self, ListParams};
+
+fn bench_list(c: &mut Criterion, group: &str, p: ListParams, ops: usize) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for algo in Algo::COMPETITORS {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    bench_cell(
+                        algo,
+                        BENCH_THREADS,
+                        ops,
+                        HtmConfig::default(),
+                        p.app_words(),
+                        |rt| list::init(rt, &p),
+                        |s, _t| list::ListWorkload::new(s),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig4a(c: &mut Criterion) {
+    bench_list(c, "fig4a", ListParams::fig4a(), 200);
+}
+
+fn fig4b(c: &mut Criterion) {
+    bench_list(c, "fig4b", ListParams::fig4b(), 20);
+}
+
+criterion_group!(fig4, fig4a, fig4b);
+criterion_main!(fig4);

@@ -1,0 +1,125 @@
+//! Criterion benches for Fig. 5 (STAMP-profile kernels): one cell per algorithm per
+//! application. The speed-up-vs-sequential series come from `repro fig5a..fig5i`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use std::time::Duration;
+use tm_bench::{bench_cell, BENCH_THREADS};
+use tm_harness::Algo;
+use tm_workloads::stamp::{genome, intruder, kmeans, labyrinth, ssca2, vacation, yada};
+
+fn group<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g
+}
+
+macro_rules! stamp_bench {
+    ($fn_name:ident, $group:literal, $module:ident, $params:expr, $ops:literal, $make:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            let p = $params;
+            let mut g = group(c, $group);
+            for algo in Algo::COMPETITORS {
+                g.bench_with_input(
+                    BenchmarkId::from_parameter(algo.name()),
+                    &algo,
+                    |b, &algo| {
+                        b.iter(|| {
+                            bench_cell(
+                                algo,
+                                BENCH_THREADS,
+                                $ops,
+                                HtmConfig::default(),
+                                p.app_words(),
+                                |rt| $module::init(rt, &p),
+                                $make,
+                            )
+                        })
+                    },
+                );
+            }
+            g.finish();
+        }
+    };
+}
+
+stamp_bench!(
+    fig5a,
+    "fig5a_kmeans_low",
+    kmeans,
+    kmeans::KmeansParams::low_contention(),
+    400,
+    |s, _t| { kmeans::Kmeans::new(s) }
+);
+stamp_bench!(
+    fig5b,
+    "fig5b_kmeans_high",
+    kmeans,
+    kmeans::KmeansParams::high_contention(),
+    400,
+    |s, _t| { kmeans::Kmeans::new(s) }
+);
+stamp_bench!(
+    fig5c,
+    "fig5c_ssca2",
+    ssca2,
+    ssca2::Ssca2Params::default_scale(),
+    800,
+    |s, _t| { ssca2::Ssca2::new(s) }
+);
+stamp_bench!(
+    fig5d,
+    "fig5d_labyrinth",
+    labyrinth,
+    labyrinth::LabyrinthParams::default_scale(),
+    6,
+    |s, t| { labyrinth::Labyrinth::new(s, t as u64 + 1) }
+);
+stamp_bench!(
+    fig5e,
+    "fig5e_intruder",
+    intruder,
+    intruder::IntruderParams::default_scale(),
+    400,
+    |s, _t| { intruder::Intruder::new(s) }
+);
+stamp_bench!(
+    fig5f,
+    "fig5f_vacation_low",
+    vacation,
+    vacation::VacationParams::low_contention(),
+    150,
+    |s, _t| { vacation::Vacation::new(s) }
+);
+stamp_bench!(
+    fig5g,
+    "fig5g_vacation_high",
+    vacation,
+    vacation::VacationParams::high_contention(),
+    150,
+    |s, _t| { vacation::Vacation::new(s) }
+);
+stamp_bench!(
+    fig5h,
+    "fig5h_yada",
+    yada,
+    yada::YadaParams::default_scale(),
+    20,
+    |s, _t| { yada::Yada::new(s) }
+);
+stamp_bench!(
+    fig5i,
+    "fig5i_genome",
+    genome,
+    genome::GenomeParams::default_scale(),
+    300,
+    |s, _t| { genome::Genome::new(s) }
+);
+
+criterion_group!(fig5, fig5a, fig5b, fig5c, fig5d, fig5e, fig5f, fig5g, fig5h, fig5i);
+criterion_main!(fig5);

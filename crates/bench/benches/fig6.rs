@@ -1,0 +1,62 @@
+//! Criterion benches for Fig. 6 (EigenBench): one cell per algorithm per
+//! configuration. The speed-up series come from `repro fig6a|fig6b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use std::time::Duration;
+use tm_bench::{bench_cell, BENCH_THREADS};
+use tm_harness::Algo;
+use tm_workloads::eigen::{self, EigenParams};
+
+fn bench_eigen(c: &mut Criterion, group: &str, p: EigenParams, htm: HtmConfig, ops: usize) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for algo in Algo::COMPETITORS {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    bench_cell(
+                        algo,
+                        BENCH_THREADS,
+                        ops,
+                        htm.clone(),
+                        p.app_words(BENCH_THREADS),
+                        |rt| eigen::init(rt, &p),
+                        |s, t| eigen::Eigen::new(s, t, 64),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fig6a(c: &mut Criterion) {
+    bench_eigen(
+        c,
+        "fig6a_long_short_mix",
+        EigenParams::fig6a(),
+        HtmConfig {
+            quantum: 30_000,
+            ..HtmConfig::default()
+        },
+        40,
+    );
+}
+
+fn fig6b(c: &mut Criterion) {
+    bench_eigen(
+        c,
+        "fig6b_high_contention",
+        EigenParams::fig6b(),
+        HtmConfig::default(),
+        15,
+    );
+}
+
+criterion_group!(fig6, fig6a, fig6b);
+criterion_main!(fig6);

@@ -1,0 +1,42 @@
+//! Criterion bench for Table 1: the Labyrinth workload at 4 threads under HTM-GL
+//! (the paper's row A) and Part-HTM (row B). The statistics themselves — abort
+//! percentages by cause, commit percentages by path — come from `repro table1`;
+//! this bench times the underlying cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htm_sim::HtmConfig;
+use std::time::Duration;
+use tm_bench::{bench_cell, BENCH_THREADS};
+use tm_harness::Algo;
+use tm_workloads::stamp::labyrinth::{self, LabyrinthParams};
+
+fn table1(c: &mut Criterion) {
+    let p = LabyrinthParams::default_scale();
+    let mut g = c.benchmark_group("table1_labyrinth");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for algo in [Algo::HtmGl, Algo::PartHtm] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    bench_cell(
+                        algo,
+                        BENCH_THREADS,
+                        6,
+                        HtmConfig::default(),
+                        p.app_words(),
+                        |rt| labyrinth::init(rt, &p),
+                        |s, t| labyrinth::Labyrinth::new(s, t as u64 + 1),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(t1, table1);
+criterion_main!(t1);

@@ -1,0 +1,83 @@
+//! # tm-bench — Criterion benchmarks regenerating the paper's tables and figures
+//!
+//! One bench target per experiment group:
+//!
+//! * `fig3` — N-Reads-M-Writes (Figs. 3(a), 3(b), 3(c))
+//! * `fig4` — linked list (Figs. 4(a), 4(b))
+//! * `fig5` — STAMP kernels (Figs. 5(a)–5(i))
+//! * `fig6` — EigenBench (Figs. 6(a), 6(b))
+//! * `table1` — Labyrinth abort/commit statistics (Table 1)
+//! * `ablations` — design-choice ablations called out in DESIGN.md (fast path,
+//!   in-flight-validation frequency, signature size, retry budgets)
+//!
+//! Each benchmark measures one *cell* — a fixed number of transactions on a fresh
+//! runtime — per algorithm, so Criterion's output directly compares the protocols on
+//! that workload. The full thread sweeps (the figures' series) come from the `repro`
+//! binary; see EXPERIMENTS.md.
+//!
+//! This crate's library part only hosts shared helpers for the benches.
+
+use part_htm_core::{TmConfig, Workload};
+use tm_harness::{run_cell, Algo};
+
+/// Default thread count for a bench cell (the Haswell core count of the paper).
+pub const BENCH_THREADS: usize = 4;
+
+/// Run a cell and return committed transactions (sanity output for benches).
+pub fn bench_cell<S, W>(
+    algo: Algo,
+    threads: usize,
+    ops: usize,
+    htm: htm_sim::HtmConfig,
+    app_words: usize,
+    init: impl Fn(&part_htm_core::TmRuntime) -> S,
+    make: impl Fn(S, usize) -> W + Sync,
+) -> u64
+where
+    S: Copy + Send + Sync,
+    W: Workload + Send,
+{
+    run_cell(
+        algo,
+        threads,
+        ops,
+        htm,
+        TmConfig::default(),
+        app_words,
+        init,
+        make,
+    )
+    .commits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::abort::TxResult;
+    use part_htm_core::TxCtx;
+    use rand::rngs::SmallRng;
+
+    struct Inc(htm_sim::Addr);
+    impl Workload for Inc {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+            let v = ctx.read(self.0)?;
+            ctx.write(self.0, v + 1)
+        }
+    }
+
+    #[test]
+    fn bench_cell_commits_expected_total() {
+        let n = bench_cell(
+            Algo::PartHtm,
+            2,
+            10,
+            htm_sim::HtmConfig::default(),
+            64,
+            |rt| rt.app(0),
+            |a, _| Inc(a),
+        );
+        assert_eq!(n, 20);
+    }
+}

@@ -1,0 +1,530 @@
+//! Per-path instrumentation contexts for the *base* (non-opaque) Part-HTM protocol,
+//! plus the contexts shared by every executor (slow path, software segments).
+//!
+//! Each context implements [`TxCtx`], so the same workload code runs on any path:
+//!
+//! * [`FastCtx`] — fast path (Fig. 1 lines 3–6): record the address in the local
+//!   read/write signature *before* touching memory, then do a plain HTM access.
+//! * [`SubCtx`] — sub-HTM transactions (Fig. 1 lines 21–25): like the fast path,
+//!   plus value logging into the undo-log before every write.
+//! * [`SlowCtx`] — global-lock path (Fig. 1 lines 63–64): uninstrumented direct
+//!   accesses (strongly atomic in the simulator).
+//! * [`SoftwareCtx`] — a partitioned-path segment that the static profiler marked as
+//!   touching no shared state: pure computation outside any hardware transaction.
+//!
+//! Local signatures are maintained twice, by design: the **heap** copy is written
+//! inside the hardware transaction so the signature's footprint costs HTM capacity,
+//! as in the paper, while the **software mirror** is the authoritative value used by
+//! every protocol decision (commit validations, in-flight validation, lock release).
+//! Since nothing ever reads the heap copy back, its stores use
+//! [`htm_sim::HtmTx::write_private`] — capacity accounting without write buffering —
+//! and failed attempts simply restore the mirror.
+
+use crate::api::{spin_work, TxCtx, VALUE_MASK};
+use crate::undo::UndoLog;
+use htm_sim::abort::TxResult;
+use htm_sim::{Addr, HtmThread, HtmTx};
+use tm_sig::{HeapSig, Sig};
+
+/// A heap-resident signature paired with its software mirror; both are updated on
+/// every add.
+pub struct SigPair<'a> {
+    /// Heap copy (transactional updates).
+    pub heap: HeapSig,
+    /// Software mirror.
+    pub mirror: &'a mut Sig,
+}
+
+impl SigPair<'_> {
+    /// Record `addr` in both copies: the mirror authoritatively, the heap copy as a
+    /// private store whose only purpose is charging the signature's cache footprint
+    /// against HTM capacity. New bits only — repeated accesses are free, as on real
+    /// hardware where the line is already dirty in L1.
+    #[inline]
+    pub fn add(&mut self, tx: &mut HtmTx<'_, '_>, addr: Addr) -> TxResult<()> {
+        let (w, m) = self.mirror.spec().slot_of(addr);
+        let word = &mut self.mirror.words_mut()[w as usize];
+        if *word & m == 0 {
+            *word |= m;
+            tx.write_private(self.heap.word_addr(w), *word)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fast-path context (Fig. 1 lines 3–6).
+pub struct FastCtx<'c, 'a, 's> {
+    /// The enclosing hardware transaction.
+    pub tx: &'c mut HtmTx<'a, 's>,
+    /// Local read-set signature.
+    pub rsig: SigPair<'c>,
+    /// Local write-set signature.
+    pub wsig: SigPair<'c>,
+    /// Set when the transaction performs any write (read-only transactions skip the
+    /// ring publish, Fig. 1 line 9).
+    pub wrote: &'c mut bool,
+}
+
+impl TxCtx for FastCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.rsig.add(self.tx, addr)?;
+        self.tx.read(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        self.wsig.add(self.tx, addr)?;
+        *self.wrote = true;
+        self.tx.write(addr, val)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Sub-HTM context (Fig. 1 lines 21–25).
+pub struct SubCtx<'c, 'a, 's> {
+    /// The enclosing sub-HTM hardware transaction.
+    pub tx: &'c mut HtmTx<'a, 's>,
+    /// Read-set signature, accumulated across all sub-HTM transactions of the
+    /// enclosing global transaction.
+    pub rsig: SigPair<'c>,
+    /// Write-set signature of the *current* sub-HTM transaction only.
+    pub wsig: SigPair<'c>,
+    /// The global transaction's value-based undo-log.
+    pub undo: &'c mut UndoLog,
+    /// Set when any write happens anywhere in the global transaction.
+    pub wrote: &'c mut bool,
+}
+
+impl TxCtx for SubCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Values written by previous sub-HTM transactions of this very global
+        // transaction are already in shared memory (eager writing), so a plain read
+        // suffices (§5.3.4).
+        self.rsig.add(self.tx, addr)?;
+        self.tx.read(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        // Log the old value first (Fig. 1 line 23), then record and write.
+        let old = self.tx.read(addr)?;
+        self.undo.append_tx(self.tx, addr, old)?;
+        self.wsig.add(self.tx, addr)?;
+        *self.wrote = true;
+        self.tx.write(addr, val)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Uninstrumented hardware-transaction context: plain transactional accesses with
+/// no protocol metadata at all. Used by the *quiet* fast path — when the subscribed
+/// `active_tx` counter proves no partitioned-path transaction runs concurrently,
+/// Part-HTM's signatures, lock validation and ring publish exist for nobody, so the
+/// fast path degenerates to pure HTM (its design goal of "comparable performance
+/// between Part-HTM and pure HTM" in that regime, §4).
+pub struct RawCtx<'c, 'a, 's> {
+    /// The enclosing hardware transaction.
+    pub tx: &'c mut HtmTx<'a, 's>,
+}
+
+impl TxCtx for RawCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.tx.read(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        self.tx.write(addr, val)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Global-lock path context: direct, uninstrumented accesses (Fig. 1 lines 63–64).
+/// Runs in mutual exclusion with every other path.
+pub struct SlowCtx<'c, 'r> {
+    /// The executing thread.
+    pub th: &'c HtmThread<'r>,
+    /// Part-HTM-O stores values with an embedded lock bit; its slow path masks reads
+    /// so workloads see plain values.
+    pub mask_values: bool,
+}
+
+impl TxCtx for SlowCtx<'_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        let v = self.th.nt_read(addr);
+        Ok(if self.mask_values { v & VALUE_MASK } else { v })
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        self.th.nt_write(addr, val);
+        Ok(())
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+
+    #[inline]
+    fn nt_work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Context for partitioned-path segments marked as *non-transactional code* (§4,
+/// §5.3.1): computation executed outside any hardware transaction — this is how
+/// Part-HTM rescues transactions that exceed the HTM budgets on such work.
+///
+/// Reads are permitted but **racy**: they see shared memory without any isolation
+/// (including values written by still-uncommitted global transactions), exactly like
+/// the unmonitored loads STAMP's labyrinth uses for its planning-phase grid copy.
+/// Workloads may only use them for results they re-validate transactionally before
+/// acting (the claim phase re-reads every cell). Writes are forbidden: the paper is
+/// explicit that non-transactional code may not write globally visible locations —
+/// such writes could neither be rolled back nor respect the write locks.
+pub struct SoftwareCtx<'c, 'r> {
+    /// The executing thread (for raw, unmonitored loads).
+    pub th: &'c HtmThread<'r>,
+    /// Part-HTM-O embeds lock bits in values; racy reads mask them so planning code
+    /// sees "locked" as a plain non-zero value.
+    pub mask_values: bool,
+}
+
+impl TxCtx for SoftwareCtx<'_, '_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        // Raw load: no conflict detection, no isolation — by design.
+        let v = self.th.system().heap().load(addr);
+        Ok(if self.mask_values { v & VALUE_MASK } else { v })
+    }
+
+    fn write(&mut self, _addr: Addr, _val: u64) -> TxResult<()> {
+        unreachable!("software segments must not write shared memory (workload contract, §4)")
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+
+    #[inline]
+    fn nt_work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Fast-path pre-commit validation (Fig. 1 line 7): true iff
+/// `write_locks ∩ (read_sig ∪ write_sig) != ∅`.
+///
+/// Only the shared write-locks words are read transactionally; the transaction's own
+/// signatures are supplied as their software mirrors (exactly equal to the heap
+/// copies). Words where the transaction has no bits need no read at all — their
+/// intersection is empty whatever the lock word holds — which also keeps the
+/// transaction's conflict surface on the lock lines minimal.
+pub fn fast_validation(
+    tx: &mut HtmTx<'_, '_>,
+    locks: &HeapSig,
+    rmir: &Sig,
+    wmir: &Sig,
+) -> TxResult<bool> {
+    for (i, (&r, &w)) in rmir.words().iter().zip(wmir.words().iter()).enumerate() {
+        let mine = r | w;
+        if mine == 0 {
+            continue;
+        }
+        let l = tx.read(locks.word_addr(i as u32))?;
+        if l & mine != 0 {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Sub-HTM pre-commit validation (Fig. 1 lines 26–27): true iff
+/// `(write_locks − agg) ∩ (read_sig ∪ write_sig) != ∅` — foreign locks only, thanks
+/// to the aggregate-signature mask (§5.3.5). Own signatures come from the software
+/// mirrors; only the shared lock words are read transactionally.
+pub fn sub_validation(
+    tx: &mut HtmTx<'_, '_>,
+    locks: &HeapSig,
+    amir: &Sig,
+    rmir: &Sig,
+    wmir: &Sig,
+) -> TxResult<bool> {
+    for (i, ((&a, &r), &w)) in amir
+        .words()
+        .iter()
+        .zip(rmir.words().iter())
+        .zip(wmir.words().iter())
+        .enumerate()
+    {
+        let mine = r | w;
+        if mine == 0 {
+            continue;
+        }
+        let l = tx.read(locks.word_addr(i as u32))?;
+        if (l & !a) & mine != 0 {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Acquire write locks inside the sub-HTM commit (Fig. 1 line 29):
+/// `write_locks ∪= write_sig`, touching only the lock words where this
+/// sub-transaction has bits (from the write mirror) and skipping stores that would
+/// not change the word.
+pub fn acquire_locks_tx(tx: &mut HtmTx<'_, '_>, locks: &HeapSig, wmir: &Sig) -> TxResult<()> {
+    for (i, &w) in wmir.words().iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let l = tx.read(locks.word_addr(i as u32))?;
+        if l | w != l {
+            tx.write(locks.word_addr(i as u32), l | w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{TmRuntime, TmThread};
+    use tm_sig::SigSpec;
+
+    #[test]
+    fn fast_ctx_records_sigs_and_accesses() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let mut th = TmThread::new(&rt, 0);
+        let a = rt.arena(0);
+        let mut rmir = Sig::new(SigSpec::PAPER);
+        let mut wmir = Sig::new(SigSpec::PAPER);
+        let mut wrote = false;
+        rt.setup_write(0, 11);
+
+        let mut tx = th.hw.begin();
+        {
+            let mut ctx = FastCtx {
+                tx: &mut tx,
+                rsig: SigPair {
+                    heap: a.read_sig,
+                    mirror: &mut rmir,
+                },
+                wsig: SigPair {
+                    heap: a.write_sig,
+                    mirror: &mut wmir,
+                },
+                wrote: &mut wrote,
+            };
+            assert_eq!(ctx.read(rt.app(0)), Ok(11));
+            ctx.write(rt.app(1), 22).unwrap();
+        }
+        tx.commit().unwrap();
+        assert!(wrote);
+        assert!(rmir.contains(rt.app(0)));
+        assert!(wmir.contains(rt.app(1)));
+        // Heap copies were published at commit and match the mirrors.
+        assert_eq!(a.read_sig.snapshot_nt(&th.hw), rmir);
+        assert_eq!(a.write_sig.snapshot_nt(&th.hw), wmir);
+        assert_eq!(rt.verify_read(1), 22);
+    }
+
+    #[test]
+    fn sub_ctx_logs_old_values() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let mut th = TmThread::new(&rt, 0);
+        let a = rt.arena(0);
+        let mut rmir = Sig::new(SigSpec::PAPER);
+        let mut wmir = Sig::new(SigSpec::PAPER);
+        let mut undo = UndoLog::new(a.undo_base, a.undo_words);
+        let mut wrote = false;
+        rt.setup_write(0, 5);
+
+        let mut tx = th.hw.begin();
+        {
+            let mut ctx = SubCtx {
+                tx: &mut tx,
+                rsig: SigPair {
+                    heap: a.read_sig,
+                    mirror: &mut rmir,
+                },
+                wsig: SigPair {
+                    heap: a.write_sig,
+                    mirror: &mut wmir,
+                },
+                undo: &mut undo,
+                wrote: &mut wrote,
+            };
+            ctx.write(rt.app(0), 6).unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(undo.len(), 1);
+        assert_eq!(undo.entry_nt(&th.hw, 0), (rt.app(0), 5));
+        assert_eq!(rt.verify_read(0), 6);
+        undo.undo_nt(&th.hw);
+        assert_eq!(rt.verify_read(0), 5);
+    }
+
+    #[test]
+    fn slow_ctx_direct_access() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let th = TmThread::new(&rt, 0);
+        let mut ctx = SlowCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        ctx.write(rt.app(2), 9).unwrap();
+        assert_eq!(ctx.read(rt.app(2)), Ok(9));
+        ctx.work(10).unwrap();
+    }
+
+    #[test]
+    fn slow_ctx_masks_lock_bit_when_asked() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let th = TmThread::new(&rt, 0);
+        rt.system()
+            .heap()
+            .store(rt.app(0), 7 | crate::api::LOCK_BIT);
+        let mut ctx = SlowCtx {
+            th: &th.hw,
+            mask_values: true,
+        };
+        assert_eq!(ctx.read(rt.app(0)), Ok(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "software segments")]
+    fn software_ctx_rejects_writes() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let th = TmThread::new(&rt, 0);
+        let mut ctx = SoftwareCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        let _ = ctx.write(0, 1);
+    }
+
+    #[test]
+    fn software_ctx_racy_reads_and_masking() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let th = TmThread::new(&rt, 0);
+        rt.system()
+            .heap()
+            .store(rt.app(0), 5 | crate::api::LOCK_BIT);
+        let mut raw = SoftwareCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        assert_eq!(raw.read(rt.app(0)).unwrap(), 5 | crate::api::LOCK_BIT);
+        let mut masked = SoftwareCtx {
+            th: &th.hw,
+            mask_values: true,
+        };
+        assert_eq!(masked.read(rt.app(0)).unwrap(), 5);
+        masked.work(3).unwrap();
+        masked.nt_work(3).unwrap();
+    }
+
+    #[test]
+    fn validations_detect_foreign_locks_only() {
+        let rt = TmRuntime::with_defaults(2, 64);
+        let th0 = TmThread::new(&rt, 0);
+        let spec = SigSpec::PAPER;
+        let locks = rt.write_locks();
+
+        // Locks hold addr 10 (owned by us via the aggregate) and addr 20 (foreign).
+        let mut l = Sig::new(spec);
+        l.add(10);
+        l.add(20);
+        locks.write_nt(&th0.hw, &l);
+        let mut own = Sig::new(spec);
+        own.add(10);
+        let mut r = Sig::new(spec);
+        r.add(10); // we read our own locked location
+        let wempty = Sig::new(spec);
+
+        let mut th = TmThread::new(&rt, 1);
+        // Fast validation (no self-lock concept) must flag addr 10.
+        let hit_fast = th
+            .hw
+            .attempt(|tx| fast_validation(tx, locks, &r, &wempty))
+            .unwrap();
+        assert!(hit_fast);
+        // Sub validation masks own locks: no conflict.
+        let hit_sub = th
+            .hw
+            .attempt(|tx| sub_validation(tx, locks, &own, &r, &wempty))
+            .unwrap();
+        assert!(!hit_sub);
+        // Reading the foreign lock's address flags it.
+        let mut r2 = Sig::new(spec);
+        r2.add(20);
+        let hit_sub2 = th
+            .hw
+            .attempt(|tx| sub_validation(tx, locks, &own, &r2, &wempty))
+            .unwrap();
+        assert!(hit_sub2);
+    }
+
+    #[test]
+    fn acquire_locks_sets_only_mirror_words() {
+        let rt = TmRuntime::with_defaults(1, 64);
+        let mut th = TmThread::new(&rt, 0);
+        let locks = rt.write_locks();
+        let mut w = Sig::new(SigSpec::PAPER);
+        w.add(77);
+        w.add(12345);
+        th.hw.attempt(|tx| acquire_locks_tx(tx, locks, &w)).unwrap();
+        assert_eq!(locks.snapshot_nt(&th.hw), w);
+        // Releasing restores emptiness.
+        locks.and_not_nt(&th.hw, &w);
+        assert!(locks.snapshot_nt(&th.hw).is_empty());
+    }
+}

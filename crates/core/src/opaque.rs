@@ -1,0 +1,786 @@
+//! Part-HTM-O: the opacity-preserving variant (§5.5, Fig. 2).
+//!
+//! Two extensions over the base protocol make every memory access consistent, not
+//! just every commit:
+//!
+//! 1. **Address-embedded write locks**: a lock bit co-located with each datum
+//!    ([`crate::LOCK_BIT`]), checked at *encounter time* on every read and write.
+//!    Observing a foreign lock explicitly aborts the hardware transaction before the
+//!    value can be used. Embedding eliminates the false conflicts a shared lock
+//!    table would cause.
+//! 2. **Timestamp subscription**: every sub-HTM transaction reads the global
+//!    timestamp first (Fig. 2 lines 23–24), so any global commit during its
+//!    execution dooms it via hardware conflict detection, and a commit *between*
+//!    sub-transactions is caught by the explicit `TS_CHANGED` check; both trigger an
+//!    in-flight validation before any further memory access.
+//!
+//! These make the base protocol's sub-HTM pre-commit signature validation
+//! unnecessary ("useless in Part-HTM-O", §5.5). One addition over the paper's
+//! pseudo-code: writers run a final in-flight validation at global commit. Fig. 2
+//! omits it, but without it a transaction whose read set is invalidated *after its
+//! last sub-HTM transaction commits and before its global commit* could publish —
+//! see DESIGN.md ("soundness fixes") for the interleaving; the base protocol closes
+//! the same window with the validation that follows its last sub-transaction.
+
+use crate::api::{spin_work, XABORT_GLOCK, XABORT_NOT_QUIET};
+use crate::api::{
+    CommitPath, TmExecutor, TxCtx, Workload, LOCK_BIT, VALUE_MASK, XABORT_LOCKED,
+    XABORT_TS_CHANGED, XABORT_UNDO_FULL,
+};
+use crate::ctx::{RawCtx, SigPair, SoftwareCtx};
+use crate::parthtm::{run_global_lock, wait_glock_released};
+use crate::runtime::{ThreadArena, TmRuntime, TmThread};
+use crate::undo::UndoLog;
+use htm_sim::abort::TxResult;
+use htm_sim::util::FastSet;
+use htm_sim::{AbortCode, Addr, HtmTx};
+use tm_sig::Sig;
+
+/// The set of addresses this global transaction holds embedded locks on, with
+/// mark/rollback for failed sub-HTM attempts. Stands in for the paper's
+/// `not_self_lock` undo-log scan (Fig. 2 lines 18–21) with identical semantics —
+/// an address is self-locked iff this transaction logged a write to it — at O(1)
+/// per query instead of O(log length).
+#[derive(Default)]
+pub struct LockedSet {
+    order: Vec<Addr>,
+    set: FastSet<Addr>,
+}
+
+impl LockedSet {
+    /// True if `addr` is locked by the current global transaction.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.set.contains(&addr)
+    }
+
+    /// Record a newly acquired lock.
+    #[inline]
+    pub fn insert(&mut self, addr: Addr) {
+        debug_assert!(!self.set.contains(&addr));
+        self.order.push(addr);
+        self.set.insert(addr);
+    }
+
+    /// Current length, for [`LockedSet::truncate`].
+    pub fn mark(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Roll back to a previous mark (failed sub-HTM attempt: its lock-bit writes
+    /// were never published).
+    pub fn truncate(&mut self, mark: usize) {
+        while self.order.len() > mark {
+            let a = self.order.pop().expect("mark below zero");
+            self.set.remove(&a);
+        }
+    }
+
+    /// Forget everything (global transaction finished).
+    pub fn clear(&mut self) {
+        self.order.clear();
+        self.set.clear();
+    }
+
+    /// Number of held locks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no locks are held.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// Fast-path context with encounter-time lock checks (Fig. 2 lines 3–7).
+struct OFastCtx<'c, 'a, 's> {
+    tx: &'c mut HtmTx<'a, 's>,
+    wsig: SigPair<'c>,
+    wrote: &'c mut bool,
+}
+
+impl TxCtx for OFastCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        let v = self.tx.read(addr)?;
+        if v & LOCK_BIT != 0 {
+            return Err(self.tx.xabort(XABORT_LOCKED));
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        let v = self.tx.read(addr)?;
+        if v & LOCK_BIT != 0 {
+            return Err(self.tx.xabort(XABORT_LOCKED));
+        }
+        self.wsig.add(self.tx, addr)?;
+        *self.wrote = true;
+        self.tx.write(addr, val)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// Sub-HTM context with encounter-time lock checks and eager lock acquisition
+/// (Fig. 2 lines 25–35).
+struct OSubCtx<'c, 'a, 's> {
+    tx: &'c mut HtmTx<'a, 's>,
+    rsig: SigPair<'c>,
+    wsig: SigPair<'c>,
+    undo: &'c mut UndoLog,
+    locked: &'c mut LockedSet,
+    wrote: &'c mut bool,
+}
+
+impl TxCtx for OSubCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        let v = self.tx.read(addr)?;
+        if v & LOCK_BIT != 0 && !self.locked.contains(addr) {
+            return Err(self.tx.xabort(XABORT_LOCKED));
+        }
+        self.rsig.add(self.tx, addr)?;
+        Ok(v & VALUE_MASK)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        debug_assert_eq!(
+            val & !VALUE_MASK,
+            0,
+            "application values must fit in 63 bits"
+        );
+        let v = self.tx.read(addr)?;
+        if v & LOCK_BIT != 0 {
+            if !self.locked.contains(addr) {
+                return Err(self.tx.xabort(XABORT_LOCKED));
+            }
+            // Already ours: overwrite in place, keeping the lock.
+            return self.tx.write(addr, val | LOCK_BIT);
+        }
+        self.undo.append_tx(self.tx, addr, v)?;
+        self.wsig.add(self.tx, addr)?;
+        self.locked.insert(addr);
+        *self.wrote = true;
+        // Acquire the embedded lock together with the value (Fig. 2 lines 34–35).
+        self.tx.write(addr, val | LOCK_BIT)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// The Part-HTM-O protocol (opaque variant, Fig. 2).
+pub struct PartHtmO<'r> {
+    th: TmThread<'r>,
+    arena: ThreadArena,
+    undo: UndoLog,
+    locked: LockedSet,
+    /// Read-signature software mirror (drives in-flight validation).
+    rmir: Sig,
+    /// Write-signature software mirror, accumulated over the whole global
+    /// transaction (no aggregate signature in `-O`: locks are embedded).
+    wmir: Sig,
+    start_time: u64,
+    /// Consecutive transactions whose fast attempt died of a resource failure
+    /// (adaptive profiler stand-in; see the base executor).
+    resource_streak: u32,
+    /// Transactions executed (drives the periodic fast-path re-probe).
+    tx_count: u64,
+}
+
+impl<'r> PartHtmO<'r> {
+    /// Quiet fast path (see the base executor's documentation): with `active_tx`
+    /// subscribed at zero, no embedded lock bit can be set anywhere — locks are only
+    /// held while their global transaction is active — so the encounter-time checks,
+    /// the value masking and the ring publish all become unnecessary.
+    fn try_fast_quiet<W: Workload>(&mut self, w: &mut W) -> Result<(), AbortCode> {
+        w.reset();
+        let rt = self.th.rt;
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            match tx.read(rt.glock()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            match tx.read(rt.active_tx()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_NOT_QUIET)),
+                Err(e) => break 'b Err(e),
+            }
+            let mut ctx = RawCtx { tx: &mut tx };
+            for seg in 0..w.segments() {
+                if let Err(e) = w.segment(seg, &mut ctx) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        if res.is_err() {
+            self.th.stats.fast_aborts += 1;
+        }
+        res
+    }
+
+    fn try_fast<W: Workload>(&mut self, w: &mut W) -> Result<(), AbortCode> {
+        let rt = self.th.rt;
+        if self.th.hw.nt_read(rt.active_tx()) == 0 {
+            match self.try_fast_quiet(w) {
+                Err(AbortCode::Explicit(XABORT_NOT_QUIET)) => {} // re-run instrumented
+                other => return other,
+            }
+        }
+        w.reset();
+        self.wmir.clear();
+        let a = self.arena;
+        let mut wrote = false;
+
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            match tx.read(rt.glock()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            {
+                let mut ctx = OFastCtx {
+                    tx: &mut tx,
+                    wsig: SigPair {
+                        heap: a.write_sig,
+                        mirror: &mut self.wmir,
+                    },
+                    wrote: &mut wrote,
+                };
+                for seg in 0..w.segments() {
+                    if let Err(e) = w.segment(seg, &mut ctx) {
+                        break 'b Err(e);
+                    }
+                }
+            }
+            // No pre-commit signature validation: encounter-time lock checks already
+            // guarantee no non-visible location was touched (Fig. 2 lines 8–11).
+            if wrote {
+                if let Err(e) = rt.ring().publish_tx(&mut tx, &self.wmir) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        match res {
+            Ok(()) => {
+                self.wmir.clear();
+                Ok(())
+            }
+            Err(code) => {
+                self.th.stats.fast_aborts += 1;
+                Err(code)
+            }
+        }
+    }
+
+    #[inline]
+    fn dec_active(&self) {
+        self.th
+            .hw
+            .system()
+            .nt_fetch_sub_by(self.th.hw.id(), self.th.rt.active_tx(), 1);
+    }
+
+    fn cleanup_partitioned(&mut self) {
+        self.rmir.clear();
+        self.wmir.clear();
+        self.undo.clear();
+        self.locked.clear();
+        self.dec_active();
+    }
+
+    /// Global abort (Fig. 2 lines 60–65): the undo-log restore puts back the old,
+    /// *unlocked* values, releasing every embedded lock in the same stores.
+    fn global_abort(&mut self) {
+        self.th.stats.global_aborts += 1;
+        self.undo.undo_nt(&self.th.hw);
+        self.cleanup_partitioned();
+    }
+
+    /// In-flight validation against the ring; advances `start_time` on success.
+    fn validate(&mut self) -> bool {
+        match self
+            .th
+            .rt
+            .ring()
+            .validate_nt(&self.th.hw, &self.rmir, self.start_time)
+        {
+            Ok(ts) => {
+                self.start_time = ts;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn run_sub<W: Workload>(&mut self, w: &mut W, seg: usize, wrote: &mut bool) -> bool {
+        let rt = self.th.rt;
+        let a = self.arena;
+        let snap = w.snapshot();
+        let undo_mark = self.undo.len();
+        let locked_mark = self.locked.mark();
+        let wmir_save = self.wmir.clone();
+        let rmir_save = self.rmir.clone();
+        let mut attempts = 0u32;
+        loop {
+            let mut tx = self.th.hw.begin();
+            let body: TxResult<()> = 'b: {
+                // Timestamp subscription (Fig. 2 lines 23–24): any global commit
+                // during this sub-transaction dooms it; one that already happened is
+                // caught here explicitly.
+                match rt.ring().timestamp_tx(&mut tx) {
+                    Ok(ts) if ts == self.start_time => {}
+                    Ok(_) => break 'b Err(tx.xabort(XABORT_TS_CHANGED)),
+                    Err(e) => break 'b Err(e),
+                }
+                {
+                    let mut ctx = OSubCtx {
+                        tx: &mut tx,
+                        rsig: SigPair {
+                            heap: a.read_sig,
+                            mirror: &mut self.rmir,
+                        },
+                        wsig: SigPair {
+                            heap: a.write_sig,
+                            mirror: &mut self.wmir,
+                        },
+                        undo: &mut self.undo,
+                        locked: &mut self.locked,
+                        wrote,
+                    };
+                    if let Err(e) = w.segment(seg, &mut ctx) {
+                        break 'b Err(e);
+                    }
+                }
+                // No pre-commit validation and no lock-signature acquisition: the
+                // two -O extensions provide both earlier (§5.5).
+                Ok(())
+            };
+            let res = match body {
+                Ok(()) => tx.commit(),
+                Err(code) => {
+                    drop(tx);
+                    Err(code)
+                }
+            };
+            match res {
+                Ok(()) => return true,
+                Err(code) => {
+                    self.th.stats.sub_aborts += 1;
+                    self.undo.truncate(undo_mark);
+                    self.locked.truncate(locked_mark);
+                    self.wmir.clone_from(&wmir_save);
+                    self.rmir.clone_from(&rmir_save);
+                    w.restore(snap.clone());
+                    attempts += 1;
+                    // Fig. 2 lines 36–39: a timestamp change (explicit, or the
+                    // hardware conflict the subscription converts commits into)
+                    // triggers validation; if the snapshot is still valid only the
+                    // sub-transaction restarts, otherwise the global transaction
+                    // aborts. Foreign locks and undo overflow abort the global
+                    // transaction directly.
+                    let give_up = match code {
+                        AbortCode::Explicit(XABORT_TS_CHANGED) | AbortCode::Conflict => {
+                            !self.validate()
+                        }
+                        AbortCode::Explicit(x) => x == XABORT_LOCKED || x == XABORT_UNDO_FULL,
+                        AbortCode::Capacity | AbortCode::Other => false,
+                    } || attempts >= rt.config().sub_retries;
+                    if give_up {
+                        return false;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn try_partitioned<W: Workload>(&mut self, w: &mut W) -> Result<(), ()> {
+        let rt = self.th.rt;
+        loop {
+            wait_glock_released(&self.th);
+            self.th.hw.nt_fetch_add(rt.active_tx(), 1);
+            if self.th.hw.nt_read(rt.glock()) == 0 {
+                break;
+            }
+            self.dec_active();
+        }
+        self.start_time = rt.ring().timestamp_nt(&self.th.hw);
+        self.rmir.clear();
+        self.wmir.clear();
+        self.undo.clear();
+        self.locked.clear();
+        w.reset();
+        let mut wrote = false;
+
+        for seg in 0..w.segments() {
+            if w.software_segment(seg) {
+                let mut ctx = SoftwareCtx {
+                    th: &self.th.hw,
+                    mask_values: true,
+                };
+                w.segment(seg, &mut ctx)
+                    .expect("software segments cannot abort");
+                continue;
+            }
+            if !self.run_sub(w, seg, &mut wrote) {
+                self.global_abort();
+                return Err(());
+            }
+        }
+
+        // Global commit (Fig. 2 lines 48–59), plus the final writer validation this
+        // implementation adds (see module docs).
+        if wrote {
+            if !self.validate() {
+                self.global_abort();
+                return Err(());
+            }
+            rt.ring().publish_software(&self.th.hw, &self.wmir);
+            self.undo.unlock_all_nt(&self.th.hw);
+        }
+        self.cleanup_partitioned();
+        Ok(())
+    }
+
+    fn drive<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        let cfg = self.th.rt.config().clone();
+        if w.is_irrevocable() {
+            self.th.stats.fallbacks_gl += 1;
+            run_global_lock(&self.th, w, true);
+            w.after_commit();
+            self.th.stats.record_commit(CommitPath::GlobalLock);
+            return CommitPath::GlobalLock;
+        }
+        self.tx_count += 1;
+        let skip_fast = cfg.skip_fast
+            || match w.profiled_resource_limited() {
+                Some(limited) => limited,
+                None => self.resource_streak >= 3 && !self.tx_count.is_multiple_of(64),
+            };
+        if !skip_fast {
+            let mut fails = 0;
+            loop {
+                wait_glock_released(&self.th);
+                match self.try_fast(w) {
+                    Ok(()) => {
+                        self.resource_streak = 0;
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::Htm);
+                        return CommitPath::Htm;
+                    }
+                    Err(code) if code.is_resource_failure() => {
+                        self.resource_streak = self.resource_streak.saturating_add(1);
+                        self.th.stats.fallbacks_partitioned += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        fails += 1;
+                        if fails >= cfg.fast_retries {
+                            self.th.stats.fallbacks_gl += 1;
+                            run_global_lock(&self.th, w, true);
+                            w.after_commit();
+                            self.th.stats.record_commit(CommitPath::GlobalLock);
+                            return CommitPath::GlobalLock;
+                        }
+                    }
+                }
+            }
+        }
+        let mut gfails = 0;
+        loop {
+            match self.try_partitioned(w) {
+                Ok(()) => {
+                    w.after_commit();
+                    self.th.stats.record_commit(CommitPath::SubHtm);
+                    return CommitPath::SubHtm;
+                }
+                Err(()) => {
+                    gfails += 1;
+                    if gfails >= cfg.part_retries {
+                        self.th.stats.fallbacks_gl += 1;
+                        run_global_lock(&self.th, w, true);
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::GlobalLock);
+                        return CommitPath::GlobalLock;
+                    }
+                    spin_work(cfg.backoff_units << gfails.min(6));
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<'r> TmExecutor<'r> for PartHtmO<'r> {
+    const NAME: &'static str = "Part-HTM-O";
+
+    fn new(rt: &'r TmRuntime, thread_id: usize) -> Self {
+        let th = TmThread::new(rt, thread_id);
+        let arena = rt.arena(thread_id);
+        let spec = rt.config().sig_spec;
+        Self {
+            undo: UndoLog::new(arena.undo_base, arena.undo_words),
+            locked: LockedSet::default(),
+            arena,
+            rmir: Sig::new(spec),
+            wmir: Sig::new(spec),
+            start_time: 0,
+            resource_streak: 0,
+            tx_count: 0,
+            th,
+        }
+    }
+
+    fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        self.drive(w)
+    }
+
+    fn thread(&self) -> &TmThread<'r> {
+        &self.th
+    }
+
+    fn thread_mut(&mut self) -> &mut TmThread<'r> {
+        &mut self.th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::abort::TxResult;
+    use rand::rngs::SmallRng;
+
+    struct Incr {
+        n: usize,
+        segs: usize,
+        base: Addr,
+    }
+
+    impl Workload for Incr {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segments(&self) -> usize {
+            self.segs
+        }
+        fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+            let per = self.n / self.segs;
+            for i in seg * per..(seg + 1) * per {
+                let a = self.base + (i * 8) as Addr;
+                let v = ctx.read(a)?;
+                ctx.write(a, v + 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn locked_set_mark_truncate() {
+        let mut l = LockedSet::default();
+        l.insert(1);
+        let m = l.mark();
+        l.insert(2);
+        l.insert(3);
+        assert!(l.contains(3));
+        l.truncate(m);
+        assert!(l.contains(1));
+        assert!(!l.contains(2));
+        assert_eq!(l.len(), 1);
+        l.clear();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn fast_path_commits_small_tx() {
+        let rt = TmRuntime::with_defaults(1, 1024);
+        let mut e = PartHtmO::new(&rt, 0);
+        let mut w = Incr {
+            n: 4,
+            segs: 1,
+            base: rt.app(0),
+        };
+        assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        for i in 0..4 {
+            assert_eq!(rt.verify_read(i * 8), 1);
+        }
+    }
+
+    #[test]
+    fn partitioned_path_locks_and_unlocks() {
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            2048,
+        );
+        let mut e = PartHtmO::new(&rt, 0);
+        let mut w = Incr {
+            n: 96,
+            segs: 8,
+            base: rt.app(0),
+        };
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        for i in 0..96 {
+            let v = rt.verify_read(i * 8);
+            assert_eq!(v, 1, "counter {i} must be 1 and unlocked, got {v:#x}");
+        }
+    }
+
+    use crate::runtime::TmConfig;
+
+    #[test]
+    fn values_never_observed_locked_by_fast_path() {
+        // A partitioned writer keeps locking values; fast-path readers must either
+        // see pre-lock or post-unlock values, never the lock bit.
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            2,
+            2048,
+        );
+        struct ReadAll {
+            n: usize,
+            base: Addr,
+            seen: Vec<u64>,
+        }
+        impl Workload for ReadAll {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn reset(&mut self) {
+                self.seen.clear();
+            }
+            fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+                for i in 0..self.n {
+                    let v = ctx.read(self.base + (i * 8) as Addr)?;
+                    self.seen.push(v);
+                }
+                Ok(())
+            }
+        }
+        std::thread::scope(|s| {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut e = PartHtmO::new(rt, 0);
+                let mut w = Incr {
+                    n: 96,
+                    segs: 8,
+                    base: rt.app(0),
+                };
+                for _ in 0..10 {
+                    e.execute(&mut w);
+                }
+            });
+            s.spawn(move || {
+                let mut e = PartHtmO::new(rt, 1);
+                let mut w = ReadAll {
+                    n: 96,
+                    base: rt.app(0),
+                    seen: Vec::new(),
+                };
+                for _ in 0..50 {
+                    e.execute(&mut w);
+                    for &v in &w.seen {
+                        assert_eq!(v & LOCK_BIT, 0, "observed a locked value: {v:#x}");
+                    }
+                }
+            });
+        });
+        // All locks released at the end.
+        for i in 0..96 {
+            assert_eq!(rt.verify_read(i * 8) & LOCK_BIT, 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_opaque_increments_exact() {
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            4,
+            4096,
+        );
+        const TXS: usize = 25;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut e = PartHtmO::new(rt, t);
+                    let mut w = Incr {
+                        n: 16,
+                        segs: 4,
+                        base: rt.app(0),
+                    };
+                    for _ in 0..TXS {
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        for i in 0..16 {
+            assert_eq!(rt.verify_read(i * 8), (4 * TXS) as u64);
+        }
+        assert_eq!(rt.system().nt_read(rt.active_tx()), 0);
+        assert_eq!(rt.system().nt_read(rt.glock()), 0);
+    }
+}

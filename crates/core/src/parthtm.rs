@@ -1,0 +1,789 @@
+//! The Part-HTM executor: three-path transaction processing (Fig. 1 of the paper).
+
+use crate::api::{
+    spin_work, CommitPath, TmExecutor, Workload, XABORT_GLOCK, XABORT_LOCKED, XABORT_NOT_QUIET,
+    XABORT_UNDO_FULL,
+};
+use crate::ctx::{
+    acquire_locks_tx, fast_validation, sub_validation, FastCtx, RawCtx, SigPair, SlowCtx,
+    SoftwareCtx, SubCtx,
+};
+use crate::runtime::{ThreadArena, TmRuntime, TmThread};
+use crate::undo::UndoLog;
+use htm_sim::abort::TxResult;
+use htm_sim::AbortCode;
+use tm_sig::Sig;
+
+/// Run a transaction under the global lock (the slow path, Fig. 1 lines 61–65):
+/// acquire `GLock`, wait for every partitioned-path transaction to drain
+/// (`active_tx == 0`), execute uninstrumented, release. Shared by Part-HTM,
+/// Part-HTM-O and the HTM-GL baseline.
+pub fn run_global_lock<W: Workload>(th: &TmThread<'_>, w: &mut W, mask_values: bool) {
+    let rt = th.rt;
+    while th.hw.nt_cas(rt.glock(), 0, 1).is_err() {
+        std::thread::yield_now();
+    }
+    while th.hw.nt_read(rt.active_tx()) != 0 {
+        std::thread::yield_now();
+    }
+    w.reset();
+    let mut ctx = SlowCtx {
+        th: &th.hw,
+        mask_values,
+    };
+    for seg in 0..w.segments() {
+        w.segment(seg, &mut ctx)
+            .expect("slow-path operations cannot abort");
+    }
+    th.hw.nt_write(rt.glock(), 0);
+}
+
+/// Anti-lemming retry policy (§7, after the paper’s reference \[38\]): never retry in hardware while the
+/// global lock is held — wait for its release first.
+pub fn wait_glock_released(th: &TmThread<'_>) {
+    while th.hw.nt_read(th.rt.glock()) != 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// The Part-HTM protocol (serializable variant, Fig. 1).
+pub struct PartHtm<'r> {
+    th: TmThread<'r>,
+    arena: ThreadArena,
+    undo: UndoLog,
+    /// Software mirror of the read-set signature (kept exactly equal to the heap
+    /// copy: signature adds are write-only stores of the mirror word).
+    rmir: Sig,
+    /// Software mirror of the current sub-HTM write-set signature (kept exact).
+    wmir: Sig,
+    /// Software mirror of the aggregate write-set signature (kept exact).
+    amir: Sig,
+    start_time: u64,
+    /// Consecutive transactions whose fast attempt died of a resource failure.
+    /// Stands in for the paper's static profiler (§4: transactions that "likely (or
+    /// certainly) fail in HTM" go straight to the partitioned path): after a few
+    /// such transactions the fast attempt is skipped, re-probing periodically.
+    resource_streak: u32,
+    /// Transactions executed (drives the periodic fast-path re-probe).
+    tx_count: u64,
+}
+
+impl<'r> PartHtm<'r> {
+    /// Quiet fast path: when the subscribed `active_tx` counter is zero, no
+    /// partitioned-path transaction runs concurrently, so the signatures, the
+    /// write-locks validation and the ring publish — which exist solely to
+    /// coordinate with sub-HTM transactions — are unnecessary and the fast path is
+    /// pure HTM plus two subscriptions (GLock and active_tx). Sound because write
+    /// locks are only held and the ring is only consulted while `active_tx > 0`
+    /// (release precedes the decrement), and any change to either subscribed word
+    /// dooms this hardware transaction.
+    fn try_fast_quiet<W: Workload>(&mut self, w: &mut W) -> Result<(), AbortCode> {
+        w.reset();
+        let rt = self.th.rt;
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            match tx.read(rt.glock()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            match tx.read(rt.active_tx()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_NOT_QUIET)),
+                Err(e) => break 'b Err(e),
+            }
+            let mut ctx = RawCtx { tx: &mut tx };
+            for seg in 0..w.segments() {
+                if let Err(e) = w.segment(seg, &mut ctx) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        if res.is_err() {
+            self.th.stats.fast_aborts += 1;
+        }
+        res
+    }
+
+    /// Try the whole transaction as one lightly instrumented hardware transaction
+    /// (§5.2), choosing the quiet variant when no partitioned-path transaction was
+    /// active at begin.
+    fn try_fast<W: Workload>(&mut self, w: &mut W) -> Result<(), AbortCode> {
+        let rt = self.th.rt;
+        if self.th.hw.nt_read(rt.active_tx()) == 0 {
+            match self.try_fast_quiet(w) {
+                Err(AbortCode::Explicit(XABORT_NOT_QUIET)) => {} // re-run instrumented
+                other => return other,
+            }
+        }
+        w.reset();
+        self.rmir.clear();
+        self.wmir.clear();
+        let a = self.arena;
+        let mut wrote = false;
+
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            // Begin: subscribe the global lock (Fig. 1 lines 1–2).
+            match tx.read(rt.glock()) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            {
+                let mut ctx = FastCtx {
+                    tx: &mut tx,
+                    rsig: SigPair {
+                        heap: a.read_sig,
+                        mirror: &mut self.rmir,
+                    },
+                    wsig: SigPair {
+                        heap: a.write_sig,
+                        mirror: &mut self.wmir,
+                    },
+                    wrote: &mut wrote,
+                };
+                for seg in 0..w.segments() {
+                    if let Err(e) = w.segment(seg, &mut ctx) {
+                        break 'b Err(e);
+                    }
+                }
+            }
+            // Pre-commit validation against non-visible locations (Fig. 1
+            // lines 7–8).
+            match fast_validation(&mut tx, rt.write_locks(), &self.rmir, &self.wmir) {
+                Ok(false) => {}
+                Ok(true) => break 'b Err(tx.xabort(XABORT_LOCKED)),
+                Err(e) => break 'b Err(e),
+            }
+            // Writers publish their write signature to the ring (Fig. 1 lines 9–11).
+            if wrote {
+                if let Err(e) = rt.ring().publish_tx(&mut tx, &self.wmir) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        match res {
+            Ok(()) => {
+                // Post-commit software: clear local signatures (Fig. 1 lines 14–15).
+                // The mirrors are the authoritative copies; the heap copies are
+                // capacity ballast and need no clearing.
+                self.rmir.clear();
+                self.wmir.clear();
+                Ok(())
+            }
+            Err(code) => {
+                self.th.stats.fast_aborts += 1;
+                Err(code)
+            }
+        }
+    }
+
+    #[inline]
+    fn dec_active(&self) {
+        self.th
+            .hw
+            .system()
+            .nt_fetch_sub_by(self.th.hw.id(), self.th.rt.active_tx(), 1);
+    }
+
+    /// Release local metadata and leave the partitioned path (common tail of global
+    /// commit and global abort).
+    fn cleanup_partitioned(&mut self) {
+        self.rmir.clear();
+        self.wmir.clear();
+        self.amir.clear();
+        self.undo.clear();
+        self.dec_active();
+    }
+
+    /// Abort the global transaction (Fig. 1 lines 53–58): restore old values from
+    /// the undo-log (newest first), release write locks, clear metadata.
+    fn global_abort(&mut self) {
+        self.th.stats.global_aborts += 1;
+        self.undo.undo_nt(&self.th.hw);
+        self.th.rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
+        self.cleanup_partitioned();
+    }
+
+    /// Run one segment as a sub-HTM transaction with bounded retries (§5.3.3–5.3.5).
+    /// Returns false when the enclosing global transaction must abort.
+    fn run_sub<W: Workload>(&mut self, w: &mut W, seg: usize, wrote: &mut bool) -> bool {
+        let rt = self.th.rt;
+        let a = self.arena;
+        let snap = w.snapshot();
+        let undo_mark = self.undo.len();
+        let wmir_save = self.wmir.clone();
+        let rmir_save = self.rmir.clone();
+        let mut attempts = 0u32;
+        loop {
+            let mut tx = self.th.hw.begin();
+            let body: TxResult<()> = 'b: {
+                {
+                    let mut ctx = SubCtx {
+                        tx: &mut tx,
+                        rsig: SigPair {
+                            heap: a.read_sig,
+                            mirror: &mut self.rmir,
+                        },
+                        wsig: SigPair {
+                            heap: a.write_sig,
+                            mirror: &mut self.wmir,
+                        },
+                        undo: &mut self.undo,
+                        wrote,
+                    };
+                    if let Err(e) = w.segment(seg, &mut ctx) {
+                        break 'b Err(e);
+                    }
+                }
+                // Pre-commit validation, own locks masked out (Fig. 1 lines 26–28).
+                match sub_validation(
+                    &mut tx,
+                    rt.write_locks(),
+                    &self.amir,
+                    &self.rmir,
+                    &self.wmir,
+                ) {
+                    Ok(false) => {}
+                    Ok(true) => break 'b Err(tx.xabort(XABORT_LOCKED)),
+                    Err(e) => break 'b Err(e),
+                }
+                // Acquire write locks for the just-written locations (Fig. 1 line 29).
+                if let Err(e) = acquire_locks_tx(&mut tx, rt.write_locks(), &self.wmir) {
+                    break 'b Err(e);
+                }
+                Ok(())
+            };
+            let res = match body {
+                Ok(()) => tx.commit(),
+                Err(code) => {
+                    drop(tx);
+                    Err(code)
+                }
+            };
+            match res {
+                Ok(()) => return true,
+                Err(code) => {
+                    self.th.stats.sub_aborts += 1;
+                    // The failed attempt's hardware writes never published; roll the
+                    // software cursors back to the segment entry.
+                    self.undo.truncate(undo_mark);
+                    self.wmir.clone_from(&wmir_save);
+                    self.rmir.clone_from(&rmir_save);
+                    w.restore(snap.clone());
+                    attempts += 1;
+                    // A conflict on the global write-locks (or an overflowing undo
+                    // log) propagates to the global transaction (§5.3.5); other
+                    // causes retry the sub-HTM transaction a limited number of times.
+                    let give_up = match code {
+                        AbortCode::Explicit(x) => x == XABORT_LOCKED || x == XABORT_UNDO_FULL,
+                        _ => false,
+                    } || attempts >= rt.config().sub_retries;
+                    if give_up {
+                        return false;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Execute the transaction on the partitioned path (§5.3). `Err(())` means the
+    /// global transaction aborted and the caller decides whether to retry.
+    fn try_partitioned<W: Workload>(&mut self, w: &mut W) -> Result<(), ()> {
+        let rt = self.th.rt;
+        // Global begin (Fig. 1 lines 16–19): the active_tx/GLock handshake gives
+        // mutual exclusion against the slow path.
+        loop {
+            wait_glock_released(&self.th);
+            self.th.hw.nt_fetch_add(rt.active_tx(), 1);
+            if self.th.hw.nt_read(rt.glock()) == 0 {
+                break;
+            }
+            self.dec_active();
+        }
+        self.start_time = rt.ring().timestamp_nt(&self.th.hw);
+        self.rmir.clear();
+        self.wmir.clear();
+        self.amir.clear();
+        self.undo.clear();
+        w.reset();
+        let mut wrote = false;
+
+        let nseg = w.segments();
+        let last_htm_seg = (0..nseg).rev().find(|&s| !w.software_segment(s));
+        for seg in 0..nseg {
+            if w.software_segment(seg) {
+                // Non-transactional partition: run outside any hardware
+                // transaction (§4, §5.3.1) — this is how time-limited transactions
+                // escape the HTM quantum.
+                let mut ctx = SoftwareCtx {
+                    th: &self.th.hw,
+                    mask_values: false,
+                };
+                w.segment(seg, &mut ctx)
+                    .expect("software segments cannot abort");
+                continue;
+            }
+            if !self.run_sub(w, seg, &mut wrote) {
+                self.global_abort();
+                return Err(());
+            }
+            // In-flight validation after each sub-HTM commit (§5.3.6); always before
+            // the global commit.
+            if rt.config().validate_every_sub || Some(seg) == last_htm_seg {
+                match rt
+                    .ring()
+                    .validate_nt(&self.th.hw, &self.rmir, self.start_time)
+                {
+                    Ok(ts) => self.start_time = ts,
+                    Err(_) => {
+                        self.global_abort();
+                        return Err(());
+                    }
+                }
+            }
+            // Fold this sub-transaction's writes into the aggregate and clear the
+            // per-sub-transaction write signature (Fig. 1 lines 32–33) — mirror
+            // operations; the heap copies are capacity ballast only.
+            self.amir.union_with(&self.wmir);
+            self.wmir.clear();
+        }
+
+        // Global commit (Fig. 1 lines 42–52). Read-only transactions just leave.
+        if wrote {
+            rt.ring().publish_software(&self.th.hw, &self.amir);
+            rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
+        }
+        self.cleanup_partitioned();
+        Ok(())
+    }
+
+    /// The three-path driver shared with [`crate::PartHtmO`] (which passes its own
+    /// path closures): fast → partitioned on resource failure; fast → slow when
+    /// conflicts persist; partitioned → slow after bounded global aborts.
+    fn drive<W: Workload>(
+        &mut self,
+        w: &mut W,
+        fast: fn(&mut Self, &mut W) -> Result<(), AbortCode>,
+        partitioned: fn(&mut Self, &mut W) -> Result<(), ()>,
+        mask_values: bool,
+    ) -> CommitPath {
+        let cfg = self.th.rt.config().clone();
+        if w.is_irrevocable() {
+            self.th.stats.fallbacks_gl += 1;
+            run_global_lock(&self.th, w, mask_values);
+            w.after_commit();
+            self.th.stats.record_commit(CommitPath::GlobalLock);
+            return CommitPath::GlobalLock;
+        }
+        self.tx_count += 1;
+        // Adaptive profiler stand-in: skip the fast path once several consecutive
+        // transactions proved resource-limited, re-probing every 64th transaction
+        // (the paper's static profiler routes "likely (or certainly) failing"
+        // transactions straight to the partitioned path, §4).
+        let skip_fast = cfg.skip_fast
+            || match w.profiled_resource_limited() {
+                Some(limited) => limited,
+                None => self.resource_streak >= 3 && !self.tx_count.is_multiple_of(64),
+            };
+        if !skip_fast {
+            let mut fails = 0;
+            loop {
+                wait_glock_released(&self.th);
+                match fast(self, w) {
+                    Ok(()) => {
+                        self.resource_streak = 0;
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::Htm);
+                        return CommitPath::Htm;
+                    }
+                    Err(code) if code.is_resource_failure() => {
+                        self.resource_streak = self.resource_streak.saturating_add(1);
+                        // Capacity or interrupt: this is the class Part-HTM exists
+                        // for — partition it.
+                        self.th.stats.fallbacks_partitioned += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        fails += 1;
+                        if fails >= cfg.fast_retries {
+                            // Persistent conflicts: the paper routes these to the
+                            // exit path, not to partitioning (§4 "Three-paths
+                            // Execution").
+                            self.th.stats.fallbacks_gl += 1;
+                            run_global_lock(&self.th, w, mask_values);
+                            w.after_commit();
+                            self.th.stats.record_commit(CommitPath::GlobalLock);
+                            return CommitPath::GlobalLock;
+                        }
+                    }
+                }
+            }
+        }
+        let mut gfails = 0;
+        loop {
+            match partitioned(self, w) {
+                Ok(()) => {
+                    w.after_commit();
+                    self.th.stats.record_commit(CommitPath::SubHtm);
+                    return CommitPath::SubHtm;
+                }
+                Err(()) => {
+                    gfails += 1;
+                    if gfails >= cfg.part_retries {
+                        self.th.stats.fallbacks_gl += 1;
+                        run_global_lock(&self.th, w, mask_values);
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::GlobalLock);
+                        return CommitPath::GlobalLock;
+                    }
+                    // Exponential backoff (Fig. 1 line 59).
+                    spin_work(cfg.backoff_units << gfails.min(6));
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    pub(crate) fn new_inner(rt: &'r TmRuntime, id: usize) -> Self {
+        let th = TmThread::new(rt, id);
+        let arena = rt.arena(id);
+        let spec = rt.config().sig_spec;
+        Self {
+            undo: UndoLog::new(arena.undo_base, arena.undo_words),
+            arena,
+            rmir: Sig::new(spec),
+            wmir: Sig::new(spec),
+            amir: Sig::new(spec),
+            start_time: 0,
+            resource_streak: 0,
+            tx_count: 0,
+            th,
+        }
+    }
+}
+
+impl<'r> TmExecutor<'r> for PartHtm<'r> {
+    const NAME: &'static str = "Part-HTM";
+
+    fn new(rt: &'r TmRuntime, thread_id: usize) -> Self {
+        Self::new_inner(rt, thread_id)
+    }
+
+    fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        self.drive(w, Self::try_fast, Self::try_partitioned, false)
+    }
+
+    fn thread(&self) -> &TmThread<'r> {
+        &self.th
+    }
+
+    fn thread_mut(&mut self) -> &mut TmThread<'r> {
+        &mut self.th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TxCtx;
+    use crate::runtime::TmConfig;
+    use htm_sim::abort::TxResult;
+    use rand::rngs::SmallRng;
+
+    /// Increment `n` counters spread over distinct lines, in `segs` segments.
+    struct Incr {
+        n: usize,
+        segs: usize,
+        base: htm_sim::Addr,
+        work_per_op: u64,
+    }
+
+    impl Workload for Incr {
+        type Snap = ();
+        fn sample(&mut self, _rng: &mut SmallRng) {}
+        fn segments(&self) -> usize {
+            self.segs
+        }
+        fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+            let per = self.n / self.segs;
+            for i in seg * per..(seg + 1) * per {
+                let a = self.base + (i * 8) as htm_sim::Addr;
+                let v = ctx.read(a)?;
+                if self.work_per_op > 0 {
+                    ctx.work(self.work_per_op)?;
+                }
+                ctx.write(a, v + 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn check_sum(rt: &TmRuntime, n: usize, expect: u64) {
+        for i in 0..n {
+            assert_eq!(rt.verify_read(i * 8), expect, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn small_tx_commits_on_fast_path() {
+        let rt = TmRuntime::with_defaults(1, 1024);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Incr {
+            n: 4,
+            segs: 1,
+            base: rt.app(0),
+            work_per_op: 0,
+        };
+        let path = e.execute(&mut w);
+        assert_eq!(path, CommitPath::Htm);
+        check_sum(&rt, 4, 1);
+        assert_eq!(e.thread().stats.commits_htm, 1);
+    }
+
+    #[test]
+    fn capacity_limited_tx_commits_on_partitioned_path() {
+        // Tiny HTM: 8 written lines max. The transaction writes 96 app lines; 8 segments
+        // of 12 fit (alongside the protocol metadata).
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            2048,
+        );
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Incr {
+            n: 96,
+            segs: 8,
+            base: rt.app(0),
+            work_per_op: 0,
+        };
+        let path = e.execute(&mut w);
+        assert_eq!(path, CommitPath::SubHtm);
+        check_sum(&rt, 96, 1);
+        let s = &e.thread().stats;
+        assert_eq!(s.commits_subhtm, 1);
+        assert_eq!(s.fallbacks_partitioned, 1);
+        // All metadata released.
+        assert!(rt.write_locks().snapshot_nt(&e.thread().hw).is_empty());
+        assert_eq!(rt.system().nt_read(rt.active_tx()), 0);
+    }
+
+    #[test]
+    fn time_limited_tx_commits_on_partitioned_path() {
+        // Quantum 1000; the transaction burns 100 units per op over 40 ops (4000+),
+        // but each 10-op segment fits.
+        let rt = TmRuntime::new(
+            htm_sim::HtmConfig {
+                quantum: 1500,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            4096,
+        );
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Incr {
+            n: 40,
+            segs: 4,
+            base: rt.app(0),
+            work_per_op: 100,
+        };
+        let path = e.execute(&mut w);
+        assert_eq!(path, CommitPath::SubHtm);
+        check_sum(&rt, 40, 1);
+    }
+
+    #[test]
+    fn oversize_segments_fall_back_to_global_lock() {
+        // Even one segment (48 app lines, 3 per set, plus metadata) overflows 4-way sets:
+        // partitioning cannot help, the slow path must rescue the transaction.
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            2048,
+        );
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Incr {
+            n: 96,
+            segs: 2,
+            base: rt.app(0),
+            work_per_op: 0,
+        };
+        let path = e.execute(&mut w);
+        assert_eq!(path, CommitPath::GlobalLock);
+        check_sum(&rt, 96, 1);
+        assert_eq!(rt.system().nt_read(rt.glock()), 0, "global lock released");
+    }
+
+    #[test]
+    fn irrevocable_goes_straight_to_global_lock() {
+        struct Irrev(htm_sim::Addr);
+        impl Workload for Irrev {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn is_irrevocable(&self) -> bool {
+                true
+            }
+            fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+                let v = ctx.read(self.0)?;
+                ctx.write(self.0, v + 1)
+            }
+        }
+        let rt = TmRuntime::with_defaults(1, 64);
+        let mut e = PartHtm::new(&rt, 0);
+        assert_eq!(e.execute(&mut Irrev(rt.app(0))), CommitPath::GlobalLock);
+        assert_eq!(rt.verify_read(0), 1);
+    }
+
+    #[test]
+    fn skip_fast_goes_straight_to_partitioned() {
+        let rt = TmRuntime::new(
+            htm_sim::HtmConfig::default(),
+            TmConfig {
+                skip_fast: true,
+                ..TmConfig::default()
+            },
+            1,
+            1024,
+        );
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Incr {
+            n: 4,
+            segs: 2,
+            base: rt.app(0),
+            work_per_op: 0,
+        };
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        assert_eq!(e.thread().stats.fast_aborts, 0);
+        check_sum(&rt, 4, 1);
+    }
+
+    #[test]
+    fn software_segments_escape_the_quantum() {
+        // Transaction: tiny memory footprint but a huge computation. As a single HTM
+        // transaction it blows the quantum; with the computation in a software
+        // segment the partitioned path commits it.
+        struct LongCompute {
+            a: htm_sim::Addr,
+        }
+        impl Workload for LongCompute {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn segments(&self) -> usize {
+                3
+            }
+            fn software_segment(&self, s: usize) -> bool {
+                s == 1
+            }
+            fn segment<C: TxCtx>(&mut self, s: usize, ctx: &mut C) -> TxResult<()> {
+                match s {
+                    0 => {
+                        let v = ctx.read(self.a)?;
+                        ctx.write(self.a, v + 1)
+                    }
+                    1 => ctx.nt_work(10_000),
+                    _ => {
+                        let v = ctx.read(self.a + 8)?;
+                        ctx.write(self.a + 8, v + 1)
+                    }
+                }
+            }
+        }
+        let rt = TmRuntime::new(
+            htm_sim::HtmConfig {
+                quantum: 2000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            64,
+        );
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = LongCompute { a: rt.app(0) };
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        assert_eq!(rt.verify_read(0), 1);
+        assert_eq!(rt.verify_read(8), 1);
+    }
+
+    #[test]
+    fn concurrent_partitioned_transactions_are_serializable() {
+        let rt = TmRuntime::new(
+            // Mid-size HTM: 16 sets x 4 ways = 64 written lines — big enough for a
+            // segment plus the protocol metadata (signatures, undo log, locks),
+            // small enough that the whole transaction overflows it.
+            htm_sim::HtmConfig {
+                l1_sets: 16,
+                l1_ways: 4,
+                quantum: 100_000,
+                ..htm_sim::HtmConfig::default()
+            },
+            TmConfig::default(),
+            4,
+            4096,
+        );
+        // Counters at distinct lines; each tx increments all 16 in 4 segments, so
+        // every pair of transactions conflicts. The total must still be exact.
+        const TXS: usize = 30;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Incr {
+                        n: 16,
+                        segs: 4,
+                        base: rt.app(0),
+                        work_per_op: 0,
+                    };
+                    for _ in 0..TXS {
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        check_sum(&rt, 16, (4 * TXS) as u64);
+        let th = TmThread::new(&rt, 0);
+        assert!(
+            rt.write_locks().snapshot_nt(&th.hw).is_empty(),
+            "all locks released"
+        );
+        assert_eq!(rt.system().nt_read(rt.active_tx()), 0);
+        assert_eq!(rt.system().nt_read(rt.glock()), 0);
+    }
+}

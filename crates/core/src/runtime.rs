@@ -1,0 +1,323 @@
+//! The shared runtime: heap layout of the global and per-thread metadata, and the
+//! per-thread context every executor builds on.
+
+use crate::stats::TmStats;
+use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tm_sig::{HeapSig, Ring, SigSpec};
+
+/// Protocol configuration (paper defaults).
+#[derive(Clone, Debug)]
+pub struct TmConfig {
+    /// Signature geometry (paper: 2048 bits = 4 cache lines, §5.1).
+    pub sig_spec: SigSpec,
+    /// Global ring entries (power of two). RingSTM and Part-HTM share the same ring
+    /// size and signature, as in the evaluation setup (§7).
+    pub ring_entries: usize,
+    /// Hardware attempts on the fast path before concluding the failure mode
+    /// (§7: competitors "retry a transaction 5 times as HTM before falling back").
+    pub fast_retries: u32,
+    /// Sub-HTM attempts before aborting the enclosing global transaction (§5.3.5
+    /// "retries for a limited number of times").
+    pub sub_retries: u32,
+    /// Global (partitioned-path) attempts before the slow path (§5.3.7: "the
+    /// transaction is retried 5 times before falling back to the slow path").
+    pub part_retries: u32,
+    /// Skip the fast path entirely — the Part-HTM-no-fast variant of Fig. 3(b).
+    pub skip_fast: bool,
+    /// Run the in-flight validation after every sub-HTM commit (the paper's choice,
+    /// §5.3.6) instead of only once before the global commit (the serializability
+    /// minimum; ablation knob).
+    pub validate_every_sub: bool,
+    /// Per-thread undo-log arena size in words (2 words per logged write).
+    pub undo_words: usize,
+    /// Base of the exponential backoff after a global abort, in spin-work units.
+    pub backoff_units: u64,
+}
+
+impl Default for TmConfig {
+    fn default() -> Self {
+        Self {
+            sig_spec: SigSpec::PAPER,
+            ring_entries: 1024,
+            fast_retries: 5,
+            sub_retries: 5,
+            part_retries: 5,
+            skip_fast: false,
+            validate_every_sub: true,
+            undo_words: 16 * 1024,
+            backoff_units: 64,
+        }
+    }
+}
+
+/// Heap handles of one thread's local metadata (§5.1 "Local Metadata"). The
+/// signatures are heap-resident so that updating them inside hardware transactions
+/// consumes HTM capacity, as in the real system.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadArena {
+    /// read-set-signature.
+    pub read_sig: HeapSig,
+    /// write-set-signature (current sub-HTM transaction on the partitioned path).
+    pub write_sig: HeapSig,
+    /// aggregate write-set-signature (all committed sub-HTM transactions of the
+    /// enclosing global transaction).
+    pub agg_sig: HeapSig,
+    /// Undo-log arena: pairs of (address, old value) words.
+    pub undo_base: Addr,
+    /// Undo-log arena capacity in words.
+    pub undo_words: usize,
+}
+
+/// The shared state of one experiment: the simulated machine plus the global TM
+/// metadata (§5.1 "Global Metadata") and the application region.
+///
+/// ```
+/// use part_htm_core::TmRuntime;
+///
+/// // 2 worker threads, 128 words of application data, default (Haswell-like) HTM.
+/// let rt = TmRuntime::with_defaults(2, 128);
+/// rt.setup_write(3, 42);
+/// assert_eq!(rt.verify_read(3), 42);
+/// assert!(rt.system().heap().len() > 128); // metadata lives in the same heap
+/// ```
+pub struct TmRuntime {
+    sys: HtmSystem,
+    cfg: TmConfig,
+    threads: usize,
+    /// The global lock of the slow path.
+    glock: Addr,
+    /// Count of transactions running in the partitioned path.
+    active_tx: Addr,
+    /// NOrec's global sequence lock (global metadata so every baseline shares the
+    /// same runtime).
+    seqlock: Addr,
+    ring: Ring,
+    write_locks: HeapSig,
+    arenas: Vec<ThreadArena>,
+    app_base: Addr,
+    app_words: usize,
+}
+
+impl TmRuntime {
+    /// Build a runtime for `threads` worker threads with `app_words` words of
+    /// application data. The heap is sized to fit all metadata plus the application
+    /// region.
+    pub fn new(mut htm_cfg: HtmConfig, cfg: TmConfig, threads: usize, app_words: usize) -> Self {
+        assert!((1..=64).contains(&threads));
+        htm_cfg.max_threads = threads;
+        let spec = cfg.sig_spec;
+
+        let mut b = HeapBuilder::new(u32::MAX as usize);
+        let glock = b.alloc_lines(1);
+        let active_tx = b.alloc_lines(1);
+        let seqlock = b.alloc_lines(1);
+        let ring = Ring::alloc(&mut b, cfg.ring_entries, spec);
+        let write_locks = HeapSig::alloc(&mut b, spec);
+        let arenas: Vec<ThreadArena> = (0..threads)
+            .map(|_| ThreadArena {
+                read_sig: HeapSig::alloc(&mut b, spec),
+                write_sig: HeapSig::alloc(&mut b, spec),
+                agg_sig: HeapSig::alloc(&mut b, spec),
+                undo_base: b.alloc_lines(cfg.undo_words.div_ceil(8)),
+                undo_words: cfg.undo_words,
+            })
+            .collect();
+        let app_base = b.alloc_lines(app_words.div_ceil(8));
+        let total = b.used();
+
+        let sys = HtmSystem::new(htm_cfg, total);
+        Self {
+            sys,
+            cfg,
+            threads,
+            glock,
+            active_tx,
+            seqlock,
+            ring,
+            write_locks,
+            arenas,
+            app_base,
+            app_words,
+        }
+    }
+
+    /// Convenience constructor with default HTM and TM configs.
+    pub fn with_defaults(threads: usize, app_words: usize) -> Self {
+        Self::new(
+            HtmConfig::default(),
+            TmConfig::default(),
+            threads,
+            app_words,
+        )
+    }
+
+    /// The simulated machine.
+    pub fn system(&self) -> &HtmSystem {
+        &self.sys
+    }
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &TmConfig {
+        &self.cfg
+    }
+
+    /// Number of worker threads this runtime was built for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Global-lock word address.
+    pub fn glock(&self) -> Addr {
+        self.glock
+    }
+
+    /// `active_tx` counter address.
+    pub fn active_tx(&self) -> Addr {
+        self.active_tx
+    }
+
+    /// NOrec sequence-lock address.
+    pub fn seqlock(&self) -> Addr {
+        self.seqlock
+    }
+
+    /// The global ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The global write-locks signature.
+    pub fn write_locks(&self) -> &HeapSig {
+        &self.write_locks
+    }
+
+    /// Thread `id`'s local-metadata arena.
+    pub fn arena(&self, id: usize) -> ThreadArena {
+        self.arenas[id]
+    }
+
+    /// Base address of the application region.
+    pub fn app_base(&self) -> Addr {
+        self.app_base
+    }
+
+    /// Size of the application region in words.
+    pub fn app_words(&self) -> usize {
+        self.app_words
+    }
+
+    /// Address of application word `i` (bounds-checked).
+    #[inline]
+    pub fn app(&self, i: usize) -> Addr {
+        debug_assert!(
+            i < self.app_words,
+            "app index {i} out of {}",
+            self.app_words
+        );
+        self.app_base + i as Addr
+    }
+
+    /// Raw store for single-threaded experiment setup (no conflict detection).
+    pub fn setup_write(&self, i: usize, val: u64) {
+        self.sys.heap().store(self.app(i), val);
+    }
+
+    /// Raw load for single-threaded verification (no conflict detection).
+    pub fn setup_read(&self, i: usize) -> u64 {
+        self.sys.heap().load(self.app(i))
+    }
+
+    /// Strongly atomic read of application word `i` (for cross-thread verification
+    /// while transactions may still be running).
+    pub fn verify_read(&self, i: usize) -> u64 {
+        self.sys.nt_read(self.app(i))
+    }
+}
+
+/// Per-thread context shared by every executor: the hardware thread handle, an RNG
+/// and the protocol statistics.
+pub struct TmThread<'r> {
+    /// The runtime this thread belongs to.
+    pub rt: &'r TmRuntime,
+    /// The hardware-thread handle (hardware statistics live in `hw.stats`).
+    pub hw: HtmThread<'r>,
+    /// Deterministic per-thread RNG (seeded by thread id).
+    pub rng: SmallRng,
+    /// Protocol statistics.
+    pub stats: TmStats,
+    id: usize,
+}
+
+impl<'r> TmThread<'r> {
+    /// Create the context for worker `id`.
+    pub fn new(rt: &'r TmRuntime, id: usize) -> Self {
+        Self {
+            rt,
+            hw: rt.sys.thread(id),
+            rng: SmallRng::seed_from_u64(0xC0FFEE ^ (id as u64) << 16),
+            stats: TmStats::default(),
+            id,
+        }
+    }
+
+    /// Worker id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// This thread's metadata arena.
+    pub fn arena(&self) -> ThreadArena {
+        self.rt.arena(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_disjoint_and_aligned() {
+        let rt = TmRuntime::with_defaults(4, 1000);
+        assert_eq!(rt.glock() % 8, 0);
+        assert_ne!(
+            htm_sim::line_of(rt.glock()),
+            htm_sim::line_of(rt.active_tx())
+        );
+        assert_ne!(
+            htm_sim::line_of(rt.active_tx()),
+            htm_sim::line_of(rt.seqlock())
+        );
+        // Arenas do not overlap the app region.
+        for t in 0..4 {
+            let a = rt.arena(t);
+            assert!(a.undo_base + a.undo_words as Addr <= rt.app_base());
+        }
+        assert!(rt.system().heap().len() >= rt.app_base() as usize + 1000);
+    }
+
+    #[test]
+    fn app_read_write_roundtrip() {
+        let rt = TmRuntime::with_defaults(2, 64);
+        rt.setup_write(10, 1234);
+        assert_eq!(rt.setup_read(10), 1234);
+        assert_eq!(rt.verify_read(10), 1234);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn app_bounds_checked() {
+        let rt = TmRuntime::with_defaults(1, 8);
+        rt.setup_read(8);
+    }
+
+    #[test]
+    fn thread_contexts_distinct() {
+        let rt = TmRuntime::with_defaults(2, 64);
+        let t0 = TmThread::new(&rt, 0);
+        let t1 = TmThread::new(&rt, 1);
+        assert_ne!(t0.arena().read_sig.base(), t1.arena().read_sig.base());
+        assert_ne!(t0.id(), t1.id());
+    }
+}

@@ -1,0 +1,120 @@
+//! Protocol-level statistics: commits per path and software-framework events.
+//!
+//! Hardware-level abort causes are tracked separately by
+//! [`htm_sim::HtmStats`]; together they regenerate the paper's Table 1.
+
+use crate::api::CommitPath;
+
+/// Per-thread protocol counters; merged across threads by the harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TmStats {
+    /// Transactions committed on the fast path / as pure HTM.
+    pub commits_htm: u64,
+    /// Transactions committed on the partitioned path.
+    pub commits_subhtm: u64,
+    /// Transactions committed under the global lock.
+    pub commits_gl: u64,
+    /// Transactions committed by a software (STM) commit.
+    pub commits_stm: u64,
+    /// Fast-path attempts that aborted.
+    pub fast_aborts: u64,
+    /// Sub-HTM transaction attempts that aborted.
+    pub sub_aborts: u64,
+    /// Global (partitioned-path) transactions aborted by validation or lock
+    /// conflicts after at least one sub-HTM transaction committed.
+    pub global_aborts: u64,
+    /// STM attempts that aborted (baselines).
+    pub stm_aborts: u64,
+    /// Transactions that gave up on the fast path and entered the partitioned path.
+    pub fallbacks_partitioned: u64,
+    /// Transactions that fell all the way back to the global lock.
+    pub fallbacks_gl: u64,
+}
+
+impl TmStats {
+    /// Record a commit on `path`.
+    #[inline]
+    pub fn record_commit(&mut self, path: CommitPath) {
+        match path {
+            CommitPath::Htm => self.commits_htm += 1,
+            CommitPath::SubHtm => self.commits_subhtm += 1,
+            CommitPath::GlobalLock => self.commits_gl += 1,
+            CommitPath::Stm => self.commits_stm += 1,
+        }
+    }
+
+    /// Total committed transactions.
+    pub fn commits_total(&self) -> u64 {
+        self.commits_htm + self.commits_subhtm + self.commits_gl + self.commits_stm
+    }
+
+    /// Percentage of commits on `path` (0.0 with no commits).
+    pub fn commit_pct(&self, path: CommitPath) -> f64 {
+        let total = self.commits_total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match path {
+            CommitPath::Htm => self.commits_htm,
+            CommitPath::SubHtm => self.commits_subhtm,
+            CommitPath::GlobalLock => self.commits_gl,
+            CommitPath::Stm => self.commits_stm,
+        };
+        n as f64 * 100.0 / total as f64
+    }
+
+    /// Merge another thread's counters.
+    pub fn merge(&mut self, o: &TmStats) {
+        self.commits_htm += o.commits_htm;
+        self.commits_subhtm += o.commits_subhtm;
+        self.commits_gl += o.commits_gl;
+        self.commits_stm += o.commits_stm;
+        self.fast_aborts += o.fast_aborts;
+        self.sub_aborts += o.sub_aborts;
+        self.global_aborts += o.global_aborts;
+        self.stm_aborts += o.stm_aborts;
+        self.fallbacks_partitioned += o.fallbacks_partitioned;
+        self.fallbacks_gl += o.fallbacks_gl;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_percentages() {
+        let mut s = TmStats::default();
+        s.record_commit(CommitPath::Htm);
+        s.record_commit(CommitPath::Htm);
+        s.record_commit(CommitPath::SubHtm);
+        s.record_commit(CommitPath::GlobalLock);
+        assert_eq!(s.commits_total(), 4);
+        assert!((s.commit_pct(CommitPath::Htm) - 50.0).abs() < 1e-9);
+        assert!((s.commit_pct(CommitPath::SubHtm) - 25.0).abs() < 1e-9);
+        assert_eq!(s.commit_pct(CommitPath::Stm), 25.0 - 25.0 + 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = TmStats {
+            commits_htm: 1,
+            global_aborts: 2,
+            ..Default::default()
+        };
+        let b = TmStats {
+            commits_htm: 3,
+            fallbacks_gl: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits_htm, 4);
+        assert_eq!(a.global_aborts, 2);
+        assert_eq!(a.fallbacks_gl, 1);
+    }
+
+    #[test]
+    fn empty_pct_is_zero() {
+        assert_eq!(TmStats::default().commit_pct(CommitPath::Htm), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Abort taxonomy of a best-effort hardware transaction.
+//!
+//! §2 of the paper: "In the current HTM implementations, three reasons force a
+//! transaction to abort: conflict, capacity, and other." Part-HTM groups capacity and
+//! "other" (interrupts) into the superset of *resource failures*, which is the class
+//! of aborts the partitioned path is designed to rescue.
+
+use std::fmt;
+
+/// Why a hardware transaction aborted.
+///
+/// Mirrors the status word TSX hands to the fallback handler after `_xbegin`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// A concurrent access to one of the transaction's cache lines invalidated it
+    /// (data conflict), including invalidations by non-transactional code (strong
+    /// atomicity).
+    Conflict,
+    /// The transaction's footprint exceeded the transactional buffer: a written line
+    /// was evicted from the simulated L1, or the read-set budget was exhausted.
+    Capacity,
+    /// The transaction executed `xabort(code)`. TM protocols use the payload to
+    /// signal software-defined conditions (e.g. "global lock held", "locked location
+    /// observed", "timestamp changed").
+    Explicit(u8),
+    /// An asynchronous event — in this simulator, the virtual timer interrupt fired
+    /// because the transaction exceeded its work-unit quantum, or a randomly injected
+    /// interrupt occurred.
+    Other,
+}
+
+impl AbortCode {
+    /// True if the abort is a *resource failure* in the paper's sense (§2): the
+    /// transaction could not commit because of space (capacity) or time (interrupt)
+    /// limitations rather than contention.
+    #[inline]
+    pub fn is_resource_failure(self) -> bool {
+        matches!(self, AbortCode::Capacity | AbortCode::Other)
+    }
+
+    /// True for conflict aborts (data contention), which are retried in place rather
+    /// than partitioned.
+    #[inline]
+    pub fn is_conflict(self) -> bool {
+        matches!(self, AbortCode::Conflict)
+    }
+
+    /// The explicit payload, if this was an `xabort`.
+    #[inline]
+    pub fn explicit_code(self) -> Option<u8> {
+        match self {
+            AbortCode::Explicit(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AbortCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCode::Conflict => write!(f, "conflict"),
+            AbortCode::Capacity => write!(f, "capacity"),
+            AbortCode::Explicit(c) => write!(f, "explicit({c})"),
+            AbortCode::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// Result type for transactional operations: every read/write inside a hardware
+/// transaction can abort, and the abort propagates to the fallback handler via `?`.
+pub type TxResult<T> = Result<T, AbortCode>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_failure_classification() {
+        assert!(AbortCode::Capacity.is_resource_failure());
+        assert!(AbortCode::Other.is_resource_failure());
+        assert!(!AbortCode::Conflict.is_resource_failure());
+        assert!(!AbortCode::Explicit(3).is_resource_failure());
+    }
+
+    #[test]
+    fn explicit_payload_roundtrip() {
+        assert_eq!(AbortCode::Explicit(42).explicit_code(), Some(42));
+        assert_eq!(AbortCode::Conflict.explicit_code(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(AbortCode::Conflict.to_string(), "conflict");
+        assert_eq!(AbortCode::Explicit(7).to_string(), "explicit(7)");
+    }
+}

@@ -1,0 +1,143 @@
+//! Geometry and policy knobs of the simulated best-effort HTM.
+
+/// Configuration of the simulated hardware.
+///
+/// The defaults model the Intel Haswell parts used in the paper's evaluation
+/// (L1d = 32 KB, 8-way, 64-byte lines), with a read-set budget reflecting TSX's
+/// L2-assisted read tracking, and a work-unit quantum standing in for the OS
+/// scheduler's timer interrupt.
+#[derive(Clone, Debug)]
+pub struct HtmConfig {
+    /// Number of sets in the simulated L1 data cache. Written lines map to a set by
+    /// `line % l1_sets`.
+    pub l1_sets: usize,
+    /// Associativity of the simulated L1. Writing a `l1_ways + 1`-th distinct line
+    /// into one set aborts with [`crate::AbortCode::Capacity`] (a written line would
+    /// be evicted).
+    pub l1_ways: usize,
+    /// Maximum number of distinct lines a transaction may *read*. TSX can track read
+    /// lines beyond L1 (the paper, §2: "read operations can go beyond the L1 cache
+    /// capacity by exploiting the L2 cache"), so this is larger than the write budget.
+    pub read_lines_max: usize,
+    /// Optional set-associative model for the read set (the L2): when `l2_sets > 0`,
+    /// read lines must additionally fit `l2_sets x l2_ways`, so pathological set
+    /// conflicts can abort a read set well below `read_lines_max` — as on real
+    /// hardware. 0 (the default) keeps the flat budget only.
+    pub l2_sets: usize,
+    /// Associativity of the optional L2 read model.
+    pub l2_ways: usize,
+    /// Virtual work units a transaction may consume before the simulated timer
+    /// interrupt aborts it with [`crate::AbortCode::Other`]. Each transactional
+    /// read/write costs 1 unit; [`crate::HtmTx::work`] charges its argument.
+    pub quantum: u64,
+    /// Probability, per transactional operation, of a randomly injected asynchronous
+    /// interrupt ([`crate::AbortCode::Other`]). Models page faults, device
+    /// interrupts, etc. Default 0 (deterministic).
+    pub interrupt_prob: f64,
+    /// Maximum number of hardware threads. Bounded by 64 because reader sets are
+    /// stored as single-word bitmaps.
+    pub max_threads: usize,
+    /// Events retained per thread by the debugging trace (see [`crate::trace`]);
+    /// 0 (the default) disables tracing entirely.
+    pub trace_capacity: usize,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        Self {
+            l1_sets: 64,
+            l1_ways: 8,
+            read_lines_max: 4096,
+            l2_sets: 0,
+            l2_ways: 8,
+            quantum: 50_000,
+            interrupt_prob: 0.0,
+            max_threads: 64,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// Total number of lines that fit in the simulated L1 (the write-set capacity
+    /// upper bound, reached only by a perfectly uniform set distribution).
+    pub fn l1_lines(&self) -> usize {
+        self.l1_sets * self.l1_ways
+    }
+
+    /// A tiny geometry useful in tests: 4 sets x 2 ways (8 written lines max),
+    /// 16 read lines, quantum 1000.
+    pub fn tiny() -> Self {
+        Self {
+            l1_sets: 4,
+            l1_ways: 2,
+            read_lines_max: 16,
+            l2_sets: 0,
+            l2_ways: 8,
+            quantum: 1000,
+            interrupt_prob: 0.0,
+            max_threads: 8,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Validate invariants; panics with a descriptive message on misconfiguration.
+    pub fn validate(&self) {
+        assert!(
+            self.l1_sets.is_power_of_two(),
+            "l1_sets must be a power of two"
+        );
+        assert!(self.l1_ways >= 1, "l1_ways must be >= 1");
+        if self.l2_sets > 0 {
+            assert!(self.l2_sets.is_power_of_two(), "l2_sets must be a power of two");
+            assert!(self.l2_ways >= 1, "l2_ways must be >= 1");
+        }
+        assert!(
+            self.max_threads >= 1 && self.max_threads <= 64,
+            "max_threads must be in 1..=64"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.interrupt_prob),
+            "interrupt_prob must be a probability"
+        );
+        assert!(self.quantum > 0, "quantum must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_models_haswell_l1() {
+        let c = HtmConfig::default();
+        c.validate();
+        // 512 lines x 64 B = 32 KB, the Haswell L1d.
+        assert_eq!(c.l1_lines() * 64, 32 * 1024);
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        HtmConfig::tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "l1_sets")]
+    fn rejects_non_pow2_sets() {
+        let c = HtmConfig {
+            l1_sets: 3,
+            ..HtmConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads")]
+    fn rejects_too_many_threads() {
+        let c = HtmConfig {
+            max_threads: 65,
+            ..HtmConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,308 @@
+//! Line-granular ownership table: the simulator's stand-in for the cache-coherence
+//! protocol's conflict detection.
+//!
+//! Every cache line of the heap has a slot recording which active hardware
+//! transactions hold it in their read or write sets. Accesses — transactional or not
+//! — consult the slot for the target line under its lock and resolve conflicts
+//! *requester-wins*: the requester dooms the current owner(s) and proceeds, exactly
+//! as a MESI invalidation message aborts the transaction monitoring the line. A peer
+//! that already reached `Committing` stalls the requester briefly instead (see
+//! [`crate::registry`]).
+//!
+//! The table is direct-indexed by line id (one slot per heap line): conflict checks
+//! on the simulator's hot path are a single lock + field update, mirroring the cost
+//! profile of real coherence hardware rather than adding hash-map overhead to every
+//! first access.
+
+use crate::heap::Line;
+use crate::registry::{DoomOutcome, ThreadId, TxRegistry};
+use parking_lot::Mutex;
+
+/// Result of attempting to register an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Access registered; all conflicting peers were doomed.
+    Ok,
+    /// A conflicting peer is mid-commit; the caller must back off and retry.
+    Wait,
+}
+
+#[derive(Clone, Copy, Default)]
+struct LineEntry {
+    /// Thread currently holding the line in its transactional write set, if any.
+    writer: Option<ThreadId>,
+    /// Bitmap of threads holding the line in their transactional read sets.
+    readers: u64,
+}
+
+impl LineEntry {
+    fn is_empty(&self) -> bool {
+        self.writer.is_none() && self.readers == 0
+    }
+}
+
+/// Direct-indexed table mapping every heap line to its transactional owners.
+pub struct LineTable {
+    entries: Box<[Mutex<LineEntry>]>,
+}
+
+impl LineTable {
+    /// Create a table covering `n_lines` heap lines.
+    pub fn new(n_lines: usize) -> Self {
+        let mut v = Vec::with_capacity(n_lines);
+        v.resize_with(n_lines, || Mutex::new(LineEntry::default()));
+        Self {
+            entries: v.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, line: Line) -> &Mutex<LineEntry> {
+        &self.entries[line as usize]
+    }
+
+    /// Register thread `t` as a transactional reader of `line`.
+    ///
+    /// Dooms a conflicting transactional writer (reading a line in another core's
+    /// transactionally-modified state invalidates that transaction).
+    pub fn tx_read(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        let mut entry = self.slot(line).lock();
+        if let Some(w) = entry.writer {
+            if w != t {
+                match reg.doom(w, t) {
+                    DoomOutcome::MustWait => return AccessOutcome::Wait,
+                    DoomOutcome::Doomed => {}
+                    DoomOutcome::Gone => entry.writer = None,
+                }
+            }
+        }
+        entry.readers |= 1u64 << t;
+        AccessOutcome::Ok
+    }
+
+    /// Register thread `t` as the transactional writer of `line`.
+    ///
+    /// Dooms the conflicting writer and every conflicting reader (a write request for
+    /// ownership invalidates all other copies of the line).
+    pub fn tx_write(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        let mut entry = self.slot(line).lock();
+        if let Some(w) = entry.writer {
+            if w != t {
+                match reg.doom(w, t) {
+                    DoomOutcome::MustWait => return AccessOutcome::Wait,
+                    DoomOutcome::Doomed => {}
+                    DoomOutcome::Gone => {}
+                }
+            }
+        }
+        let mut readers = entry.readers & !(1u64 << t);
+        while readers != 0 {
+            let r = readers.trailing_zeros() as ThreadId;
+            readers &= readers - 1;
+            match reg.doom(r, t) {
+                DoomOutcome::MustWait => return AccessOutcome::Wait,
+                DoomOutcome::Doomed | DoomOutcome::Gone => {}
+            }
+        }
+        entry.writer = Some(t);
+        AccessOutcome::Ok
+    }
+
+    /// Strong atomicity: a non-transactional access to `line` by `by` (if `by` is a
+    /// registered simulator thread). A non-transactional read dooms a transactional
+    /// writer; a non-transactional write dooms the writer and all readers.
+    ///
+    /// Nothing is registered — non-transactional accesses are not monitored.
+    pub fn nt_access(
+        &self,
+        reg: &TxRegistry,
+        line: Line,
+        is_write: bool,
+        by: Option<ThreadId>,
+    ) -> AccessOutcome {
+        match self.nt_execute(reg, line, is_write, by, || ()) {
+            Ok(()) => AccessOutcome::Ok,
+            Err(()) => AccessOutcome::Wait,
+        }
+    }
+
+    /// Execute a non-transactional heap access atomically with its conflict
+    /// resolution: conflicting owners are doomed *and* `op` runs before the line
+    /// lock is released. This closes the window in which a hardware transaction could
+    /// register a read between the conflict check and the non-transactional store and
+    /// keep a stale value (strong atomicity would be violated otherwise).
+    ///
+    /// Returns `Err(())` if a committing peer forces a wait; the caller retries.
+    /// The unit error is deliberate: "wait and retry" carries no information.
+    #[allow(clippy::result_unit_err)]
+    pub fn nt_execute<R>(
+        &self,
+        reg: &TxRegistry,
+        line: Line,
+        is_write: bool,
+        by: Option<ThreadId>,
+        op: impl FnOnce() -> R,
+    ) -> Result<R, ()> {
+        let mut entry = self.slot(line).lock();
+        if !entry.is_empty() {
+            if let Some(w) = entry.writer {
+                if Some(w) != by {
+                    match reg.doom(w, by.unwrap_or(63)) {
+                        DoomOutcome::MustWait => return Err(()),
+                        DoomOutcome::Doomed => {}
+                        DoomOutcome::Gone => entry.writer = None,
+                    }
+                } else {
+                    debug_assert!(
+                        false,
+                        "non-transactional access to a line in the caller's own active write set"
+                    );
+                }
+            }
+            if is_write {
+                let mut readers = entry.readers;
+                if let Some(b) = by {
+                    readers &= !(1u64 << b);
+                }
+                while readers != 0 {
+                    let r = readers.trailing_zeros() as ThreadId;
+                    readers &= readers - 1;
+                    match reg.doom(r, by.unwrap_or(63)) {
+                        DoomOutcome::MustWait => return Err(()),
+                        DoomOutcome::Doomed | DoomOutcome::Gone => {}
+                    }
+                }
+            }
+        }
+        Ok(op())
+    }
+
+    /// Remove thread `t`'s registration (reader and/or writer) for `line`.
+    /// Called during commit publication and abort cleanup.
+    pub fn unregister(&self, line: Line, t: ThreadId) {
+        let mut entry = self.slot(line).lock();
+        entry.readers &= !(1u64 << t);
+        if entry.writer == Some(t) {
+            entry.writer = None;
+        }
+    }
+
+    /// Total number of live line registrations (diagnostics / leak tests).
+    pub fn live_entries(&self) -> usize {
+        self.entries.iter().filter(|e| !e.lock().is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LineTable, TxRegistry) {
+        (LineTable::new(64), TxRegistry::new(8))
+    }
+
+    #[test]
+    fn read_read_no_conflict() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(1);
+        assert_eq!(tab.tx_read(&reg, 5, 0), AccessOutcome::Ok);
+        assert_eq!(tab.tx_read(&reg, 5, 1), AccessOutcome::Ok);
+        assert!(!reg.is_doomed(0));
+        assert!(!reg.is_doomed(1));
+    }
+
+    #[test]
+    fn write_dooms_readers() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(1);
+        reg.begin(2);
+        tab.tx_read(&reg, 5, 0);
+        tab.tx_read(&reg, 5, 1);
+        assert_eq!(tab.tx_write(&reg, 5, 2), AccessOutcome::Ok);
+        assert!(reg.is_doomed(0));
+        assert!(reg.is_doomed(1));
+        assert!(!reg.is_doomed(2));
+    }
+
+    #[test]
+    fn read_dooms_writer() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(1);
+        tab.tx_write(&reg, 9, 0);
+        assert_eq!(tab.tx_read(&reg, 9, 1), AccessOutcome::Ok);
+        assert!(reg.is_doomed(0));
+        assert!(!reg.is_doomed(1));
+    }
+
+    #[test]
+    fn own_write_then_read_no_self_doom() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_write(&reg, 9, 0);
+        assert_eq!(tab.tx_read(&reg, 9, 0), AccessOutcome::Ok);
+        assert!(!reg.is_doomed(0));
+    }
+
+    #[test]
+    fn committing_writer_blocks_requester() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_write(&reg, 9, 0);
+        reg.start_commit(0).unwrap();
+        reg.begin(1);
+        assert_eq!(tab.tx_read(&reg, 9, 1), AccessOutcome::Wait);
+        assert_eq!(tab.tx_write(&reg, 9, 1), AccessOutcome::Wait);
+        assert_eq!(tab.nt_access(&reg, 9, false, None), AccessOutcome::Wait);
+        // After the committer finishes and unregisters, access proceeds.
+        tab.unregister(9, 0);
+        reg.finish(0);
+        assert_eq!(tab.tx_read(&reg, 9, 1), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn nt_write_dooms_everyone() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(1);
+        tab.tx_read(&reg, 3, 0);
+        tab.tx_write(&reg, 3, 1);
+        assert_eq!(tab.nt_access(&reg, 3, true, None), AccessOutcome::Ok);
+        assert!(reg.is_doomed(0));
+        assert!(reg.is_doomed(1));
+    }
+
+    #[test]
+    fn nt_read_spares_readers() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_read(&reg, 3, 0);
+        assert_eq!(tab.nt_access(&reg, 3, false, None), AccessOutcome::Ok);
+        assert!(!reg.is_doomed(0));
+    }
+
+    #[test]
+    fn nt_access_skips_self() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_read(&reg, 3, 0);
+        // Thread 0's own non-transactional write to a line it only *reads*
+        // transactionally: nt_access with by=Some(0) spares thread 0's read entry.
+        assert_eq!(tab.nt_access(&reg, 3, true, Some(0)), AccessOutcome::Ok);
+        assert!(!reg.is_doomed(0));
+    }
+
+    #[test]
+    fn unregister_cleans_entries() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_read(&reg, 1, 0);
+        tab.tx_write(&reg, 2, 0);
+        assert_eq!(tab.live_entries(), 2);
+        tab.unregister(1, 0);
+        tab.unregister(2, 0);
+        assert_eq!(tab.live_entries(), 0);
+    }
+}

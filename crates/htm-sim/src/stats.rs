@@ -1,0 +1,112 @@
+//! Per-thread hardware-transaction statistics.
+//!
+//! These counters feed the abort-breakdown reporting of Table 1 in the paper
+//! (% of aborts by {conflict, capacity, explicit, other}).
+
+use crate::abort::AbortCode;
+
+/// Plain per-thread counters; merged across threads by the harness.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HtmStats {
+    /// Hardware transactions begun.
+    pub begins: u64,
+    /// Hardware transactions committed.
+    pub commits: u64,
+    /// Aborts caused by data conflicts (including strong-atomicity invalidations).
+    pub aborts_conflict: u64,
+    /// Aborts caused by write-set capacity or read-set budget exhaustion.
+    pub aborts_capacity: u64,
+    /// Explicit `xabort` calls.
+    pub aborts_explicit: u64,
+    /// Timer-interrupt / injected asynchronous aborts.
+    pub aborts_other: u64,
+    /// Total virtual work units consumed inside hardware transactions.
+    pub work_units: u64,
+}
+
+impl HtmStats {
+    /// Record an abort with the given cause.
+    #[inline]
+    pub fn record_abort(&mut self, code: AbortCode) {
+        match code {
+            AbortCode::Conflict => self.aborts_conflict += 1,
+            AbortCode::Capacity => self.aborts_capacity += 1,
+            AbortCode::Explicit(_) => self.aborts_explicit += 1,
+            AbortCode::Other => self.aborts_other += 1,
+        }
+    }
+
+    /// Total aborts across all causes.
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_other
+    }
+
+    /// Merge another thread's counters into this one.
+    pub fn merge(&mut self, other: &HtmStats) {
+        self.begins += other.begins;
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_capacity += other.aborts_capacity;
+        self.aborts_explicit += other.aborts_explicit;
+        self.aborts_other += other.aborts_other;
+        self.work_units += other.work_units;
+    }
+
+    /// Percentage of aborts attributable to `code` (0.0 when there are no aborts).
+    pub fn abort_pct(&self, code: AbortCode) -> f64 {
+        let total = self.aborts_total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match code {
+            AbortCode::Conflict => self.aborts_conflict,
+            AbortCode::Capacity => self.aborts_capacity,
+            AbortCode::Explicit(_) => self.aborts_explicit,
+            AbortCode::Other => self.aborts_other,
+        };
+        n as f64 * 100.0 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut s = HtmStats::default();
+        s.record_abort(AbortCode::Conflict);
+        s.record_abort(AbortCode::Capacity);
+        s.record_abort(AbortCode::Capacity);
+        s.record_abort(AbortCode::Explicit(9));
+        s.record_abort(AbortCode::Other);
+        assert_eq!(s.aborts_total(), 5);
+        assert_eq!(s.aborts_capacity, 2);
+        assert!((s.abort_pct(AbortCode::Capacity) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = HtmStats {
+            begins: 2,
+            commits: 1,
+            ..Default::default()
+        };
+        let b = HtmStats {
+            begins: 3,
+            commits: 2,
+            aborts_conflict: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.begins, 5);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.aborts_conflict, 4);
+    }
+
+    #[test]
+    fn pct_of_empty_is_zero() {
+        let s = HtmStats::default();
+        assert_eq!(s.abort_pct(AbortCode::Conflict), 0.0);
+    }
+}

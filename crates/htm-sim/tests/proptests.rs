@@ -1,0 +1,184 @@
+//! Property-based tests of the HTM simulator's core guarantees.
+
+use htm_sim::{AbortCode, HtmConfig, HtmSystem};
+use proptest::prelude::*;
+
+/// A tiny transactional program over 8 one-line counters.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u8),
+    Add(u8, u8),
+    Work(u16),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..8).prop_map(Op::Read),
+            (0u8..8, 1u8..20).prop_map(|(c, d)| Op::Add(c, d)),
+            (1u16..50).prop_map(Op::Work),
+        ],
+        1..30,
+    )
+}
+
+fn addr(counter: u8) -> u32 {
+    u32::from(counter) * 8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Single-threaded: a committed transaction behaves exactly like the direct
+    /// sequential execution of its program; an aborted one leaves no trace.
+    #[test]
+    fn committed_tx_matches_sequential_oracle(ops in arb_ops()) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1024);
+        let mut th = sys.thread(0);
+
+        // Oracle.
+        let mut oracle = [0u64; 8];
+        for op in &ops {
+            if let Op::Add(c, d) = op {
+                oracle[*c as usize] += u64::from(*d);
+            }
+        }
+
+        let r = th.attempt(|tx| {
+            for op in &ops {
+                match op {
+                    Op::Read(c) => {
+                        tx.read(addr(*c))?;
+                    }
+                    Op::Add(c, d) => {
+                        let v = tx.read(addr(*c))?;
+                        tx.write(addr(*c), v + u64::from(*d))?;
+                    }
+                    Op::Work(u) => tx.work(u64::from(*u))?,
+                }
+            }
+            Ok(())
+        });
+        prop_assert!(r.is_ok(), "no conflicts, ample resources: must commit");
+        for c in 0..8u8 {
+            prop_assert_eq!(sys.nt_read(addr(c)), oracle[c as usize]);
+        }
+        prop_assert_eq!(sys.live_line_entries(), 0);
+    }
+
+    /// An explicitly aborted transaction publishes nothing, regardless of program.
+    #[test]
+    fn aborted_tx_leaves_no_trace(ops in arb_ops()) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1024);
+        let mut th = sys.thread(0);
+        let r = th.attempt(|tx| -> Result<(), AbortCode> {
+            for op in &ops {
+                match op {
+                    Op::Read(c) => {
+                        tx.read(addr(*c))?;
+                    }
+                    Op::Add(c, d) => {
+                        let v = tx.read(addr(*c))?;
+                        tx.write(addr(*c), v + u64::from(*d))?;
+                    }
+                    Op::Work(u) => tx.work(u64::from(*u))?,
+                }
+            }
+            Err(tx.xabort(1))
+        });
+        prop_assert_eq!(r, Err(AbortCode::Explicit(1)));
+        for c in 0..8u8 {
+            prop_assert_eq!(sys.nt_read(addr(c)), 0);
+        }
+        prop_assert_eq!(sys.live_line_entries(), 0);
+    }
+
+    /// Capacity is a hard wall: a transaction writing `n` distinct lines commits iff
+    /// `n` fits the configured geometry (uniform sets here, so the bound is exact).
+    #[test]
+    fn capacity_wall_is_exact(lines in 1usize..64) {
+        let cfg = HtmConfig { l1_sets: 8, l1_ways: 4, ..HtmConfig::default() };
+        let sys = HtmSystem::new(cfg, 64 * 8 + 8);
+        let mut th = sys.thread(0);
+        let r = th.attempt(|tx| {
+            for i in 0..lines {
+                tx.write((i * 8) as u32, 1)?;
+            }
+            Ok(())
+        });
+        // Consecutive lines spread uniformly: exactly sets*ways = 32 lines fit.
+        if lines <= 32 {
+            prop_assert!(r.is_ok(), "{} lines must fit", lines);
+        } else {
+            prop_assert_eq!(r, Err(AbortCode::Capacity));
+        }
+    }
+
+    /// The quantum is a hard wall too.
+    #[test]
+    fn quantum_wall_is_exact(work in 1u64..3000) {
+        let cfg = HtmConfig { quantum: 1000, ..HtmConfig::default() };
+        let sys = HtmSystem::new(cfg, 64);
+        let mut th = sys.thread(0);
+        let r = th.attempt(|tx| tx.work(work));
+        if work <= 1000 {
+            prop_assert!(r.is_ok());
+        } else {
+            prop_assert_eq!(r, Err(AbortCode::Other));
+        }
+    }
+
+    /// Two threads running random increment programs concurrently never lose an
+    /// update: final counters equal the sum of both threads' committed adds.
+    #[test]
+    fn concurrent_adds_never_lost(ops_a in arb_ops(), ops_b in arb_ops()) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1024);
+        let run = |tid: usize, ops: Vec<Op>| {
+            let sys = &sys;
+            move || {
+                let mut th = sys.thread(tid);
+                let mut committed = [0u64; 8];
+                for _round in 0..10 {
+                    let mut adds = [0u64; 8];
+                    let r = th.attempt(|tx| {
+                        for op in &ops {
+                            match op {
+                                Op::Read(c) => {
+                                    tx.read(addr(*c))?;
+                                }
+                                Op::Add(c, d) => {
+                                    let v = tx.read(addr(*c))?;
+                                    tx.write(addr(*c), v + u64::from(*d))?;
+                                    adds[*c as usize] += u64::from(*d);
+                                }
+                                Op::Work(u) => tx.work(u64::from(*u))?,
+                            }
+                        }
+                        Ok(())
+                    });
+                    if r.is_ok() {
+                        for c in 0..8 {
+                            committed[c] += adds[c];
+                        }
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                committed
+            }
+        };
+        let (done_a, done_b) = std::thread::scope(|s| {
+            let ha = s.spawn(run(0, ops_a.clone()));
+            let hb = s.spawn(run(1, ops_b.clone()));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        for c in 0..8u8 {
+            prop_assert_eq!(
+                sys.nt_read(addr(c)),
+                done_a[c as usize] + done_b[c as usize],
+                "counter {} lost updates", c
+            );
+        }
+        prop_assert_eq!(sys.live_line_entries(), 0);
+    }
+}

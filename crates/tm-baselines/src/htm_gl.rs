@@ -1,0 +1,210 @@
+//! HTM-GL: best-effort HTM with the default single-global-lock fallback.
+//!
+//! The industry-default usage of Intel TSX (§1 "GL-software path"): try the
+//! transaction as pure hardware a bounded number of times (the paper uses 5, §7),
+//! then acquire the global lock. Hardware attempts subscribe the lock so a fallback
+//! acquisition aborts them; the anti-lemming policy waits for the lock to be free
+//! before retrying in hardware.
+
+use htm_sim::abort::TxResult;
+use htm_sim::{Addr, HtmTx};
+use part_htm_core::api::{spin_work, XABORT_GLOCK};
+use part_htm_core::parthtm::{run_global_lock, wait_glock_released};
+use part_htm_core::{CommitPath, TmExecutor, TmRuntime, TmThread, TxCtx, Workload};
+
+/// Completely uninstrumented hardware-transaction context: HTM-GL adds no software
+/// metadata at all — that is its appeal and its limitation.
+pub struct PureHtmCtx<'c, 'a, 's> {
+    /// The enclosing hardware transaction.
+    pub tx: &'c mut HtmTx<'a, 's>,
+}
+
+impl TxCtx for PureHtmCtx<'_, '_, '_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        self.tx.read(addr)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        self.tx.write(addr, val)
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// The HTM-GL executor.
+pub struct HtmGl<'r> {
+    th: TmThread<'r>,
+}
+
+impl<'r> HtmGl<'r> {
+    fn try_htm<W: Workload>(&mut self, w: &mut W) -> TxResult<()> {
+        w.reset();
+        let glock = self.th.rt.glock();
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            match tx.read(glock) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            let mut ctx = PureHtmCtx { tx: &mut tx };
+            for seg in 0..w.segments() {
+                if let Err(e) = w.segment(seg, &mut ctx) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        if res.is_err() {
+            self.th.stats.fast_aborts += 1;
+        }
+        res
+    }
+}
+
+impl<'r> TmExecutor<'r> for HtmGl<'r> {
+    const NAME: &'static str = "HTM-GL";
+
+    fn new(rt: &'r TmRuntime, thread_id: usize) -> Self {
+        Self {
+            th: TmThread::new(rt, thread_id),
+        }
+    }
+
+    fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        let retries = self.th.rt.config().fast_retries;
+        if !w.is_irrevocable() {
+            for _ in 0..retries {
+                wait_glock_released(&self.th);
+                match self.try_htm(w) {
+                    Ok(()) => {
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::Htm);
+                        return CommitPath::Htm;
+                    }
+                    // TSX clears the "retry may succeed" hint on capacity and
+                    // interrupt aborts: production fallback code takes the lock
+                    // immediately instead of burning the remaining retries.
+                    Err(code) if code.is_resource_failure() => break,
+                    Err(_) => {}
+                }
+            }
+        }
+        self.th.stats.fallbacks_gl += 1;
+        run_global_lock(&self.th, w, false);
+        w.after_commit();
+        self.th.stats.record_commit(CommitPath::GlobalLock);
+        CommitPath::GlobalLock
+    }
+
+    fn thread(&self) -> &TmThread<'r> {
+        &self.th
+    }
+
+    fn thread_mut(&mut self) -> &mut TmThread<'r> {
+        &mut self.th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::HtmConfig;
+    use part_htm_core::TmConfig;
+    use rand::rngs::SmallRng;
+
+    struct Incr {
+        n: usize,
+        base: Addr,
+    }
+
+    impl Workload for Incr {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+            for i in 0..self.n {
+                let a = self.base + (i * 8) as Addr;
+                let v = ctx.read(a)?;
+                ctx.write(a, v + 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn small_tx_commits_in_hardware() {
+        let rt = TmRuntime::with_defaults(1, 256);
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Incr {
+            n: 4,
+            base: rt.app(0),
+        };
+        assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        assert_eq!(rt.verify_read(0), 1);
+        assert_eq!(e.thread().stats.commits_htm, 1);
+    }
+
+    #[test]
+    fn capacity_limited_tx_falls_to_global_lock() {
+        let rt = TmRuntime::new(
+            HtmConfig {
+                l1_sets: 4,
+                l1_ways: 2,
+                ..HtmConfig::default()
+            },
+            TmConfig::default(),
+            1,
+            2048,
+        );
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Incr {
+            n: 32,
+            base: rt.app(0),
+        };
+        assert_eq!(e.execute(&mut w), CommitPath::GlobalLock);
+        for i in 0..32 {
+            assert_eq!(rt.verify_read(i * 8), 1);
+        }
+        // Exactly one wasted hardware attempt: the capacity abort carries no
+        // retry hint, so the fallback takes the lock immediately.
+        assert_eq!(e.thread().stats.fast_aborts, 1);
+        assert_eq!(rt.system().nt_read(rt.glock()), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_exact() {
+        let rt = TmRuntime::with_defaults(4, 256);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut e = HtmGl::new(rt, t);
+                    let mut w = Incr {
+                        n: 8,
+                        base: rt.app(0),
+                    };
+                    for _ in 0..50 {
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        for i in 0..8 {
+            assert_eq!(rt.verify_read(i * 8), 200);
+        }
+    }
+}

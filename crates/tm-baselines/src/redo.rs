@@ -1,0 +1,75 @@
+//! A redo log: buffered transactional writes for the lazy-versioning STM baselines
+//! (NOrec, RingSTM, NOrecRH).
+
+use htm_sim::util::FastMap;
+use htm_sim::Addr;
+
+/// Write buffer keyed by word address.
+#[derive(Default)]
+pub struct RedoLog {
+    map: FastMap<Addr, u64>,
+}
+
+impl RedoLog {
+    /// Buffer a write (overwrites a previous buffered value for the same address).
+    #[inline]
+    pub fn insert(&mut self, addr: Addr, val: u64) {
+        self.map.insert(addr, val);
+    }
+
+    /// Look up a buffered write (read-own-writes).
+    #[inline]
+    pub fn get(&self, addr: Addr) -> Option<u64> {
+        self.map.get(&addr).copied()
+    }
+
+    /// Number of buffered writes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no writes are buffered (read-only transaction).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all buffered writes (abort or post-commit).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterate over the buffered writes in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, u64)> + '_ {
+        self.map.iter().map(|(&a, &v)| (a, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_own_writes() {
+        let mut r = RedoLog::default();
+        assert!(r.is_empty());
+        r.insert(10, 1);
+        r.insert(10, 2);
+        assert_eq!(r.get(10), Some(2));
+        assert_eq!(r.get(11), None);
+        assert_eq!(r.len(), 1);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn iter_covers_all_writes() {
+        let mut r = RedoLog::default();
+        for i in 0..10 {
+            r.insert(i, u64::from(i) + 100);
+        }
+        let mut seen: Vec<_> = r.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[3], (3, 103));
+    }
+}

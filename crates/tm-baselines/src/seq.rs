@@ -1,0 +1,111 @@
+//! Sequential (non-transactional) execution: the denominator of the paper's
+//! speed-up figures (Figs. 5 and 6 report "speed-up over sequential execution").
+//!
+//! Runs the workload with direct, uninstrumented accesses and **no synchronisation
+//! at all** — only meaningful single-threaded. Each access is charged
+//! [`crate::PLAIN_ACCESS_COST`] so it costs what the simulator charges a
+//! hardware-transactional access (on silicon the two are the same cached load).
+
+use htm_sim::abort::TxResult;
+use htm_sim::{Addr, Heap};
+use part_htm_core::api::spin_work;
+use part_htm_core::{CommitPath, TmExecutor, TmRuntime, TmThread, TxCtx, Workload};
+
+/// Raw single-threaded context: plain heap loads and stores, no conflict
+/// detection, no instrumentation of any kind — the true uninstrumented baseline
+/// the paper's speed-up figures divide by.
+struct SeqCtx<'c> {
+    heap: &'c Heap,
+}
+
+impl TxCtx for SeqCtx<'_> {
+    #[inline]
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        spin_work(crate::PLAIN_ACCESS_COST);
+        Ok(self.heap.load(addr))
+    }
+
+    #[inline]
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        spin_work(crate::PLAIN_ACCESS_COST);
+        self.heap.store(addr, val);
+        Ok(())
+    }
+
+    #[inline]
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+
+    #[inline]
+    fn nt_work(&mut self, units: u64) -> TxResult<()> {
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// The sequential reference executor.
+pub struct Sequential<'r> {
+    th: TmThread<'r>,
+}
+
+impl<'r> TmExecutor<'r> for Sequential<'r> {
+    const NAME: &'static str = "Sequential";
+
+    fn new(rt: &'r TmRuntime, thread_id: usize) -> Self {
+        Self {
+            th: TmThread::new(rt, thread_id),
+        }
+    }
+
+    fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        w.reset();
+        let mut ctx = SeqCtx {
+            heap: self.th.rt.system().heap(),
+        };
+        for seg in 0..w.segments() {
+            w.segment(seg, &mut ctx)
+                .expect("direct execution cannot abort");
+        }
+        w.after_commit();
+        self.th.stats.record_commit(CommitPath::Stm);
+        CommitPath::Stm
+    }
+
+    fn thread(&self) -> &TmThread<'r> {
+        &self.th
+    }
+
+    fn thread_mut(&mut self) -> &mut TmThread<'r> {
+        &mut self.th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::abort::TxResult;
+    use part_htm_core::TxCtx;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn runs_directly() {
+        struct W(htm_sim::Addr);
+        impl Workload for W {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+                let v = ctx.read(self.0)?;
+                ctx.work(5)?;
+                ctx.write(self.0, v + 2)
+            }
+        }
+        let rt = TmRuntime::with_defaults(1, 64);
+        let mut e = Sequential::new(&rt, 0);
+        e.execute(&mut W(rt.app(0)));
+        e.execute(&mut W(rt.app(0)));
+        assert_eq!(rt.verify_read(0), 4);
+        assert_eq!(e.thread().stats.commits_total(), 2);
+    }
+}

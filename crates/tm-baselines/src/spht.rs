@@ -1,0 +1,465 @@
+//! SpHT — Split Hardware Transactions (Lev & Maessen, PPoPP'08): the *lazy*
+//! transaction-splitting alternative the paper contrasts Part-HTM against (§3).
+//!
+//! Like Part-HTM, SpHT executes a transaction as a sequence of sub-HTM
+//! transactions. Unlike Part-HTM's eager write-in-place, SpHT keeps writes
+//! **invisible between segments**: each sub-HTM transaction starts by *replaying the
+//! redo log* (re-applying every write accumulated so far) and ends — except the last
+//! one — by *restoring the original values* (hiding the writes again) before
+//! committing. Reads are logged by value and revalidated at every sub-transaction
+//! begin, which restores isolation across the unprotected gaps.
+//!
+//! The paper's criticism (§3) falls straight out of this structure: "the last
+//! sub-HTM transaction still has a redo-log that is as big as the original
+//! transaction" — every sub-transaction's hardware write set contains the *whole*
+//! accumulated redo log plus the hide-phase restores, so splitting does not shrink
+//! the write footprint the way Part-HTM's eager scheme does. The `ablations` bench
+//! compares the two on a space-limited workload.
+//!
+//! Upsides SpHT keeps: aborting a split transaction needs no undo (memory is
+//! pristine between segments), and the slow path needs no `active_tx` handshake
+//! (between segments a split transaction holds no visible state).
+
+use htm_sim::abort::TxResult;
+use htm_sim::util::FastMap;
+use htm_sim::{AbortCode, Addr, HtmTx};
+use part_htm_core::api::{spin_work, XABORT_GLOCK};
+use part_htm_core::ctx::SoftwareCtx;
+use part_htm_core::parthtm::{run_global_lock, wait_glock_released};
+use part_htm_core::{CommitPath, TmExecutor, TmRuntime, TmThread, TxCtx, Workload};
+
+use crate::htm_gl::PureHtmCtx;
+
+/// Explicit-abort payload: a logged read changed value between sub-transactions.
+const XABORT_INVALID: u8 = 0xB1;
+
+/// SpHT's per-transaction logs.
+#[derive(Default)]
+struct Logs {
+    /// Intended values of every written location (replayed at each sub begin).
+    redo: FastMap<Addr, u64>,
+    /// Original memory value of every written location, captured at first write
+    /// (restored by the hide phase of every non-final sub-transaction).
+    orig: FastMap<Addr, u64>,
+    /// Value-logged reads (validated at each sub begin). Only reads served from
+    /// memory are logged; reads of own written locations come from the redo log.
+    reads: Vec<(Addr, u64)>,
+}
+
+impl Logs {
+    fn clear(&mut self) {
+        self.redo.clear();
+        self.orig.clear();
+        self.reads.clear();
+    }
+}
+
+struct SpHtCtx<'c, 'a, 's> {
+    tx: &'c mut HtmTx<'a, 's>,
+    logs: &'c mut Logs,
+}
+
+impl TxCtx for SpHtCtx<'_, '_, '_> {
+    fn read(&mut self, addr: Addr) -> TxResult<u64> {
+        if let Some(&v) = self.logs.redo.get(&addr) {
+            return Ok(v);
+        }
+        let v = self.tx.read(addr)?;
+        self.logs.reads.push((addr, v));
+        Ok(v)
+    }
+
+    fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
+        if !self.logs.orig.contains_key(&addr) {
+            let old = self.tx.read(addr)?;
+            self.logs.orig.insert(addr, old);
+        }
+        self.logs.redo.insert(addr, val);
+        self.tx.write(addr, val)
+    }
+
+    fn work(&mut self, units: u64) -> TxResult<()> {
+        self.tx.work(units)?;
+        spin_work(units);
+        Ok(())
+    }
+}
+
+/// The SpHT executor: fast path (pure HTM) → split path → global lock.
+pub struct SpHt<'r> {
+    th: TmThread<'r>,
+    logs: Logs,
+}
+
+impl<'r> SpHt<'r> {
+    fn try_htm<W: Workload>(&mut self, w: &mut W) -> TxResult<()> {
+        w.reset();
+        let glock = self.th.rt.glock();
+        let mut tx = self.th.hw.begin();
+        let body: TxResult<()> = 'b: {
+            match tx.read(glock) {
+                Ok(0) => {}
+                Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                Err(e) => break 'b Err(e),
+            }
+            let mut ctx = PureHtmCtx { tx: &mut tx };
+            for seg in 0..w.segments() {
+                if let Err(e) = w.segment(seg, &mut ctx) {
+                    break 'b Err(e);
+                }
+            }
+            Ok(())
+        };
+        let res = match body {
+            Ok(()) => tx.commit(),
+            Err(code) => {
+                drop(tx);
+                Err(code)
+            }
+        };
+        if res.is_err() {
+            self.th.stats.fast_aborts += 1;
+        }
+        res
+    }
+
+    /// One attempt of the split path. `Err(())` aborts the whole transaction
+    /// (memory is already pristine — writes were hidden).
+    fn try_split<W: Workload>(&mut self, w: &mut W) -> Result<(), ()> {
+        let rt = self.th.rt;
+        let glock = rt.glock();
+        self.logs.clear();
+        w.reset();
+        let nseg = w.segments();
+        let last_htm_seg = match (0..nseg).rev().find(|&s| !w.software_segment(s)) {
+            Some(s) => s,
+            None => {
+                // Pure computation: nothing transactional to do.
+                for seg in 0..nseg {
+                    let mut ctx = SoftwareCtx { th: &self.th.hw, mask_values: false };
+                    w.segment(seg, &mut ctx).expect("software segments cannot abort");
+                }
+                return Ok(());
+            }
+        };
+
+        for seg in 0..nseg {
+            if w.software_segment(seg) {
+                let mut ctx = SoftwareCtx { th: &self.th.hw, mask_values: false };
+                w.segment(seg, &mut ctx).expect("software segments cannot abort");
+                continue;
+            }
+            let snap = w.snapshot();
+            let reads_mark = self.logs.reads.len();
+            let mut attempts = 0u32;
+            loop {
+                let redo_snapshot: Vec<(Addr, u64)> =
+                    self.logs.redo.iter().map(|(&a, &v)| (a, v)).collect();
+                let orig_snapshot: Vec<(Addr, u64)> =
+                    self.logs.orig.iter().map(|(&a, &v)| (a, v)).collect();
+                let mut tx = self.th.hw.begin();
+                let body: TxResult<()> = 'b: {
+                    // Subscribe the global lock (the split path has no active_tx
+                    // handshake: between segments a split transaction holds no
+                    // visible state, so the slow path never has to wait for it).
+                    match tx.read(glock) {
+                        Ok(0) => {}
+                        Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
+                        Err(e) => break 'b Err(e),
+                    }
+                    // Revalidate every logged read (isolation across the gap).
+                    for &(a, v) in &self.logs.reads {
+                        match tx.read(a) {
+                            Ok(cur) if cur == v => {}
+                            Ok(_) => break 'b Err(tx.xabort(XABORT_INVALID)),
+                            Err(e) => break 'b Err(e),
+                        }
+                    }
+                    // Replay the redo log: this is the step whose footprint grows
+                    // with every segment (the paper's criticism of lazy splitting).
+                    for &(a, v) in &redo_snapshot {
+                        if let Err(e) = tx.write(a, v) {
+                            break 'b Err(e);
+                        }
+                    }
+                    {
+                        let mut ctx = SpHtCtx { tx: &mut tx, logs: &mut self.logs };
+                        if let Err(e) = w.segment(seg, &mut ctx) {
+                            break 'b Err(e);
+                        }
+                    }
+                    if seg != last_htm_seg {
+                        // Hide phase: restore original values so nothing is visible
+                        // when this sub-transaction commits.
+                        for (a, v) in self.logs.orig.iter() {
+                            if let Err(e) = tx.write(*a, *v) {
+                                break 'b Err(e);
+                            }
+                        }
+                    }
+                    Ok(())
+                };
+                let res = match body {
+                    Ok(()) => tx.commit(),
+                    Err(code) => {
+                        drop(tx);
+                        Err(code)
+                    }
+                };
+                match res {
+                    Ok(()) => break,
+                    Err(code) => {
+                        self.th.stats.sub_aborts += 1;
+                        // Roll the software logs back to the segment entry.
+                        self.logs.reads.truncate(reads_mark);
+                        self.logs.redo = redo_snapshot.into_iter().collect();
+                        self.logs.orig = orig_snapshot.into_iter().collect();
+                        w.restore(snap.clone());
+                        attempts += 1;
+                        let give_up = matches!(code, AbortCode::Explicit(x) if x == XABORT_INVALID)
+                            || attempts >= rt.config().sub_retries;
+                        if give_up {
+                            self.th.stats.global_aborts += 1;
+                            return Err(());
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'r> TmExecutor<'r> for SpHt<'r> {
+    const NAME: &'static str = "SpHT";
+
+    fn new(rt: &'r TmRuntime, thread_id: usize) -> Self {
+        Self { th: TmThread::new(rt, thread_id), logs: Logs::default() }
+    }
+
+    fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        let cfg = self.th.rt.config().clone();
+        if w.is_irrevocable() {
+            self.th.stats.fallbacks_gl += 1;
+            run_global_lock(&self.th, w, false);
+            w.after_commit();
+            self.th.stats.record_commit(CommitPath::GlobalLock);
+            return CommitPath::GlobalLock;
+        }
+        if !cfg.skip_fast && w.profiled_resource_limited() != Some(true) {
+            let mut fails = 0;
+            loop {
+                wait_glock_released(&self.th);
+                match self.try_htm(w) {
+                    Ok(()) => {
+                        w.after_commit();
+                        self.th.stats.record_commit(CommitPath::Htm);
+                        return CommitPath::Htm;
+                    }
+                    // No-retry hint: resource failures split immediately.
+                    Err(code) if code.is_resource_failure() => {
+                        self.th.stats.fallbacks_partitioned += 1;
+                        break;
+                    }
+                    Err(_) => {
+                        fails += 1;
+                        if fails >= cfg.fast_retries {
+                            self.th.stats.fallbacks_gl += 1;
+                            run_global_lock(&self.th, w, false);
+                            w.after_commit();
+                            self.th.stats.record_commit(CommitPath::GlobalLock);
+                            return CommitPath::GlobalLock;
+                        }
+                    }
+                }
+            }
+        }
+        let mut gfails = 0;
+        loop {
+            wait_glock_released(&self.th);
+            if self.try_split(w).is_ok() {
+                w.after_commit();
+                self.th.stats.record_commit(CommitPath::SubHtm);
+                return CommitPath::SubHtm;
+            }
+            gfails += 1;
+            if gfails >= cfg.part_retries {
+                self.th.stats.fallbacks_gl += 1;
+                run_global_lock(&self.th, w, false);
+                w.after_commit();
+                self.th.stats.record_commit(CommitPath::GlobalLock);
+                return CommitPath::GlobalLock;
+            }
+            spin_work(cfg.backoff_units << gfails.min(6));
+            std::thread::yield_now();
+        }
+    }
+
+    fn thread(&self) -> &TmThread<'r> {
+        &self.th
+    }
+
+    fn thread_mut(&mut self) -> &mut TmThread<'r> {
+        &mut self.th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::HtmConfig;
+    use part_htm_core::TmConfig;
+    use rand::rngs::SmallRng;
+
+    struct Incr {
+        n: usize,
+        segs: usize,
+        base: Addr,
+    }
+
+    impl Workload for Incr {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segments(&self) -> usize {
+            self.segs
+        }
+        fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+            let per = self.n / self.segs;
+            for i in seg * per..(seg + 1) * per {
+                let a = self.base + (i * 8) as Addr;
+                let v = ctx.read(a)?;
+                ctx.write(a, v + 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn small_tx_commits_in_hardware() {
+        let rt = TmRuntime::with_defaults(1, 512);
+        let mut e = SpHt::new(&rt, 0);
+        let mut w = Incr { n: 4, segs: 1, base: rt.app(0) };
+        assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        assert_eq!(rt.verify_read(0), 1);
+    }
+
+    #[test]
+    fn time_limited_tx_commits_on_split_path() {
+        // Time-limited (not space-limited): SpHT's sweet spot.
+        struct Long {
+            base: Addr,
+        }
+        impl Workload for Long {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn segments(&self) -> usize {
+                4
+            }
+            fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+                let a = self.base + (seg * 8) as Addr;
+                let v = ctx.read(a)?;
+                ctx.work(500)?;
+                ctx.write(a, v + 1)
+            }
+        }
+        let htm = HtmConfig { quantum: 900, ..HtmConfig::default() };
+        let rt = TmRuntime::new(htm, TmConfig::default(), 1, 64);
+        let mut e = SpHt::new(&rt, 0);
+        assert_eq!(e.execute(&mut Long { base: rt.app(0) }), CommitPath::SubHtm);
+        for i in 0..4 {
+            assert_eq!(rt.verify_read(i * 8), 1);
+        }
+    }
+
+    #[test]
+    fn writes_invisible_between_segments() {
+        // Deterministic hiding check: the workload writes word 0 in segment 0,
+        // then a *software* segment (outside any sub-transaction) hands control to
+        // a checker thread, which samples memory while the split transaction is
+        // parked between its sub-transactions. The hidden write must not be
+        // visible; after the final segment commits, both words appear atomically.
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static PHASE: AtomicU8 = AtomicU8::new(0); // 0=idle 1=parked 2=checked
+
+        struct TwoPhase {
+            base: Addr,
+        }
+        impl Workload for TwoPhase {
+            type Snap = ();
+            fn sample(&mut self, _r: &mut SmallRng) {}
+            fn segments(&self) -> usize {
+                3
+            }
+            fn software_segment(&self, seg: usize) -> bool {
+                seg == 1
+            }
+            fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+                match seg {
+                    0 => {
+                        let v = ctx.read(self.base)?;
+                        ctx.write(self.base, v + 1)
+                    }
+                    1 => {
+                        // Park between sub-transactions until the checker sampled.
+                        PHASE.store(1, Ordering::SeqCst);
+                        while PHASE.load(Ordering::SeqCst) != 2 {
+                            std::thread::yield_now();
+                        }
+                        Ok(())
+                    }
+                    _ => {
+                        let v = ctx.read(self.base + 8)?;
+                        ctx.write(self.base + 8, v + 1)
+                    }
+                }
+            }
+        }
+
+        let rt = TmRuntime::new(
+            HtmConfig::default(),
+            TmConfig { skip_fast: true, ..TmConfig::default() },
+            2,
+            64,
+        );
+        std::thread::scope(|s| {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut e = SpHt::new(rt, 0);
+                let mut w = TwoPhase { base: rt.app(0) };
+                e.execute(&mut w);
+            });
+            s.spawn(move || {
+                while PHASE.load(std::sync::atomic::Ordering::SeqCst) != 1 {
+                    std::thread::yield_now();
+                }
+                // The split transaction is parked between sub-transactions: its
+                // segment-0 write must be hidden.
+                assert_eq!(rt.verify_read(0), 0, "write leaked between sub-transactions");
+                assert_eq!(rt.verify_read(8), 0);
+                PHASE.store(2, std::sync::atomic::Ordering::SeqCst);
+            });
+        });
+        // After the final sub-transaction, both writes are visible.
+        assert_eq!(rt.verify_read(0), 1);
+        assert_eq!(rt.verify_read(8), 1);
+    }
+
+    #[test]
+    fn space_limited_tx_defeats_lazy_splitting() {
+        // The paper's §3 criticism, as an executable fact: a transaction whose
+        // *write set* exceeds HTM capacity cannot be rescued by lazy splitting
+        // (the last sub-transaction replays the whole redo log), so SpHT ends on
+        // the global lock where Part-HTM commits on its partitioned path.
+        let htm = HtmConfig { l1_sets: 16, l1_ways: 4, quantum: 100_000, ..HtmConfig::default() };
+        let rt = TmRuntime::new(htm.clone(), TmConfig::default(), 1, 2048);
+        let mut e = SpHt::new(&rt, 0);
+        let mut w = Incr { n: 96, segs: 8, base: rt.app(0) };
+        assert_eq!(e.execute(&mut w), CommitPath::GlobalLock);
+
+        let rt2 = TmRuntime::new(htm, TmConfig::default(), 1, 2048);
+        let mut e2 = part_htm_core::PartHtm::new(&rt2, 0);
+        let mut w2 = Incr { n: 96, segs: 8, base: rt2.app(0) };
+        assert_eq!(e2.execute(&mut w2), CommitPath::SubHtm);
+    }
+}

@@ -1,0 +1,232 @@
+//! The competitor set of the evaluation and the per-cell dispatcher.
+
+use crate::driver::{run_threads, RunResult};
+use htm_sim::HtmConfig;
+use part_htm_core::{PartHtm, PartHtmO, TmConfig, TmRuntime, Workload};
+use tm_baselines::{Hle, HtmGl, NOrec, NOrecRh, RingStm, Sequential, SpHt};
+
+/// A transactional-memory algorithm under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// RingSTM (STM baseline).
+    RingStm,
+    /// NOrec (STM baseline).
+    NOrec,
+    /// Reduced-Hardware NOrec (hybrid baseline).
+    NOrecRh,
+    /// HTM with global-lock fallback (hardware baseline).
+    HtmGl,
+    /// Part-HTM (this paper).
+    PartHtm,
+    /// Part-HTM-O (this paper, opaque).
+    PartHtmO,
+    /// Part-HTM without the fast path (Fig. 3(b)'s extra series).
+    PartHtmNoFast,
+    /// Uninstrumented sequential execution (speed-up denominator).
+    Sequential,
+    /// SpHT (Lev & Maessen): lazy transaction splitting — the §3 comparison point,
+    /// available for ablations (not part of the paper's figure legends).
+    SpHt,
+    /// HLE-style lock elision (§2): one speculative attempt, then the lock.
+    Hle,
+}
+
+impl Algo {
+    /// The competitor set every figure plots (the paper's legend order).
+    pub const COMPETITORS: [Algo; 6] = [
+        Algo::RingStm,
+        Algo::NOrec,
+        Algo::NOrecRh,
+        Algo::HtmGl,
+        Algo::PartHtm,
+        Algo::PartHtmO,
+    ];
+
+    /// Display name (matches the paper's legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::RingStm => "RingSTM",
+            Algo::NOrec => "NOrec",
+            Algo::NOrecRh => "NOrecRH",
+            Algo::HtmGl => "HTM-GL",
+            Algo::PartHtm => "Part-HTM",
+            Algo::PartHtmO => "Part-HTM-O",
+            Algo::PartHtmNoFast => "Part-HTM-no-fast",
+            Algo::Sequential => "Sequential",
+            Algo::SpHt => "SpHT",
+            Algo::Hle => "HLE",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<Algo> {
+        let s = s.to_ascii_lowercase();
+        Some(match s.as_str() {
+            "ringstm" => Algo::RingStm,
+            "norec" => Algo::NOrec,
+            "norecrh" => Algo::NOrecRh,
+            "htm-gl" | "htmgl" => Algo::HtmGl,
+            "part-htm" | "parthtm" => Algo::PartHtm,
+            "part-htm-o" | "parthtmo" => Algo::PartHtmO,
+            "part-htm-no-fast" | "nofast" => Algo::PartHtmNoFast,
+            "sequential" | "seq" => Algo::Sequential,
+            "spht" => Algo::SpHt,
+            "hle" => Algo::Hle,
+            _ => return None,
+        })
+    }
+}
+
+/// Run one experiment cell: build a fresh runtime (fresh heap, fresh metadata),
+/// initialise the workload's shared state, and drive `threads x ops_per_thread`
+/// transactions under `algo`.
+///
+/// `init` populates the heap and returns a `Copy` shared-layout handle;
+/// `make(shared, thread_id)` builds each thread's workload.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell<S, W, I, M>(
+    algo: Algo,
+    threads: usize,
+    ops_per_thread: usize,
+    htm: HtmConfig,
+    tm: TmConfig,
+    app_words: usize,
+    init: I,
+    make: M,
+) -> RunResult
+where
+    S: Copy + Send + Sync,
+    W: Workload + Send,
+    I: FnOnce(&TmRuntime) -> S,
+    M: Fn(S, usize) -> W + Sync,
+{
+    run_cell_with(
+        algo,
+        threads,
+        ops_per_thread,
+        htm,
+        tm,
+        app_words,
+        init,
+        make,
+        |_, _| (),
+    )
+    .0
+}
+
+/// [`run_cell`] plus a post-run hook that still sees the runtime and the shared
+/// layout — for invariant verification after the measured region (e.g. conserved
+/// sums), since the runtime is dropped when the cell finishes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_with<S, W, I, M, F, R>(
+    algo: Algo,
+    threads: usize,
+    ops_per_thread: usize,
+    htm: HtmConfig,
+    tm: TmConfig,
+    app_words: usize,
+    init: I,
+    make: M,
+    finish: F,
+) -> (RunResult, R)
+where
+    S: Copy + Send + Sync,
+    W: Workload + Send,
+    I: FnOnce(&TmRuntime) -> S,
+    M: Fn(S, usize) -> W + Sync,
+    F: FnOnce(&TmRuntime, S) -> R,
+{
+    let tm = TmConfig {
+        skip_fast: tm.skip_fast || algo == Algo::PartHtmNoFast,
+        ..tm
+    };
+    let rt = TmRuntime::new(htm, tm, threads, app_words);
+    let shared = init(&rt);
+    let factory = |t: usize| make(shared, t);
+    let result = match algo {
+        Algo::RingStm => run_threads::<RingStm, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::NOrec => run_threads::<NOrec, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::NOrecRh => run_threads::<NOrecRh, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::HtmGl => run_threads::<HtmGl, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::PartHtm | Algo::PartHtmNoFast => {
+            let mut r = run_threads::<PartHtm, _, _>(&rt, threads, ops_per_thread, factory);
+            r.algo = algo.name();
+            r
+        }
+        Algo::PartHtmO => run_threads::<PartHtmO, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::Sequential => {
+            assert_eq!(threads, 1, "Sequential is only meaningful single-threaded");
+            run_threads::<Sequential, _, _>(&rt, 1, ops_per_thread, factory)
+        }
+        Algo::SpHt => run_threads::<SpHt, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::Hle => run_threads::<Hle, _, _>(&rt, threads, ops_per_thread, factory),
+    };
+    let out = finish(&rt, shared);
+    (result, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::abort::TxResult;
+    use htm_sim::Addr;
+    use part_htm_core::TxCtx;
+    use rand::rngs::SmallRng;
+
+    #[derive(Clone, Copy)]
+    struct Shared(Addr);
+
+    struct Inc(Addr);
+    impl Workload for Inc {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+            let v = ctx.read(self.0)?;
+            ctx.write(self.0, v + 1)
+        }
+    }
+
+    #[test]
+    fn every_algo_commits_the_same_total() {
+        for algo in Algo::COMPETITORS {
+            let r = run_cell(
+                algo,
+                2,
+                25,
+                HtmConfig::default(),
+                TmConfig::default(),
+                64,
+                |rt| Shared(rt.app(0)),
+                |s, _t| Inc(s.0),
+            );
+            assert_eq!(r.commits, 50, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn no_fast_variant_renamed() {
+        let r = run_cell(
+            Algo::PartHtmNoFast,
+            1,
+            5,
+            HtmConfig::default(),
+            TmConfig::default(),
+            64,
+            |rt| Shared(rt.app(0)),
+            |s, _t| Inc(s.0),
+        );
+        assert_eq!(r.algo, "Part-HTM-no-fast");
+        assert_eq!(
+            r.tm.commits_subhtm, 5,
+            "no-fast must commit on the partitioned path"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for a in Algo::COMPETITORS {
+            assert_eq!(Algo::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algo::parse("nope"), None);
+    }
+}

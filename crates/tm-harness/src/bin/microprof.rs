@@ -1,0 +1,127 @@
+//! Developer microprofiler: per-component timings of the simulator and the
+//! protocols, used to keep the simulated cost model honest (HTM accesses must be
+//! cheaper than STM instrumented accesses). Not part of the reproduction surface.
+
+use part_htm_core::api::spin_work;
+use part_htm_core::{PartHtm, TmConfig, TmExecutor, TmRuntime, Workload};
+use std::time::Instant;
+use tm_baselines::NOrec;
+use tm_workloads::micro::{self, NrmwParams};
+
+fn time(label: &str, iters: u64, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let e = t0.elapsed();
+    println!(
+        "{label:<40} {:>10.1} ns/iter",
+        e.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn main() {
+    // Raw spin cost.
+    time("spin_work(600)", 10_000, || spin_work(600));
+    time("spin_work(32)", 100_000, || spin_work(32));
+    time("spin_work(16)", 100_000, || spin_work(16));
+
+    // Simulator primitive costs.
+    let rt = TmRuntime::with_defaults(1, 4096);
+    let mut th = part_htm_core::TmThread::new(&rt, 0);
+    time("nt_read", 1_000_000, || {
+        std::hint::black_box(th.hw.nt_read(rt.app(0)));
+    });
+    time("nt_write", 1_000_000, || th.hw.nt_write(rt.app(8), 1));
+    // Per-op read cost inside a big transaction (register + load + bookkeeping).
+    time("htm tx 160 reads (per tx)", 20_000, || {
+        th.hw
+            .attempt(|tx| {
+                let mut acc = 0u64;
+                for k in 0..160u32 {
+                    acc = acc.wrapping_add(tx.read((k % 500) * 8)?);
+                }
+                std::hint::black_box(acc);
+                Ok(())
+            })
+            .unwrap();
+    });
+
+    let mut i = 0u64;
+    time("htm tx: begin+10r+10w+commit", 100_000, || {
+        i += 1;
+        th.hw
+            .attempt(|tx| {
+                for k in 0..10u32 {
+                    let a = rt.app((k * 8) as usize);
+                    let v = tx.read(a)?;
+                    tx.write(a + 256, v + i)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+    });
+
+    // fig3c single transaction under Part-HTM vs NOrec.
+    let p = NrmwParams {
+        array_len: 2000,
+        ..NrmwParams::fig3c()
+    };
+    let htm = htm_sim::HtmConfig {
+        quantum: 40_000,
+        ..htm_sim::HtmConfig::default()
+    };
+    let rt2 = TmRuntime::new(htm, TmConfig::default(), 1, p.app_words());
+    let shared = micro::init(&rt2, &p);
+    let mut rng = rand::SeedableRng::seed_from_u64(1);
+
+    let mut e = PartHtm::new(&rt2, 0);
+    let mut w = micro::Nrmw::new(shared, 0, 1);
+    time("fig3c tx Part-HTM", 300, || {
+        w.sample(&mut rng);
+        e.execute(&mut w);
+    });
+    let st = &e.thread().stats;
+    println!(
+        "  commits htm/sub/gl = {}/{}/{}  sub_aborts={} global_aborts={}",
+        st.commits_htm, st.commits_subhtm, st.commits_gl, st.sub_aborts, st.global_aborts
+    );
+    let hw = &e.thread().hw.stats;
+    println!(
+        "  hw begins={} commits={} conflict={} capacity={} explicit={} other={}",
+        hw.begins,
+        hw.commits,
+        hw.aborts_conflict,
+        hw.aborts_capacity,
+        hw.aborts_explicit,
+        hw.aborts_other
+    );
+
+    // Kmeans cell: sequential vs HTM-GL (calibration of the speed-up denominator).
+    {
+        use tm_baselines::{HtmGl, Sequential};
+        use tm_workloads::stamp::kmeans;
+        let p = kmeans::KmeansParams::low_contention();
+        let rt3 = TmRuntime::with_defaults(1, p.app_words());
+        let sh = kmeans::init(&rt3, &p);
+        let mut seq = Sequential::new(&rt3, 0);
+        let mut wk = kmeans::Kmeans::new(sh);
+        time("kmeans tx sequential", 3000, || {
+            wk.sample(&mut seq.thread_mut().rng);
+            seq.execute(&mut wk);
+        });
+        let mut gl = HtmGl::new(&rt3, 0);
+        let mut wk2 = kmeans::Kmeans::new(sh);
+        time("kmeans tx HTM-GL", 3000, || {
+            wk2.sample(&mut gl.thread_mut().rng);
+            gl.execute(&mut wk2);
+        });
+    }
+
+    let mut e2 = NOrec::new(&rt2, 0);
+    let mut w2 = micro::Nrmw::new(shared, 0, 1);
+    time("fig3c tx NOrec", 300, || {
+        w2.sample(&mut rng);
+        e2.execute(&mut w2);
+    });
+}

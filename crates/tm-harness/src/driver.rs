@@ -1,0 +1,121 @@
+//! Multi-threaded run driver: execute a fixed number of transactions per thread
+//! under one executor and merge the statistics.
+
+use htm_sim::HtmStats;
+use part_htm_core::{TmExecutor, TmRuntime, TmStats, Workload};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// The outcome of one (algorithm, thread-count) cell.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Algorithm display name.
+    pub algo: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall-clock time of the measured region.
+    pub elapsed: Duration,
+    /// Committed transactions (all threads).
+    pub commits: u64,
+    /// Merged protocol statistics.
+    pub tm: TmStats,
+    /// Merged hardware statistics.
+    pub hw: HtmStats,
+}
+
+impl RunResult {
+    /// Transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run `ops_per_thread` transactions on each of `threads` threads under executor
+/// `E`. `factory(thread_id)` builds each thread's workload; sampling uses the
+/// executor thread's deterministic RNG.
+pub fn run_threads<'r, E, W, F>(
+    rt: &'r TmRuntime,
+    threads: usize,
+    ops_per_thread: usize,
+    factory: F,
+) -> RunResult
+where
+    E: TmExecutor<'r>,
+    W: Workload + Send,
+    F: Fn(usize) -> W + Sync,
+{
+    assert!(threads <= rt.threads());
+    let barrier = Barrier::new(threads);
+    let mut tm = TmStats::default();
+    let mut hw = HtmStats::default();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = &barrier;
+                let factory = &factory;
+                s.spawn(move || {
+                    let mut exec = E::new(rt, t);
+                    let mut w = factory(t);
+                    barrier.wait();
+                    // Each worker times its own measured region; the cell's elapsed
+                    // time is the slowest worker's, excluding spawn/join overhead
+                    // (which would otherwise distort very fast cells).
+                    let t0 = Instant::now();
+                    for _ in 0..ops_per_thread {
+                        w.sample(&mut exec.thread_mut().rng);
+                        exec.execute(&mut w);
+                    }
+                    let loop_elapsed = t0.elapsed();
+                    let th = exec.thread();
+                    (th.stats.clone(), th.hw.stats.clone(), loop_elapsed)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t_tm, t_hw, t_elapsed) = h.join().expect("worker panicked");
+            tm.merge(&t_tm);
+            hw.merge(&t_hw);
+            elapsed = elapsed.max(t_elapsed);
+        }
+    });
+
+    RunResult {
+        algo: E::NAME,
+        threads,
+        elapsed,
+        commits: tm.commits_total(),
+        tm,
+        hw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::abort::TxResult;
+    use htm_sim::Addr;
+    use part_htm_core::{PartHtm, TxCtx};
+    use rand::rngs::SmallRng;
+
+    struct Inc(Addr);
+    impl Workload for Inc {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> TxResult<()> {
+            let v = ctx.read(self.0)?;
+            ctx.write(self.0, v + 1)
+        }
+    }
+
+    #[test]
+    fn counts_all_commits() {
+        let rt = TmRuntime::with_defaults(4, 64);
+        let r = run_threads::<PartHtm, _, _>(&rt, 4, 50, |_t| Inc(rt.app(0)));
+        assert_eq!(r.commits, 200);
+        assert_eq!(rt.verify_read(0), 200);
+        assert_eq!(r.algo, "Part-HTM");
+        assert!(r.throughput() > 0.0);
+    }
+}

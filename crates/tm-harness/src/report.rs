@@ -1,0 +1,230 @@
+//! Figure-shaped tables (thread sweep x algorithm) and Table-1-style statistics
+//! reports.
+
+use crate::driver::RunResult;
+use htm_sim::AbortCode;
+use part_htm_core::CommitPath;
+
+/// What a table's cells mean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Transactions per second (the paper's "tx/sec" micro-benchmark axes).
+    Throughput,
+    /// Speed-up over single-threaded sequential execution (the paper's STAMP and
+    /// EigenBench axes).
+    Speedup,
+}
+
+impl Unit {
+    fn label(self) -> &'static str {
+        match self {
+            Unit::Throughput => "tx/s",
+            Unit::Speedup => "speedup vs sequential",
+        }
+    }
+}
+
+/// A reproduced figure: one row per thread count, one column per algorithm.
+pub struct Table {
+    /// Experiment id, e.g. "fig3a".
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// Cell unit.
+    pub unit: Unit,
+    /// Column headers.
+    pub algos: Vec<&'static str>,
+    /// Row headers.
+    pub threads: Vec<usize>,
+    /// `cells[row][col]`.
+    pub cells: Vec<Vec<f64>>,
+    /// Optional Table-1-style statistics reports (one per algorithm, taken at the
+    /// sweep's last thread count) appended below the series when present.
+    pub reports: Vec<StatsReport>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, unit: Unit, algos: Vec<&'static str>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            unit,
+            algos,
+            threads: Vec::new(),
+            cells: Vec::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Append one thread-count row.
+    pub fn push_row(&mut self, threads: usize, values: Vec<f64>) {
+        assert_eq!(values.len(), self.algos.len());
+        self.threads.push(threads);
+        self.cells.push(values);
+    }
+
+    /// The column index of `algo`, if present.
+    pub fn col(&self, algo: &str) -> Option<usize> {
+        self.algos.iter().position(|a| *a == algo)
+    }
+
+    /// Value at (threads, algo) if present.
+    pub fn value(&self, threads: usize, algo: &str) -> Option<f64> {
+        let r = self.threads.iter().position(|&t| t == threads)?;
+        Some(self.cells[r][self.col(algo)?])
+    }
+
+    /// Render in the paper's series layout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# {} — {} [{}]\n",
+            self.id,
+            self.title,
+            self.unit.label()
+        ));
+        out.push_str(&format!("{:>8}", "threads"));
+        for a in &self.algos {
+            out.push_str(&format!("  {a:>16}"));
+        }
+        out.push('\n');
+        for (t, row) in self.threads.iter().zip(&self.cells) {
+            out.push_str(&format!("{t:>8}"));
+            for v in row {
+                out.push_str(&format!("  {v:>16.2}"));
+            }
+            out.push('\n');
+        }
+        if !self.reports.is_empty() {
+            let last = self.threads.last().copied().unwrap_or(0);
+            out.push_str(&format!("\n  statistics at {last} threads:\n  "));
+            out.push_str(&StatsReport::header());
+            out.push('\n');
+            for r in &self.reports {
+                out.push_str("  ");
+                out.push_str(&r.render_row());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("threads");
+        for a in &self.algos {
+            out.push(',');
+            out.push_str(a);
+        }
+        out.push('\n');
+        for (t, row) in self.threads.iter().zip(&self.cells) {
+            out.push_str(&t.to_string());
+            for v in row {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A Table-1-style statistics report: abort breakdown and commit-path breakdown for
+/// one run.
+pub struct StatsReport {
+    /// Algorithm name (the paper's row label).
+    pub label: String,
+    /// Percent of aborts per cause {conflict, capacity, explicit, other}.
+    pub abort_pct: [f64; 4],
+    /// Percent of commits per path {GL, HTM, SW}.
+    pub commit_pct: [f64; 3],
+    /// Raw totals for context.
+    pub total_aborts: u64,
+    /// Committed transactions.
+    pub total_commits: u64,
+}
+
+impl StatsReport {
+    /// Build from a run result. The "SW" column is the partitioned path for Part-HTM
+    /// and the STM path for the hybrids, matching Table 1's layout.
+    pub fn from_run(r: &RunResult) -> Self {
+        let sw = r.tm.commit_pct(CommitPath::SubHtm) + r.tm.commit_pct(CommitPath::Stm);
+        Self {
+            label: r.algo.to_string(),
+            abort_pct: [
+                r.hw.abort_pct(AbortCode::Conflict),
+                r.hw.abort_pct(AbortCode::Capacity),
+                r.hw.abort_pct(AbortCode::Explicit(0)),
+                r.hw.abort_pct(AbortCode::Other),
+            ],
+            commit_pct: [
+                r.tm.commit_pct(CommitPath::GlobalLock),
+                r.tm.commit_pct(CommitPath::Htm),
+                sw,
+            ],
+            total_aborts: r.hw.aborts_total(),
+            total_commits: r.tm.commits_total(),
+        }
+    }
+
+    /// Render one row in Table 1's layout.
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<18} | {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% | {:>7.1}% {:>7.1}% {:>7.1}% | {:>10} {:>10}",
+            self.label,
+            self.abort_pct[0],
+            self.abort_pct[1],
+            self.abort_pct[2],
+            self.abort_pct[3],
+            self.commit_pct[0],
+            self.commit_pct[1],
+            self.commit_pct[2],
+            self.total_aborts,
+            self.total_commits,
+        )
+    }
+
+    /// Header matching [`StatsReport::render_row`].
+    pub fn header() -> String {
+        format!(
+            "{:<18} | {:>9} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>10} {:>10}",
+            "algorithm",
+            "conflict",
+            "capacity",
+            "explicit",
+            "other",
+            "GL",
+            "HTM",
+            "SW",
+            "aborts",
+            "commits"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("figX", "demo", Unit::Throughput, vec!["A", "B"]);
+        t.push_row(1, vec![10.0, 20.0]);
+        t.push_row(2, vec![15.0, 25.0]);
+        assert_eq!(t.value(2, "B"), Some(25.0));
+        assert_eq!(t.value(3, "B"), None);
+        let txt = t.render();
+        assert!(txt.contains("figX"));
+        assert!(txt.contains("threads"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("threads,A,B"));
+        assert!(csv.contains("2,15.0000,25.0000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "y", Unit::Speedup, vec!["A"]);
+        t.push_row(1, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # tm-sig — signature metadata substrate
+//!
+//! Part-HTM tracks transactional accesses with *cache-aligned Bloom-filter
+//! signatures* instead of classical address/value read- and write-sets (§5.1 of the
+//! paper): 2048-bit bit-arrays (4 cache lines) with a single hash function. This
+//! crate provides:
+//!
+//! * [`SigSpec`] — geometry (bit count) and the address-to-bit hash;
+//! * [`Sig`] — a signature value held in ordinary software memory (used by the
+//!   software framework: in-flight validation, lock release);
+//! * [`HeapSig`] — a handle to a signature resident in the simulated heap, with
+//!   transactional accessors (used *inside* hardware transactions, where signature
+//!   updates consume HTM capacity and produce the false-conflict behaviour the paper
+//!   analyses) and strongly atomic non-transactional accessors (used by the software
+//!   framework);
+//! * [`Ring`] — the RingSTM-style global ring of committed write signatures used for
+//!   in-flight validation, with both a hardware (in-HTM) and a software publish path.
+
+pub mod heap_sig;
+pub mod ring;
+pub mod sig;
+pub mod spec;
+
+pub use heap_sig::HeapSig;
+pub use ring::{Ring, RingValidationError};
+pub use sig::Sig;
+pub use spec::SigSpec;

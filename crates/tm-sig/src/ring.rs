@@ -1,0 +1,369 @@
+//! The global ring: a circular buffer of committed write signatures ordered by
+//! commit timestamp, used to validate in-flight transactions against transactions
+//! that committed after they started (RingSTM-style; §5.1 "global-ring").
+//!
+//! Two publish paths exist because Part-HTM commits writers from two worlds:
+//!
+//! * **Hardware** ([`Ring::publish_tx`]): the fast path increments the timestamp and
+//!   stores its write signature into the ring *inside* its hardware transaction
+//!   (Fig. 1 lines 9–11); HTM conflict detection on the timestamp line serialises
+//!   concurrent hardware publishers.
+//! * **Software** ([`Ring::publish_software`]): the partitioned path's global commit
+//!   must bump the timestamp and publish atomically *outside* any hardware
+//!   transaction (Fig. 1 lines 45–47, the paper's "atomic" block). We implement the
+//!   atomic block with a ring lock that hardware publishers subscribe to: acquiring
+//!   it (a non-transactional CAS) dooms every hardware transaction that already read
+//!   the lock word — strong atomicity makes the two worlds mutually exclusive.
+
+use crate::heap_sig::HeapSig;
+use crate::sig::Sig;
+use crate::spec::SigSpec;
+use htm_sim::abort::TxResult;
+use htm_sim::{Addr, HeapBuilder, HtmThread, HtmTx};
+
+/// Explicit-abort payload used when a hardware publisher finds the ring lock held.
+pub const XABORT_RING_LOCKED: u8 = 0xA1;
+
+/// Validation failure against the ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingValidationError {
+    /// A transaction that committed after `start_time` wrote something this
+    /// transaction read.
+    Invalid,
+    /// The ring wrapped past the validation window; entries needed for validation
+    /// were overwritten (Fig. 1 lines 39–40: "abort at ring rollover").
+    Rollover,
+}
+
+/// The global ring resident in the simulated heap.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    lock: Addr,
+    timestamp: Addr,
+    entries: Addr,
+    size: u64,
+    spec: SigSpec,
+}
+
+impl Ring {
+    /// Words per ring entry: one line holding the non-zero-word mask, then the
+    /// signature words. Entries whose mask bit is clear are never read, so stale
+    /// slot content from earlier laps is harmless and publishers only store the
+    /// words they actually use.
+    fn entry_words(spec: SigSpec) -> u32 {
+        8 + spec.words()
+    }
+
+    /// Allocate a ring with `size` entries of geometry `spec`. The lock and the
+    /// timestamp each get their own cache line so that subscribing one does not
+    /// false-conflict with bumps of the other.
+    pub fn alloc(b: &mut HeapBuilder, size: usize, spec: SigSpec) -> Self {
+        assert!(size.is_power_of_two(), "ring size must be a power of two");
+        assert!(spec.words() <= 64, "entry mask is a single word");
+        let lock = b.alloc_lines(1);
+        let timestamp = b.alloc_lines(1);
+        let entries = b.alloc_aligned(size * Self::entry_words(spec) as usize);
+        Self {
+            lock,
+            timestamp,
+            entries,
+            size: size as u64,
+            spec,
+        }
+    }
+
+    /// Number of entries.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Signature geometry.
+    pub fn spec(&self) -> SigSpec {
+        self.spec
+    }
+
+    /// Heap address of the ring lock word.
+    pub fn lock_addr(&self) -> Addr {
+        self.lock
+    }
+
+    /// Heap address of the global timestamp word.
+    pub fn timestamp_addr(&self) -> Addr {
+        self.timestamp
+    }
+
+    /// Heap address of entry `ts`'s non-zero-word mask.
+    fn entry_mask_addr(&self, ts: u64) -> Addr {
+        let idx = (ts % self.size) as u32;
+        self.entries + idx * Self::entry_words(self.spec)
+    }
+
+    /// The signature words of the entry for the commit with timestamp `ts`.
+    pub fn entry(&self, ts: u64) -> HeapSig {
+        HeapSig::at(self.entry_mask_addr(ts) + 8, self.spec)
+    }
+
+    /// Non-transactional intersection of ring entry `ts` with `sig`, honouring the
+    /// entry's non-zero-word mask (words outside the mask hold stale content from an
+    /// earlier lap and are never read).
+    pub fn entry_intersects_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) -> bool {
+        let mask = th.nt_read(self.entry_mask_addr(ts));
+        if mask == 0 {
+            return false;
+        }
+        let entry = self.entry(ts);
+        for (i, &w) in sig.words().iter().enumerate() {
+            if w != 0 && mask & (1 << i) != 0 && th.nt_read(entry.word_addr(i as u32)) & w != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Read the global timestamp non-transactionally (strongly atomic).
+    pub fn timestamp_nt(&self, th: &HtmThread<'_>) -> u64 {
+        th.nt_read(self.timestamp)
+    }
+
+    /// Read the global timestamp inside a hardware transaction — this *subscribes*
+    /// the transaction to the timestamp line, so any later commit (hardware bump or
+    /// software store) dooms it. Part-HTM-O's sub-HTM begin uses this (Fig. 2
+    /// lines 23–24).
+    pub fn timestamp_tx(&self, tx: &mut HtmTx<'_, '_>) -> TxResult<u64> {
+        tx.read(self.timestamp)
+    }
+
+    /// Hardware publish (fast path commit, Fig. 1 lines 9–11): subscribe the ring
+    /// lock (explicitly aborting if a software committer holds it), bump the
+    /// timestamp and store `write_sig` into the new entry — all inside `tx`, hence
+    /// atomic with the transaction's own commit. The signature is supplied as its
+    /// software value (the caller's mirror tracks the heap copy exactly), so the
+    /// publish is write-only; every entry word is stored because the slot holds a
+    /// previous commit's signature. Returns the new timestamp.
+    pub fn publish_tx(&self, tx: &mut HtmTx<'_, '_>, write_sig: &Sig) -> TxResult<u64> {
+        if tx.read(self.lock)? != 0 {
+            return Err(tx.xabort(XABORT_RING_LOCKED));
+        }
+        let ts = tx.read(self.timestamp)? + 1;
+        let entry = self.entry(ts);
+        let mut mask = 0u64;
+        for (i, &w) in write_sig.words().iter().enumerate() {
+            if w != 0 {
+                mask |= 1 << i;
+                tx.write(entry.word_addr(i as u32), w)?;
+            }
+        }
+        tx.write(self.entry_mask_addr(ts), mask)?;
+        tx.write(self.timestamp, ts)?;
+        Ok(ts)
+    }
+
+    /// Software publish (partitioned path global commit, Fig. 1 lines 45–47):
+    /// acquire the ring lock — the CAS dooms hardware publishers that subscribed the
+    /// lock word — then write the entry, then bump the timestamp (entry-before-bump
+    /// so validators that read timestamp `ts` always see complete entries `<= ts`).
+    /// Returns the new timestamp.
+    pub fn publish_software(&self, th: &HtmThread<'_>, sig: &Sig) -> u64 {
+        while th.nt_cas(self.lock, 0, 1).is_err() {
+            std::thread::yield_now();
+        }
+        let ts = th.nt_read(self.timestamp) + 1;
+        let entry = self.entry(ts);
+        let mut mask = 0u64;
+        for (i, &w) in sig.words().iter().enumerate() {
+            if w != 0 {
+                mask |= 1 << i;
+                th.nt_write(entry.word_addr(i as u32), w);
+            }
+        }
+        th.nt_write(self.entry_mask_addr(ts), mask);
+        th.nt_write(self.timestamp, ts);
+        th.nt_write(self.lock, 0);
+        ts
+    }
+
+    /// Write entry `ts`'s signature words and mask non-transactionally, for software
+    /// committers that manage the ring lock and timestamp themselves (RingSTM's
+    /// writer commit). The caller must hold the ring lock.
+    pub fn write_entry_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) {
+        let entry = self.entry(ts);
+        let mut mask = 0u64;
+        for (i, &w) in sig.words().iter().enumerate() {
+            if w != 0 {
+                mask |= 1 << i;
+                th.nt_write(entry.word_addr(i as u32), w);
+            }
+        }
+        th.nt_write(self.entry_mask_addr(ts), mask);
+    }
+
+    /// Validate `read_sig` against every commit later than `start_time` (Fig. 1
+    /// lines 34–41). On success returns the new start time (the timestamp covered by
+    /// this validation), letting the caller advance and avoid re-validating.
+    pub fn validate_nt(
+        &self,
+        th: &HtmThread<'_>,
+        read_sig: &Sig,
+        start_time: u64,
+    ) -> Result<u64, RingValidationError> {
+        let ts = self.timestamp_nt(th);
+        if ts == start_time {
+            return Ok(ts);
+        }
+        let mut i = ts;
+        while i > start_time {
+            if self.entry_intersects_nt(th, i, read_sig) {
+                return Err(RingValidationError::Invalid);
+            }
+            i -= 1;
+        }
+        // Rollover check with a re-read: if the window wrapped while we were
+        // validating, some inspected entries may have been overwritten by newer
+        // commits and the loop above cannot be trusted.
+        if self.timestamp_nt(th) > start_time + self.size {
+            return Err(RingValidationError::Rollover);
+        }
+        Ok(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::{AbortCode, HeapBuilder, HtmConfig, HtmSystem};
+
+    const HEAP: usize = 1 << 18;
+
+    fn setup(ring_size: usize) -> (HtmSystem, Ring) {
+        let sys = HtmSystem::new(HtmConfig::default(), HEAP);
+        let mut b = HeapBuilder::new(HEAP);
+        let ring = Ring::alloc(&mut b, ring_size, SigSpec::PAPER);
+        (sys, ring)
+    }
+
+    #[test]
+    fn software_publish_and_validate() {
+        let (sys, ring) = setup(16);
+        let mut th = sys.thread(0);
+        assert_eq!(ring.timestamp_nt(&th), 0);
+
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        wsig.add(1000);
+        let ts = ring.publish_software(&th, &wsig);
+        assert_eq!(ts, 1);
+
+        // A reader of address 1000 that started at time 0 is invalidated.
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(1000);
+        assert_eq!(
+            ring.validate_nt(&th, &rsig, 0),
+            Err(RingValidationError::Invalid)
+        );
+
+        // A reader of an unrelated address advances its start time.
+        let mut rsig2 = Sig::new(SigSpec::PAPER);
+        rsig2.add(2000);
+        assert_eq!(ring.validate_nt(&th, &rsig2, 0), Ok(1));
+
+        // A reader that started after the commit has nothing to validate.
+        assert_eq!(ring.validate_nt(&th, &rsig, 1), Ok(1));
+        let _ = &mut th;
+    }
+
+    #[test]
+    fn hardware_publish_updates_timestamp_and_entry() {
+        let (sys, ring) = setup(16);
+        let mut th = sys.thread(0);
+        let mut s = Sig::new(SigSpec::PAPER);
+        s.add(777);
+
+        let ts = th.attempt(|tx| ring.publish_tx(tx, &s)).unwrap();
+        assert_eq!(ts, 1);
+        assert_eq!(ring.timestamp_nt(&th), 1);
+        assert!(ring.entry(1).snapshot_nt(&th).contains(777));
+    }
+
+    #[test]
+    fn hardware_publisher_aborts_when_lock_held() {
+        let (sys, ring) = setup(16);
+        let mut th = sys.thread(0);
+        let wsig = Sig::new(SigSpec::PAPER);
+        sys.nt_write(ring.lock_addr(), 1);
+        let r = th.attempt(|tx| ring.publish_tx(tx, &wsig));
+        assert_eq!(r, Err(AbortCode::Explicit(XABORT_RING_LOCKED)));
+    }
+
+    #[test]
+    fn software_lock_dooms_subscribed_hardware_publisher() {
+        let (sys, ring) = setup(16);
+        let wsig = Sig::new(SigSpec::PAPER);
+        let mut hw = sys.thread(0);
+        let mut tx = hw.begin();
+        // Subscribe the lock word (first step of publish_tx).
+        assert_eq!(tx.read(ring.lock_addr()), Ok(0));
+        // Software committer on another thread takes the lock.
+        let sw = sys.thread(1);
+        let sig = Sig::new(SigSpec::PAPER);
+        ring.publish_software(&sw, &sig);
+        // The hardware publisher is doomed before it can bump the timestamp.
+        let r = ring.publish_tx(&mut tx, &wsig);
+        assert_eq!(r, Err(AbortCode::Conflict));
+    }
+
+    #[test]
+    fn rollover_detected() {
+        let (sys, ring) = setup(8);
+        let th = sys.thread(0);
+        let empty = Sig::new(SigSpec::PAPER);
+        for _ in 0..10 {
+            ring.publish_software(&th, &empty);
+        }
+        // A transaction that started at time 0 cannot validate across 10 commits in
+        // an 8-entry ring.
+        let rsig = Sig::new(SigSpec::PAPER);
+        assert_eq!(
+            ring.validate_nt(&th, &rsig, 0),
+            Err(RingValidationError::Rollover)
+        );
+        // One that started at time 4 can (window 6 <= 8).
+        assert_eq!(ring.validate_nt(&th, &rsig, 4), Ok(10));
+    }
+
+    #[test]
+    fn entry_indexing_wraps() {
+        let (sys, ring) = setup(8);
+        let th = sys.thread(0);
+        let mut s1 = Sig::new(SigSpec::PAPER);
+        s1.add(1);
+        for _ in 0..9 {
+            ring.publish_software(&th, &s1);
+        }
+        // ts 9 lives at slot 1, same as ts 1 did.
+        assert_eq!(ring.entry(9).base(), ring.entry(1).base());
+        assert!(ring.entry(9).snapshot_nt(&th).contains(1));
+    }
+
+    #[test]
+    fn concurrent_software_publishers_serialize() {
+        let (sys, ring) = setup(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let sys = &sys;
+                let ring = &ring;
+                s.spawn(move || {
+                    let th = sys.thread(t);
+                    let sig = Sig::new(SigSpec::PAPER);
+                    for _ in 0..100 {
+                        ring.publish_software(&th, &sig);
+                    }
+                });
+            }
+        });
+        let th = sys.thread(0);
+        assert_eq!(
+            ring.timestamp_nt(&th),
+            400,
+            "every publish must get a unique ts"
+        );
+    }
+}

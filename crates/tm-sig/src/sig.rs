@@ -1,0 +1,201 @@
+//! A signature value in ordinary software memory.
+//!
+//! The software framework manipulates signatures outside hardware transactions
+//! (in-flight validation, lock release, aggregation). [`Sig`] is the plain-old-data
+//! representation of a Bloom-filter signature for that purpose.
+
+use crate::spec::SigSpec;
+use htm_sim::Addr;
+
+/// A Bloom-filter signature held in software memory.
+///
+/// ```
+/// use tm_sig::{Sig, SigSpec};
+///
+/// let mut reads = Sig::new(SigSpec::PAPER);
+/// let mut writes = Sig::new(SigSpec::PAPER);
+/// reads.add(100);
+/// writes.add(200);
+/// assert!(reads.contains(100));          // no false negatives, ever
+/// writes.add(100);
+/// assert!(reads.intersects(&writes));    // the paper's bitwise-AND conflict test
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sig {
+    spec: SigSpec,
+    words: Box<[u64]>,
+}
+
+impl Sig {
+    /// An empty signature with the given geometry.
+    pub fn new(spec: SigSpec) -> Self {
+        Self {
+            spec,
+            words: vec![0u64; spec.words() as usize].into_boxed_slice(),
+        }
+    }
+
+    /// Build from raw words (e.g. a heap snapshot). Panics on length mismatch.
+    pub fn from_words(spec: SigSpec, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), spec.words() as usize);
+        Self {
+            spec,
+            words: words.into_boxed_slice(),
+        }
+    }
+
+    /// The geometry of this signature.
+    #[inline]
+    pub fn spec(&self) -> SigSpec {
+        self.spec
+    }
+
+    /// Raw word access.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Raw mutable word access (protocol fast paths that maintain the heap copy and
+    /// the mirror in lock-step).
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Record an address.
+    #[inline]
+    pub fn add(&mut self, addr: Addr) {
+        let (w, m) = self.spec.slot_of(addr);
+        self.words[w as usize] |= m;
+    }
+
+    /// Bloom-filter membership: may return true for addresses never added (false
+    /// positives), never false for added ones.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        let (w, m) = self.spec.slot_of(addr);
+        self.words[w as usize] & m != 0
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &Sig) {
+        debug_assert_eq!(self.spec, other.spec);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// `self &= !other` (remove the other signature's bits).
+    pub fn subtract(&mut self, other: &Sig) {
+        debug_assert_eq!(self.spec, other.spec);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// True if the two signatures share any bit (the "bitwise AND" conflict test of
+    /// the paper's commit validations).
+    pub fn intersects(&self, other: &Sig) -> bool {
+        debug_assert_eq!(self.spec, other.spec);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Number of set bits (diagnostics).
+    pub fn popcount(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SigSpec {
+        SigSpec::PAPER
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut s = Sig::new(spec());
+        for addr in (0..50_000).step_by(131) {
+            s.add(addr);
+        }
+        for addr in (0..50_000).step_by(131) {
+            assert!(s.contains(addr));
+        }
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = Sig::new(spec());
+        assert!(s.is_empty());
+        s.add(7);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.popcount(), 0);
+    }
+
+    #[test]
+    fn union_subtract_inverse() {
+        let mut a = Sig::new(spec());
+        let mut b = Sig::new(spec());
+        a.add(1);
+        a.add(2);
+        b.add(100);
+        b.add(200);
+        let orig = a.clone();
+        a.union_with(&b);
+        assert!(a.contains(100));
+        a.subtract(&b);
+        // Subtracting b restores a unless a and b collided; with these addresses
+        // collisions would make the test fail loudly, which is acceptable for a
+        // deterministic hash.
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn intersects_detects_shared_bits() {
+        let mut a = Sig::new(spec());
+        let mut b = Sig::new(spec());
+        a.add(42);
+        b.add(43);
+        let disjoint = !a.intersects(&b);
+        b.add(42);
+        assert!(a.intersects(&b));
+        assert!(disjoint || spec().bit_of(42) == spec().bit_of(43));
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut s = Sig::new(spec());
+        for addr in 0..200u32 {
+            s.add(addr * 7919);
+        }
+        let mut fp = 0;
+        let probes = 10_000u32;
+        for i in 0..probes {
+            let addr = 10_000_000 + i;
+            if s.contains(addr) {
+                fp += 1;
+            }
+        }
+        // 200 of 2048 bits set => ~9.7% expected false-positive rate.
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.2, "false positive rate too high: {rate}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Signature geometry and the address-to-bit hash function.
+
+use htm_sim::Addr;
+
+/// Geometry of all signatures in a runtime: number of bits (a power of two, at least
+/// one 64-bit word) and the derived word count.
+///
+/// The paper's configuration is **2048 bits = 4 cache lines, single hash function**
+/// (§5.1): large enough that two hardware transactions updating different bits rarely
+/// share a cache line, small enough not to blow the HTM capacity budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SigSpec {
+    bits: u32,
+}
+
+impl SigSpec {
+    /// The paper's default: 2048 bits (4 cache lines).
+    pub const PAPER: SigSpec = SigSpec { bits: 2048 };
+
+    /// Create a spec with `bits` bits. Panics unless `bits` is a power of two >= 64.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            bits.is_power_of_two() && bits >= 64,
+            "signature bits must be a power of two >= 64"
+        );
+        Self { bits }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of 64-bit words.
+    #[inline]
+    pub fn words(self) -> u32 {
+        self.bits / 64
+    }
+
+    /// The single hash function: maps a word address to a bit index.
+    ///
+    /// Multiplicative (Fibonacci) hashing — consecutive addresses spread across the
+    /// filter, so false conflicts come only from genuine collisions, matching the
+    /// paper's "the hash function could map more than one address into the same
+    /// entry".
+    #[inline]
+    pub fn bit_of(self, addr: Addr) -> u32 {
+        let h = (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.bits.trailing_zeros())) as u32
+    }
+
+    /// Decompose a bit index into (word offset, mask).
+    #[inline]
+    pub fn word_and_mask(self, bit: u32) -> (u32, u64) {
+        (bit / 64, 1u64 << (bit % 64))
+    }
+
+    /// Word offset and mask for an address, in one step.
+    #[inline]
+    pub fn slot_of(self, addr: Addr) -> (u32, u64) {
+        self.word_and_mask(self.bit_of(addr))
+    }
+}
+
+impl Default for SigSpec {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_is_four_cache_lines() {
+        let s = SigSpec::PAPER;
+        assert_eq!(s.bits(), 2048);
+        assert_eq!(s.words(), 32);
+        // 32 words x 8 B = 256 B = 4 x 64 B lines.
+        assert_eq!(s.words() as usize * 8, 4 * 64);
+    }
+
+    #[test]
+    fn bit_of_in_range() {
+        for &bits in &[64u32, 512, 2048, 8192] {
+            let s = SigSpec::new(bits);
+            for addr in (0..100_000).step_by(97) {
+                assert!(s.bit_of(addr) < bits);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spreads_addresses() {
+        let s = SigSpec::PAPER;
+        let mut used = std::collections::HashSet::new();
+        for addr in 0..2048u32 {
+            used.insert(s.bit_of(addr));
+        }
+        // 2048 addresses into 2048 bits: expect good occupancy (> 55%).
+        assert!(used.len() > 1100, "only {} distinct bits", used.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = SigSpec::PAPER;
+        assert_eq!(s.bit_of(12345), s.bit_of(12345));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        SigSpec::new(100);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the signature algebra and the ring's validation window.
+
+use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
+use proptest::prelude::*;
+use tm_sig::{Ring, Sig, SigSpec};
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..100_000, 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn no_false_negatives(addrs in arb_addrs(), bits in prop_oneof![Just(512u32), Just(2048), Just(8192)]) {
+        let mut s = Sig::new(SigSpec::new(bits));
+        for &a in &addrs {
+            s.add(a);
+        }
+        for &a in &addrs {
+            prop_assert!(s.contains(a));
+        }
+    }
+
+    /// Union is an upper bound of both operands; subtraction of a disjoint
+    /// signature is the identity.
+    #[test]
+    fn union_and_subtract_laws(a in arb_addrs(), b in arb_addrs()) {
+        let spec = SigSpec::PAPER;
+        let mut sa = Sig::new(spec);
+        let mut sb = Sig::new(spec);
+        for &x in &a { sa.add(x); }
+        for &x in &b { sb.add(x); }
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        for &x in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(x));
+        }
+
+        // (a ∪ b) − b ⊆ a at the bit level: every surviving bit is in a.
+        let mut diff = u.clone();
+        diff.subtract(&sb);
+        for (w_diff, w_a) in diff.words().iter().zip(sa.words()) {
+            prop_assert_eq!(w_diff & !w_a, 0);
+        }
+    }
+
+    /// `intersects` agrees with the word-level definition and is symmetric.
+    #[test]
+    fn intersects_symmetric(a in arb_addrs(), b in arb_addrs()) {
+        let spec = SigSpec::PAPER;
+        let mut sa = Sig::new(spec);
+        let mut sb = Sig::new(spec);
+        for &x in &a { sa.add(x); }
+        for &x in &b { sb.add(x); }
+        let manual = sa.words().iter().zip(sb.words()).any(|(&x, &y)| x & y != 0);
+        prop_assert_eq!(sa.intersects(&sb), manual);
+        prop_assert_eq!(sa.intersects(&sb), sb.intersects(&sa));
+    }
+
+    /// Ring validation is complete within the window: a reader of address `x`
+    /// starting at time `t0` is invalidated iff some commit after `t0` wrote `x`'s
+    /// bit (false positives allowed, false negatives never — unless the window
+    /// rolled over, which must be reported as such).
+    #[test]
+    fn ring_validation_complete(
+        commits in proptest::collection::vec(arb_addrs(), 1..12),
+        probe in 0u32..100_000,
+        start_after in 0usize..12,
+    ) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 16);
+        let mut b = HeapBuilder::new(1 << 16);
+        let ring = Ring::alloc(&mut b, 8, SigSpec::PAPER);
+        let th = sys.thread(0);
+
+        let start_after = start_after.min(commits.len());
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(probe);
+
+        for addrs in &commits {
+            let mut w = Sig::new(SigSpec::PAPER);
+            for &a in addrs {
+                w.add(a);
+            }
+            ring.publish_software(&th, &w);
+        }
+        let start_time = start_after as u64;
+        let result = ring.validate_nt(&th, &rsig, start_time);
+
+        let window = commits.len() as u64 - start_time;
+        let overflowed = window > ring.size();
+        let truly_conflicting = commits[start_after..]
+            .iter()
+            .any(|addrs| addrs.iter().any(|&a| SigSpec::PAPER.bit_of(a) == SigSpec::PAPER.bit_of(probe)));
+
+        match result {
+            Ok(ts) => {
+                // Completeness: may not succeed if a real conflict is in the window.
+                prop_assert!(!truly_conflicting, "missed a conflict");
+                prop_assert!(!overflowed, "missed a rollover");
+                prop_assert_eq!(ts, commits.len() as u64);
+            }
+            Err(tm_sig::RingValidationError::Invalid) => {
+                // Soundness of the error is only "some bit collided", which Bloom
+                // filters permit spuriously; nothing further to assert.
+            }
+            Err(tm_sig::RingValidationError::Rollover) => {
+                prop_assert!(overflowed, "spurious rollover report");
+            }
+        }
+    }
+}

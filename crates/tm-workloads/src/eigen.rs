@@ -1,0 +1,294 @@
+//! EigenBench (Hong et al., IISWC'10) — the orthogonal-characteristics TM
+//! benchmark, in the paper's two configurations (Fig. 6).
+//!
+//! EigenBench transactions mix accesses to a shared contended *hot* array, a
+//! per-thread *mild* array, and non-transactional computation:
+//!
+//! * Fig. 6(a): 50 % *long* transactions (non-transactional computation between
+//!   operations — declared shared-state-free, so Part-HTM's partitioned path runs it
+//!   in software segments, §4 "Non-transactional Code") and 50 % *short*
+//!   transactions (50 reads / 5 writes on a 1024-word disjoint array).
+//! * Fig. 6(b): high contention — hot array of 32 K words, 10 K reads and 100 writes
+//!   per transaction with 50 % repeated accesses.
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an EigenBench-style workload.
+#[derive(Clone, Copy, Debug)]
+pub struct EigenParams {
+    /// Words of the shared hot array.
+    pub hot_words: usize,
+    /// Words of each thread's private mild array.
+    pub mild_words: usize,
+    /// Reads per transaction from the hot array.
+    pub hot_reads: usize,
+    /// Writes per transaction to the hot array.
+    pub hot_writes: usize,
+    /// Fraction (percent) of hot accesses that repeat an earlier address
+    /// (locality knob; Fig. 6(b) uses 50).
+    pub repeat_pct: u32,
+    /// Probability (percent) that a transaction is *long*: it interleaves
+    /// non-transactional computation between its operations.
+    pub long_pct: u32,
+    /// Non-transactional work units of a long transaction (split across its
+    /// software segments).
+    pub long_nt_work: u64,
+    /// Whether hot accesses are disjoint per thread (Fig. 6(a)) or shared
+    /// (Fig. 6(b)).
+    pub disjoint: bool,
+    /// Memory segments for the partitioned path (interleaved with software
+    /// segments for long transactions).
+    pub mem_segments: usize,
+}
+
+impl EigenParams {
+    /// Fig. 6(a): 50 % long / 50 % short transactions, disjoint accesses.
+    pub fn fig6a() -> Self {
+        Self {
+            hot_words: 1024,
+            mild_words: 1024,
+            hot_reads: 50,
+            hot_writes: 5,
+            repeat_pct: 0,
+            long_pct: 50,
+            long_nt_work: 60_000,
+            disjoint: true,
+            mem_segments: 2,
+        }
+    }
+
+    /// Fig. 6(b): high contention on a 32 K hot array, 10 K reads / 100 writes with
+    /// 50 % repeated accesses — scaled 4x down (2.5 k reads) for simulation time;
+    /// the contention and footprint relationships are preserved.
+    pub fn fig6b() -> Self {
+        Self {
+            hot_words: 32 * 1024 / 4,
+            mild_words: 1024,
+            hot_reads: 2500,
+            hot_writes: 100,
+            repeat_pct: 50,
+            long_pct: 0,
+            long_nt_work: 0,
+            disjoint: false,
+            mem_segments: 8,
+        }
+    }
+
+    /// Words of application memory needed for `threads` threads.
+    pub fn app_words(&self, threads: usize) -> usize {
+        self.hot_words + threads * self.mild_words
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct EigenShared {
+    hot: Addr,
+    mild0: Addr,
+    params: EigenParams,
+}
+
+/// Initialise (arrays start zeroed; nothing else needed).
+pub fn init(rt: &TmRuntime, params: &EigenParams) -> EigenShared {
+    EigenShared {
+        hot: rt.app(0),
+        mild0: rt.app(params.hot_words),
+        params: *params,
+    }
+}
+
+/// Per-thread EigenBench workload.
+pub struct Eigen {
+    shared: EigenShared,
+    thread_id: usize,
+    threads: usize,
+    /// Pre-sampled hot addresses for this transaction (replayed identically on
+    /// every retry).
+    addrs: Vec<Addr>,
+    is_long: bool,
+    rng_tag: u64,
+}
+
+impl Eigen {
+    /// Build the workload for `thread_id` of `threads`.
+    pub fn new(shared: EigenShared, thread_id: usize, threads: usize) -> Self {
+        Self {
+            shared,
+            thread_id,
+            threads,
+            addrs: Vec::new(),
+            is_long: false,
+            rng_tag: 0,
+        }
+    }
+
+    fn mild_addr(&self) -> Addr {
+        self.shared.mild0 + (self.thread_id * self.shared.params.mild_words) as Addr
+    }
+}
+
+impl Workload for Eigen {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let p = &self.shared.params;
+        self.is_long = rng.gen_range(0..100) < p.long_pct;
+        self.rng_tag = rng.gen();
+        // Pre-sample all hot addresses so retries replay the same transaction.
+        let total = p.hot_reads + p.hot_writes;
+        self.addrs.clear();
+        let mut local = SmallRng::seed_from_u64(self.rng_tag);
+        for i in 0..total {
+            let a = if !self.addrs.is_empty() && local.gen_range(0..100) < p.repeat_pct {
+                self.addrs[local.gen_range(0..i.min(self.addrs.len()))]
+            } else if p.disjoint {
+                let span = p.hot_words / self.threads;
+                let off = local.gen_range(0..span);
+                self.shared.hot + (self.thread_id * span + off) as Addr
+            } else {
+                self.shared.hot + local.gen_range(0..p.hot_words) as Addr
+            };
+            self.addrs.push(a);
+        }
+    }
+
+    fn segments(&self) -> usize {
+        if self.is_long {
+            // Memory segments interleaved with software (computation) segments:
+            // mem, sw, mem, sw, ..., mem.
+            2 * self.shared.params.mem_segments - 1
+        } else {
+            self.shared.params.mem_segments
+        }
+    }
+
+    fn software_segment(&self, seg: usize) -> bool {
+        self.is_long && seg % 2 == 1
+    }
+
+    fn profiled_resource_limited(&self) -> Option<bool> {
+        // Long transactions carry non-transactional computation far beyond the HTM
+        // quantum; short ones always fit. The profiler can tell statically.
+        if self.shared.params.long_pct > 0 {
+            Some(self.is_long)
+        } else {
+            None
+        }
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let p = &self.shared.params;
+        if self.software_segment(seg) {
+            let sw_segments = (self.segments() / 2).max(1) as u64;
+            ctx.nt_work(p.long_nt_work / sw_segments)?;
+            return Ok(());
+        }
+        let mem_idx = if self.is_long { seg / 2 } else { seg };
+        let mem_segments = p.mem_segments;
+        let total = self.addrs.len();
+        let per = total.div_ceil(mem_segments);
+        let start = mem_idx * per;
+        let end = (start + per).min(total);
+        let mut acc = self.rng_tag & 0xFFFF;
+        for (i, &a) in self.addrs[start..end].iter().enumerate() {
+            let global_i = start + i;
+            if global_i < p.hot_reads {
+                acc = acc.wrapping_add(ctx.read(a)?);
+            } else {
+                ctx.write(a, (acc.wrapping_add(global_i as u64)) & ((1 << 62) - 1))?;
+            }
+        }
+        // A touch of mild (private) work keeps the profile honest.
+        if end > start {
+            let m = self.mild_addr() + (mem_idx % p.mild_words.min(64)) as Addr;
+            let v = ctx.read(m)?;
+            ctx.write(m, v + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmConfig, TmExecutor};
+    use tm_baselines::HtmGl;
+
+    #[test]
+    fn short_txs_fit_htm() {
+        let p = EigenParams {
+            long_pct: 0,
+            ..EigenParams::fig6a()
+        };
+        let rt = TmRuntime::with_defaults(2, p.app_words(2));
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Eigen::new(s, 0, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            w.sample(&mut rng);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+    }
+
+    #[test]
+    fn long_txs_partition_with_software_compute() {
+        let p = EigenParams {
+            long_pct: 100,
+            long_nt_work: 80_000,
+            ..EigenParams::fig6a()
+        };
+        let htm = htm_sim::HtmConfig {
+            quantum: 20_000,
+            ..htm_sim::HtmConfig::default()
+        };
+        let rt = TmRuntime::new(htm, TmConfig::default(), 1, p.app_words(1));
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Eigen::new(s, 0, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        w.sample(&mut rng);
+        assert!(w.is_long);
+        // 80k nt-work > 20k quantum as one HTM transaction; software segments
+        // rescue it on the partitioned path.
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        // HTM-GL has no such escape: global lock.
+        let mut g = HtmGl::new(&rt, 0);
+        assert_eq!(g.execute(&mut w), CommitPath::GlobalLock);
+    }
+
+    #[test]
+    fn retries_replay_identical_addresses() {
+        let p = EigenParams::fig6b();
+        let rt = TmRuntime::with_defaults(2, p.app_words(2));
+        let s = init(&rt, &p);
+        let mut w = Eigen::new(s, 0, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        w.sample(&mut rng);
+        let first = w.addrs.clone();
+        // reset/restore (retry machinery) must not change the address stream.
+        w.reset();
+        assert_eq!(w.addrs, first);
+    }
+
+    #[test]
+    fn disjoint_mode_separates_threads() {
+        let p = EigenParams::fig6a();
+        let rt = TmRuntime::with_defaults(4, p.app_words(4));
+        let s = init(&rt, &p);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let span = p.hot_words / 4;
+        for t in 0..4usize {
+            let mut w = Eigen::new(s, t, 4);
+            w.sample(&mut rng);
+            for &a in &w.addrs {
+                let off = (a - s.hot) as usize;
+                assert!(off / span == t, "thread {t} touched offset {off}");
+            }
+        }
+    }
+}

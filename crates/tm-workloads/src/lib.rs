@@ -1,0 +1,30 @@
+//! # tm-workloads — the workloads of the Part-HTM evaluation (§7)
+//!
+//! Every benchmark the paper evaluates, expressed against the protocol-agnostic
+//! [`part_htm_core::Workload`] interface so the same transaction code runs on
+//! Part-HTM, Part-HTM-O and every baseline:
+//!
+//! * [`micro`] — RSTM's *N-Reads-M-Writes* in the paper's three configurations
+//!   (Fig. 3), including the compute-heavy variant whose transactions are
+//!   time-limited rather than space-limited.
+//! * [`list`] — the sorted linked list (Fig. 4): traversal-heavy transactions whose
+//!   footprint scales with the list size.
+//! * [`eigen`] — EigenBench (Fig. 6): the mixed long/short-transaction workload and
+//!   the high-contention hot-array workload.
+//! * [`stamp`] — kernels reproducing the transactional *profiles* of the STAMP
+//!   applications (Fig. 5 and Table 1): footprint, duration, contention and
+//!   read/write mix per application (see DESIGN.md for the substitution rationale).
+//! * [`structures`] — shared-memory data structures (open-addressing hash map,
+//!   bounded queue) used by the STAMP kernels, programmed against `TxCtx`.
+//!
+//! Each workload module follows the same pattern: a `*Params` struct describing the
+//! configuration, `app_words(&params)` to size the heap region before the runtime is
+//! built, `init(&runtime, &params)` to populate the initial state, and a per-thread
+//! `Workload` implementation with the static partitioning the paper derives from
+//! profiling (§5.3.1).
+
+pub mod eigen;
+pub mod list;
+pub mod micro;
+pub mod stamp;
+pub mod structures;

@@ -1,0 +1,412 @@
+//! The sorted linked list benchmark (Fig. 4 of the paper).
+//!
+//! Transactions traverse the list from the head to the target key — "this increases
+//! the contention between transactions" (§7.1) — then perform `contains` (50%),
+//! `insert` (25%) or `remove` (25%); write operations are balanced so the size stays
+//! stable. With a 1 K list the traversal fits best-effort HTM (Fig. 4(a), HTM-GL
+//! wins); with 10 K elements most transactions exceed the read budget and only the
+//! partitioned path keeps committing them in hardware (Fig. 4(b), Part-HTM wins).
+//!
+//! Layout: a head-pointer line, a free-list-head line, and a pool of one-line nodes
+//! `[key, next]` addressed by 1-based index (0 = null).
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration of the linked-list benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct ListParams {
+    /// Initial (and steady-state) number of elements.
+    pub size: usize,
+    /// Percentage of write operations (insert + remove, split evenly).
+    pub write_pct: u32,
+    /// Hops per sub-HTM segment on the partitioned path.
+    pub seg_hops: usize,
+    /// Number of static segments (must cover `2 * size / seg_hops` hops).
+    pub segments: usize,
+}
+
+impl ListParams {
+    /// Fig. 4(a): 1 K elements, 50 % writes.
+    pub fn fig4a() -> Self {
+        Self {
+            size: 1000,
+            write_pct: 50,
+            seg_hops: 512,
+            segments: 6,
+        }
+    }
+
+    /// Fig. 4(b): 10 K elements, 50 % writes.
+    pub fn fig4b() -> Self {
+        Self {
+            size: 10_000,
+            write_pct: 50,
+            seg_hops: 1024,
+            segments: 22,
+        }
+    }
+
+    /// Key range: twice the size keeps the size stable under balanced writes.
+    pub fn key_range(&self) -> u64 {
+        (self.size * 2) as u64
+    }
+
+    fn pool_nodes(&self) -> usize {
+        // Steady state ~size live nodes; the pool holds the whole key range plus
+        // slack so allocation never fails.
+        self.size * 2 + 64
+    }
+
+    /// Words of application memory needed.
+    pub fn app_words(&self) -> usize {
+        8 + 8 + self.pool_nodes() * 8
+    }
+}
+
+/// Shared layout of the list.
+#[derive(Clone, Copy, Debug)]
+pub struct ListShared {
+    head: Addr,
+    free: Addr,
+    pool: Addr,
+    params: ListParams,
+}
+
+impl ListShared {
+    #[inline]
+    fn key_addr(&self, node: u64) -> Addr {
+        debug_assert!(node >= 1);
+        self.pool + ((node - 1) * 8) as Addr
+    }
+
+    #[inline]
+    fn next_addr(&self, node: u64) -> Addr {
+        self.key_addr(node) + 1
+    }
+
+    /// Non-transactional structural check: returns the keys in list order,
+    /// asserting they are strictly sorted. For verification between runs.
+    pub fn collect_sorted_nt(&self, rt: &TmRuntime) -> Vec<u64> {
+        let mut keys = Vec::new();
+        let mut cur = rt.system().nt_read(self.head);
+        let mut prev_key = 0;
+        while cur != 0 {
+            let k = rt.system().nt_read(self.key_addr(cur));
+            assert!(
+                k > prev_key,
+                "list keys must be strictly increasing: {prev_key} then {k}"
+            );
+            keys.push(k);
+            prev_key = k;
+            cur = rt.system().nt_read(self.next_addr(cur));
+            assert!(keys.len() <= self.params.pool_nodes(), "cycle detected");
+        }
+        keys
+    }
+}
+
+/// Initialise the list with `size` evenly spaced keys and chain the remaining nodes
+/// onto the free list.
+pub fn init(rt: &TmRuntime, params: &ListParams) -> ListShared {
+    let shared = ListShared {
+        head: rt.app(0),
+        free: rt.app(8),
+        pool: rt.app(16),
+        params: *params,
+    };
+    let heap = rt.system().heap();
+    let range = params.key_range();
+    // Live nodes 1..=size hold keys 2, 4, 6, ... (even keys), leaving odd keys for
+    // inserts.
+    for i in 0..params.size {
+        let node = (i + 1) as u64;
+        let key = (i as u64 + 1) * range / params.size as u64;
+        heap.store(shared.key_addr(node), key.max(1));
+        heap.store(
+            shared.next_addr(node),
+            if i + 1 < params.size { node + 1 } else { 0 },
+        );
+    }
+    heap.store(shared.head, 1);
+    // Free list: nodes size+1 ..= pool_nodes.
+    let pool = params.pool_nodes() as u64;
+    for node in (params.size as u64 + 1)..=pool {
+        heap.store(
+            shared.next_addr(node),
+            if node < pool { node + 1 } else { 0 },
+        );
+    }
+    heap.store(shared.free, params.size as u64 + 1);
+    shared
+}
+
+/// The sampled operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ListOp {
+    Contains,
+    Insert,
+    Remove,
+}
+
+/// Traversal cursor, snapshotted at segment boundaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ListSnap {
+    /// 0 = traversal not started; otherwise the node whose `next` we follow.
+    prev: u64,
+    cur: u64,
+    started: bool,
+    done: bool,
+}
+
+/// Per-thread linked-list workload.
+pub struct ListWorkload {
+    shared: ListShared,
+    op: ListOp,
+    key: u64,
+    cursor: ListSnap,
+    /// Result of the last committed operation (true = key found / op applied).
+    pub last_found: bool,
+}
+
+impl ListWorkload {
+    /// Build the per-thread workload.
+    pub fn new(shared: ListShared) -> Self {
+        Self {
+            shared,
+            op: ListOp::Contains,
+            key: 1,
+            cursor: ListSnap::default(),
+            last_found: false,
+        }
+    }
+
+    /// Apply the operation once the cursor sits at the first node with
+    /// `node.key >= key` (or at the end).
+    fn apply<C: TxCtx>(&mut self, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let ListSnap { prev, cur, .. } = self.cursor;
+        let found = if cur == 0 {
+            false
+        } else {
+            ctx.read(s.key_addr(cur))? == self.key
+        };
+        match self.op {
+            ListOp::Contains => self.last_found = found,
+            ListOp::Insert => {
+                if !found {
+                    let node = ctx.read(s.free)?;
+                    debug_assert_ne!(node, 0, "node pool exhausted");
+                    let next_free = ctx.read(s.next_addr(node))?;
+                    ctx.write(s.free, next_free)?;
+                    ctx.write(s.key_addr(node), self.key)?;
+                    ctx.write(s.next_addr(node), cur)?;
+                    let link = if prev == 0 { s.head } else { s.next_addr(prev) };
+                    ctx.write(link, node)?;
+                }
+                self.last_found = !found;
+            }
+            ListOp::Remove => {
+                if found {
+                    let after = ctx.read(s.next_addr(cur))?;
+                    let link = if prev == 0 { s.head } else { s.next_addr(prev) };
+                    ctx.write(link, after)?;
+                    // Return the node to the free list.
+                    let old_free = ctx.read(s.free)?;
+                    ctx.write(s.next_addr(cur), old_free)?;
+                    ctx.write(s.free, cur)?;
+                }
+                self.last_found = found;
+            }
+        }
+        self.cursor.done = true;
+        Ok(())
+    }
+}
+
+impl Workload for ListWorkload {
+    type Snap = ListSnap;
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let r: u32 = rng.gen_range(0..100);
+        self.op = if r < 100 - self.shared.params.write_pct {
+            ListOp::Contains
+        } else if r < 100 - self.shared.params.write_pct / 2 {
+            ListOp::Insert
+        } else {
+            ListOp::Remove
+        };
+        self.key = rng.gen_range(1..=self.shared.params.key_range());
+    }
+
+    fn segments(&self) -> usize {
+        self.shared.params.segments
+    }
+
+    fn reset(&mut self) {
+        self.cursor = ListSnap::default();
+    }
+
+    fn snapshot(&self) -> ListSnap {
+        self.cursor
+    }
+
+    fn restore(&mut self, s: ListSnap) {
+        self.cursor = s;
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        if self.cursor.done {
+            return Ok(());
+        }
+        let s = self.shared;
+        if !self.cursor.started {
+            self.cursor.started = true;
+            self.cursor.prev = 0;
+            self.cursor.cur = ctx.read(s.head)?;
+        }
+        // The last segment must finish the operation even if the list grew past the
+        // static hop budget (it will simply be a bigger sub-HTM transaction).
+        let hops = if seg + 1 == s.params.segments {
+            usize::MAX
+        } else {
+            s.params.seg_hops
+        };
+        for _ in 0..hops {
+            let cur = self.cursor.cur;
+            if cur == 0 {
+                return self.apply(ctx);
+            }
+            let k = ctx.read(s.key_addr(cur))?;
+            if k >= self.key {
+                return self.apply(ctx);
+            }
+            self.cursor.prev = cur;
+            self.cursor.cur = ctx.read(s.next_addr(cur))?;
+        }
+        // Budget exhausted: the next segment (sub-HTM transaction) continues from
+        // the snapshot cursor.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{PartHtm, TmExecutor};
+    use rand::SeedableRng;
+    use tm_baselines::{HtmGl, NOrec};
+
+    #[test]
+    fn init_builds_sorted_list() {
+        let p = ListParams {
+            size: 100,
+            write_pct: 50,
+            seg_hops: 64,
+            segments: 5,
+        };
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let keys = s.collect_sorted_nt(&rt);
+        assert_eq!(keys.len(), 100);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_thread_ops_preserve_structure() {
+        let p = ListParams {
+            size: 200,
+            write_pct: 50,
+            seg_hops: 64,
+            segments: 8,
+        };
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = ListWorkload::new(s);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..300 {
+            w.sample(&mut rng);
+            e.execute(&mut w);
+            // done flag must be set after every committed execution.
+            assert!(w.cursor.done);
+        }
+        let keys = s.collect_sorted_nt(&rt);
+        assert!(!keys.is_empty());
+    }
+
+    /// Run 3 threads of one executor type over a fresh list and check structural
+    /// integrity: sorted, acyclic, and every pool node either live or free exactly
+    /// once. (A macro because `TmExecutor` carries the runtime lifetime, which a
+    /// plain generic test helper cannot abstract over.)
+    macro_rules! structural_integrity_under {
+        ($name:ident, $exec:ident) => {
+            #[test]
+            fn $name() {
+                let p = ListParams {
+                    size: 150,
+                    write_pct: 50,
+                    seg_hops: 48,
+                    segments: 8,
+                };
+                let rt = TmRuntime::with_defaults(3, p.app_words());
+                let s = init(&rt, &p);
+                std::thread::scope(|scope| {
+                    for t in 0..3 {
+                        let rt = &rt;
+                        scope.spawn(move || {
+                            let mut rng = SmallRng::seed_from_u64(100 + t as u64);
+                            let mut e = $exec::new(rt, t);
+                            let mut w = ListWorkload::new(s);
+                            for _ in 0..120 {
+                                w.sample(&mut rng);
+                                e.execute(&mut w);
+                            }
+                        });
+                    }
+                });
+                let live = s.collect_sorted_nt(&rt).len();
+                let mut free = 0;
+                let mut cur = rt.system().nt_read(s.free);
+                while cur != 0 {
+                    free += 1;
+                    cur = rt.system().nt_read(s.next_addr(cur));
+                    assert!(free <= p.pool_nodes(), "free list cycle");
+                }
+                assert_eq!(
+                    live + free,
+                    p.pool_nodes(),
+                    "every node live or free exactly once"
+                );
+            }
+        };
+    }
+
+    structural_integrity_under!(concurrent_ops_keep_list_sorted_part_htm, PartHtm);
+    structural_integrity_under!(concurrent_ops_keep_list_sorted_htm_gl, HtmGl);
+    structural_integrity_under!(concurrent_ops_keep_list_sorted_norec, NOrec);
+
+    #[test]
+    fn contains_matches_ground_truth() {
+        let p = ListParams {
+            size: 64,
+            write_pct: 0,
+            seg_hops: 32,
+            segments: 6,
+        };
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let truth: std::collections::HashSet<u64> = s.collect_sorted_nt(&rt).into_iter().collect();
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = ListWorkload::new(s);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            w.sample(&mut rng);
+            e.execute(&mut w);
+            assert_eq!(w.last_found, truth.contains(&w.key), "key {}", w.key);
+        }
+    }
+}

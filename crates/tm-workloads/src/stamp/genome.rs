@@ -1,0 +1,226 @@
+//! Genome profile (Fig. 5(i)): gene sequencing — segment deduplication followed by
+//! overlap matching.
+//!
+//! Three transaction kinds, mirroring STAMP's phases: *dedup* transactions insert a
+//! DNA-segment hash into a large shared set (medium size, low contention — the
+//! table is huge); *match* transactions probe a window of candidate segments
+//! (read-mostly) and link the best overlap into a chain table; *build* transactions
+//! walk an assembled chain and extend its end (the sequence-building phase). Low
+//! contention, modest footprints: best-effort HTM handles nearly everything, the
+//! paper's Fig. 5(i) has HTM-GL best with Part-HTM tracking closely.
+
+use crate::structures::HeapHashMap;
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration of the genome kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomeParams {
+    /// Distinct DNA segments in the pool.
+    pub segments_pool: usize,
+    /// Candidate probes per match transaction.
+    pub probes: usize,
+    /// Percent of transactions that are dedup inserts.
+    pub dedup_pct: u32,
+    /// Percent of transactions that are chain-building walks (the rest are
+    /// matches).
+    pub build_pct: u32,
+    /// Hashing work per probe.
+    pub probe_work: u64,
+}
+
+impl GenomeParams {
+    /// The evaluation's configuration (scaled).
+    pub fn default_scale() -> Self {
+        Self {
+            segments_pool: 8192,
+            probes: 12,
+            dedup_pct: 40,
+            build_pct: 20,
+            probe_work: 20,
+        }
+    }
+
+    fn set_slots(&self) -> usize {
+        (self.segments_pool * 4).next_power_of_two()
+    }
+
+    /// Words of application memory: the segment set plus the chain table.
+    pub fn app_words(&self) -> usize {
+        HeapHashMap::words_needed(self.set_slots()) + self.segments_pool * 8
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomeShared {
+    set: HeapHashMap,
+    chains: Addr,
+    params: GenomeParams,
+}
+
+impl GenomeShared {
+    /// Number of distinct segments inserted (verification).
+    pub fn distinct_nt(&self, rt: &TmRuntime) -> usize {
+        self.set.occupancy_nt(rt)
+    }
+}
+
+/// Initialise (empty set and chains).
+pub fn init(rt: &TmRuntime, params: &GenomeParams) -> GenomeShared {
+    GenomeShared {
+        set: HeapHashMap::new(rt.app(0), params.set_slots()),
+        chains: rt.app(HeapHashMap::words_needed(params.set_slots())),
+        params: *params,
+    }
+}
+
+enum GenomeOp {
+    Dedup { segment: u64 },
+    Match { anchor: u64, window: u64 },
+    Build { anchor: u64 },
+}
+
+/// Per-thread genome workload.
+pub struct Genome {
+    shared: GenomeShared,
+    op: GenomeOp,
+}
+
+impl Genome {
+    /// Build the per-thread workload.
+    pub fn new(shared: GenomeShared) -> Self {
+        Self {
+            shared,
+            op: GenomeOp::Dedup { segment: 0 },
+        }
+    }
+}
+
+impl Workload for Genome {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let p = &self.shared.params;
+        let roll = rng.gen_range(0..100);
+        self.op = if roll < p.dedup_pct {
+            GenomeOp::Dedup {
+                segment: rng.gen_range(0..p.segments_pool as u64),
+            }
+        } else if roll < p.dedup_pct + p.build_pct {
+            GenomeOp::Build {
+                anchor: rng.gen_range(0..p.segments_pool as u64),
+            }
+        } else {
+            GenomeOp::Match {
+                anchor: rng.gen_range(0..p.segments_pool as u64),
+                window: rng.gen(),
+            }
+        };
+    }
+
+    fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let p = &s.params;
+        match self.op {
+            GenomeOp::Dedup { segment } => {
+                // Insert-if-absent into the big shared set.
+                if s.set.get(ctx, segment)?.is_none() {
+                    s.set.insert(ctx, segment, 1)?;
+                }
+                Ok(())
+            }
+            GenomeOp::Build { anchor } => {
+                // Sequence building: follow the assembled chain from the anchor
+                // (read-mostly pointer walk) and stamp the end with the walk length.
+                let pool = p.segments_pool as u64;
+                let mut cur = anchor % pool;
+                let mut hops = 0u64;
+                while hops < 16 {
+                    let link = ctx.read(s.chains + ((cur as usize) * 8) as Addr)?;
+                    if link == 0 {
+                        break;
+                    }
+                    cur = (link - 1) % pool;
+                    hops += 1;
+                }
+                ctx.write(s.chains + ((cur as usize) * 8 + 1) as Addr, hops + 1)?;
+                Ok(())
+            }
+            GenomeOp::Match { anchor, window } => {
+                // Probe candidate overlaps (read-mostly) and link the best one.
+                let mut best = 0u64;
+                for i in 0..p.probes as u64 {
+                    let cand = (anchor + (window >> (i % 32)) + i * 37) % p.segments_pool as u64;
+                    ctx.work(p.probe_work)?;
+                    if s.set.get(ctx, cand)?.is_some() {
+                        best = cand + 1;
+                    }
+                }
+                if best != 0 {
+                    let link = s.chains + ((anchor as usize % p.segments_pool) * 8) as Addr;
+                    ctx.write(link, best)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmExecutor};
+    use rand::SeedableRng;
+    use tm_baselines::HtmGl;
+
+    #[test]
+    fn dedup_inserts_each_segment_once() {
+        let p = GenomeParams {
+            segments_pool: 128,
+            probes: 4,
+            dedup_pct: 100,
+            build_pct: 0,
+            probe_work: 1,
+        };
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Genome::new(s);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..200 {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        // 800 inserts over 128 keys: every key inserted at most once.
+        assert!(s.distinct_nt(&rt) <= 128);
+        assert!(
+            s.distinct_nt(&rt) > 100,
+            "most keys should have been touched"
+        );
+    }
+
+    #[test]
+    fn matching_fits_htm() {
+        let p = GenomeParams::default_scale();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Genome::new(s);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            w.sample(&mut rng);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Intruder profile (Fig. 5(e)): network-intrusion detection — packet capture,
+//! reassembly and detection.
+//!
+//! Each transaction runs the pipeline's three phases as STAMP structures them:
+//! *capture* pushes a fragment into the shared capture queue, *reassembly* pops one
+//! and updates its flow's state in a shared map (completed flows move to the
+//! detection queue), and *detection* drains one completed flow, scans it and bumps
+//! the detector counter. Transactions are short but *everyone* contends on the
+//! queue heads/tails and the hot flow entries — high conflict rate, no resource
+//! failures, the regime where HTM-GL's raw speed wins and Part-HTM should track it
+//! closely.
+
+use crate::structures::{HeapHashMap, HeapQueue};
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration of the intruder kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct IntruderParams {
+    /// Concurrent flows (contention knob: fewer flows, hotter map entries).
+    pub flows: usize,
+    /// Fragments per flow before it is "complete" and scanned.
+    pub frags_per_flow: u64,
+    /// Capture queue capacity.
+    pub queue_cap: usize,
+    /// Detection work units when a flow completes.
+    pub detect_work: u64,
+}
+
+impl IntruderParams {
+    /// The evaluation's configuration (scaled).
+    pub fn default_scale() -> Self {
+        Self {
+            flows: 256,
+            frags_per_flow: 4,
+            queue_cap: 1024,
+            detect_work: 60,
+        }
+    }
+
+    /// Words of application memory: capture queue + detection queue + flow map +
+    /// detector line.
+    pub fn app_words(&self) -> usize {
+        2 * HeapQueue::words_needed(self.queue_cap)
+            + HeapHashMap::words_needed(self.map_slots())
+            + 8
+    }
+
+    fn map_slots(&self) -> usize {
+        (self.flows * 4).next_power_of_two()
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct IntruderShared {
+    queue: HeapQueue,
+    detect_queue: HeapQueue,
+    flow_map: HeapHashMap,
+    detector: Addr,
+    params: IntruderParams,
+}
+
+impl IntruderShared {
+    /// Completed-flow count (verification).
+    pub fn completed_nt(&self, rt: &TmRuntime) -> u64 {
+        rt.system().nt_read(self.detector)
+    }
+}
+
+/// Initialise (empty queue and map).
+pub fn init(rt: &TmRuntime, params: &IntruderParams) -> IntruderShared {
+    let qw = HeapQueue::words_needed(params.queue_cap);
+    let mw = HeapHashMap::words_needed(params.map_slots());
+    IntruderShared {
+        queue: HeapQueue::new(rt.app(0), params.queue_cap),
+        detect_queue: HeapQueue::new(rt.app(qw), params.queue_cap),
+        flow_map: HeapHashMap::new(rt.app(2 * qw), params.map_slots()),
+        detector: rt.app(2 * qw + mw),
+        params: *params,
+    }
+}
+
+/// Per-thread intruder workload.
+pub struct Intruder {
+    shared: IntruderShared,
+    flow: u64,
+}
+
+impl Intruder {
+    /// Build the per-thread workload.
+    pub fn new(shared: IntruderShared) -> Self {
+        Self { shared, flow: 0 }
+    }
+}
+
+impl Workload for Intruder {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        self.flow = rng.gen_range(0..self.shared.params.flows as u64);
+    }
+
+    fn segments(&self) -> usize {
+        3
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        match seg {
+            0 => {
+                // Capture: enqueue a fragment of the sampled flow.
+                s.queue.push(ctx, self.flow + 1)?;
+                Ok(())
+            }
+            1 => {
+                // Reassembly: drain one fragment, advance its flow, hand completed
+                // flows to the detection stage.
+                let Some(frag) = s.queue.pop(ctx)? else {
+                    return Ok(());
+                };
+                let flow = frag - 1;
+                let count = s.flow_map.update(ctx, flow, 0, |c| c + 1)?;
+                if count >= s.params.frags_per_flow {
+                    s.flow_map.insert(ctx, flow, 0)?;
+                    s.detect_queue.push(ctx, flow + 1)?;
+                }
+                Ok(())
+            }
+            _ => {
+                // Detection: scan one completed flow.
+                let Some(_flow) = s.detect_queue.pop(ctx)? else {
+                    return Ok(());
+                };
+                ctx.work(s.params.detect_work)?;
+                let d = ctx.read(s.detector)?;
+                ctx.write(s.detector, d + 1)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmExecutor};
+    use rand::SeedableRng;
+    use tm_baselines::HtmGl;
+
+    #[test]
+    fn fragments_balance() {
+        let p = IntruderParams {
+            flows: 16,
+            ..IntruderParams::default_scale()
+        };
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        const OPS: u64 = 200;
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Intruder::new(s);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..OPS {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        // Every pushed fragment is either still queued, accumulated in a flow, or
+        // part of a completed flow (frags_per_flow each).
+        let th = part_htm_core::TmThread::new(&rt, 0);
+        let mut ctx = part_htm_core::ctx::SlowCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        let queued = s.queue.len(&mut ctx).unwrap();
+        let mut in_flows = 0;
+        for f in 0..p.flows as u64 {
+            in_flows += s.flow_map.get(&mut ctx, f).unwrap().unwrap_or(0);
+        }
+        let awaiting_detection = s.detect_queue.len(&mut ctx).unwrap();
+        let completed = s.completed_nt(&rt);
+        assert_eq!(
+            queued + in_flows + (awaiting_detection + completed) * p.frags_per_flow,
+            4 * OPS,
+            "queued {queued} + pending {in_flows} + (awaiting {awaiting_detection} + \
+             detected {completed}) x {}",
+            p.frags_per_flow
+        );
+    }
+
+    #[test]
+    fn short_txs_fit_htm() {
+        let p = IntruderParams::default_scale();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Intruder::new(s);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            w.sample(&mut rng);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Kmeans profile (Fig. 5(a) low contention, 5(b) high contention).
+//!
+//! Each transaction assigns one point to its nearest cluster: it reads the point
+//! (read-only shared data), reads the current centre coordinates, computes the
+//! real L1 distance to every centre, and updates the accumulators of the argmin
+//! centre (`count`, then one sum per dimension). Transactions are short and fit
+//! HTM comfortably; aborts are real data conflicts on the centre accumulators.
+//! Contention is controlled by the number of clusters — fewer clusters, hotter
+//! centres. (As in STAMP, centre *coordinates* are only rewritten between
+//! iterations, outside the measured transactions; here they are a read-only region
+//! initialised once.)
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Dimensions per point (STAMP kmeans uses low-dimensional vectors).
+pub const DIMS: usize = 4;
+
+/// Configuration of the kmeans kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansParams {
+    /// Number of points in the shared read-only dataset.
+    pub points: usize,
+    /// Number of cluster centres (contention knob).
+    pub clusters: usize,
+    /// Work units for the distance computation (scales with clusters).
+    pub work: u64,
+}
+
+impl KmeansParams {
+    /// Fig. 5(a): low contention — many clusters.
+    pub fn low_contention() -> Self {
+        Self {
+            points: 4096,
+            clusters: 40,
+            work: 80,
+        }
+    }
+
+    /// Fig. 5(b): high contention — few clusters.
+    pub fn high_contention() -> Self {
+        Self {
+            points: 4096,
+            clusters: 4,
+            work: 40,
+        }
+    }
+
+    /// Words of application memory: points, per-cluster centre coordinates, then
+    /// per-cluster accumulator lines.
+    pub fn app_words(&self) -> usize {
+        self.points * DIMS + self.clusters * DIMS + self.clusters * 8
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct KmeansShared {
+    points: Addr,
+    /// Read-only centre coordinates (`clusters x DIMS`).
+    coords: Addr,
+    /// Per-cluster accumulator lines (`[count, sum0..sum3]`).
+    centers: Addr,
+    params: KmeansParams,
+}
+
+impl KmeansShared {
+    /// Accumulator line of cluster `c`: `[count, sum0, sum1, sum2, sum3]`.
+    fn center_addr(&self, c: usize) -> Addr {
+        self.centers + (c * 8) as Addr
+    }
+
+    /// Non-transactional sum of all cluster counts (verification).
+    pub fn total_assignments_nt(&self, rt: &TmRuntime) -> u64 {
+        (0..self.params.clusters)
+            .map(|c| rt.system().nt_read(self.center_addr(c)))
+            .sum()
+    }
+}
+
+/// Initialise: deterministic pseudo-random points.
+pub fn init(rt: &TmRuntime, params: &KmeansParams) -> KmeansShared {
+    let shared = KmeansShared {
+        points: rt.app(0),
+        coords: rt.app(params.points * DIMS),
+        centers: rt.app(params.points * DIMS + params.clusters * DIMS),
+        params: *params,
+    };
+    let heap = rt.system().heap();
+    let mut x = 0x12345u64;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 40
+    };
+    for i in 0..params.points * DIMS {
+        heap.store(shared.points + i as Addr, next());
+    }
+    for i in 0..params.clusters * DIMS {
+        heap.store(shared.coords + i as Addr, next());
+    }
+    shared
+}
+
+/// Per-thread kmeans workload.
+pub struct Kmeans {
+    shared: KmeansShared,
+    point: usize,
+}
+
+impl Kmeans {
+    /// Build the per-thread workload.
+    pub fn new(shared: KmeansShared) -> Self {
+        Self { shared, point: 0 }
+    }
+}
+
+impl Workload for Kmeans {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        self.point = rng.gen_range(0..self.shared.params.points);
+    }
+
+    fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let p = &s.params;
+        // Read the point.
+        let mut point = [0u64; DIMS];
+        for (d, c) in point.iter_mut().enumerate() {
+            *c = ctx.read(s.points + (self.point * DIMS + d) as Addr)?;
+        }
+        // Real nearest-centre search: L1 distance against every centre's
+        // coordinates (read-only shared data), plus the per-distance compute.
+        ctx.work(p.work)?;
+        let mut best = (u64::MAX, 0usize);
+        for k in 0..p.clusters {
+            let mut dist = 0u64;
+            for (d, &pc) in point.iter().enumerate() {
+                let cc = ctx.read(s.coords + (k * DIMS + d) as Addr)?;
+                dist += pc.abs_diff(cc);
+            }
+            if dist < best.0 {
+                best = (dist, k);
+            }
+        }
+        let cluster = best.1;
+        // Update the accumulators: count + per-dimension sums.
+        let base = s.center_addr(cluster);
+        let count = ctx.read(base)?;
+        ctx.write(base, count + 1)?;
+        for (d, &c) in point.iter().enumerate() {
+            let a = base + 1 + d as Addr;
+            let sum = ctx.read(a)?;
+            ctx.write(a, sum.wrapping_add(c) & ((1 << 62) - 1))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmExecutor};
+    use rand::SeedableRng;
+    use tm_baselines::HtmGl;
+
+    #[test]
+    fn assignments_are_counted_exactly() {
+        let p = KmeansParams::high_contention();
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Kmeans::new(s);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..100 {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_assignments_nt(&rt), 400);
+    }
+
+    #[test]
+    fn fits_htm() {
+        let p = KmeansParams::low_contention();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Kmeans::new(s);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..20 {
+            w.sample(&mut rng);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+    }
+}

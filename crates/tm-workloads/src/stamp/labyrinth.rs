@@ -1,0 +1,523 @@
+//! Labyrinth profile (Fig. 5(d) and Table 1): Lee-algorithm maze routing on a
+//! shared grid.
+//!
+//! Routing transactions copy the **whole grid** during planning, as STAMP's
+//! labyrinth does — and, as in STAMP, that copy is *non-transactional by design*
+//! (racy reads, re-validated when the path is claimed). The router then runs the
+//! Lee algorithm on the private copy: a breadth-first wavefront expansion from the
+//! source around occupied cells, followed by a backtrace that yields a shortest
+//! free path to the destination. The consequences differ per execution mode,
+//! exactly as the paper describes:
+//!
+//! * Inside a plain hardware transaction (HTM-GL, or Part-HTM's fast path) the
+//!   grid copy is monitored wholesale, so it blows the space/time budgets — the
+//!   ">50 % of Labyrinth's transactions exceed the size and time allowed" of §2.
+//! * On Part-HTM's partitioned path, the copy and the expansion run as
+//!   *non-transactional code inside the software framework* (§4), and only the
+//!   claim phase — which re-reads every path cell — executes as sub-HTM
+//!   transactions. Conflicts become rare, matching §7.2 ("large and long, but they
+//!   also rarely conflict with each other").
+//!
+//! Interleaved with the routing transactions are the application's small
+//! bookkeeping transactions (work-queue and statistics updates), which always fit
+//! HTM. The 50/50 mix reproduces Table 1: under HTM-GL about half the commits take
+//! the global lock and >80 % of aborts are resource failures; under Part-HTM the
+//! same transactions split ~50 % fast-path HTM and ~50 % partitioned-path ("SW")
+//! commits.
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Configuration of the labyrinth kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct LabyrinthParams {
+    /// Grid side (cells); the grid is `side x side` words.
+    pub side: usize,
+    /// Percent of transactions that are routing transactions (the rest are small
+    /// bookkeeping transactions).
+    pub route_pct: u32,
+    /// Cells read per planning sub-HTM segment.
+    pub cells_per_segment: usize,
+    /// Route-computation work units per 64 copied cells (the Lee expansion's cost
+    /// as charged to the transactional time budget; the expansion itself also runs
+    /// for real on the private copy).
+    pub work_per_64_cells: u64,
+}
+
+impl LabyrinthParams {
+    /// The evaluation's configuration, scaled so the grid copy (side² cells) exceeds
+    /// the default simulated read budget (4096 lines = 32 k words) and brushes the
+    /// quantum, as in the paper's "more than 50% of Labyrinth's transactions exceed
+    /// the size and time allowed" (§2).
+    pub fn default_scale() -> Self {
+        Self {
+            side: 224,
+            route_pct: 50,
+            cells_per_segment: 2048,
+            work_per_64_cells: 12,
+        }
+    }
+
+    /// Words of application memory: the grid plus a statistics line.
+    pub fn app_words(&self) -> usize {
+        self.side * self.side + 8
+    }
+
+    /// Paths longer than this are treated as unroutable (bounds the number of
+    /// static claim segments; Lee paths between uniform endpoints are almost always
+    /// far shorter).
+    pub fn max_path(&self) -> usize {
+        4 * self.side
+    }
+}
+
+/// Shared layout: the grid (row-major) plus a bookkeeping line.
+#[derive(Clone, Copy, Debug)]
+pub struct LabyrinthShared {
+    grid: Addr,
+    stats: Addr,
+    params: LabyrinthParams,
+}
+
+impl LabyrinthShared {
+    #[inline]
+    fn cell(&self, r: usize, c: usize) -> Addr {
+        self.grid + (r * self.params.side + c) as Addr
+    }
+
+    /// Number of occupied cells (verification).
+    pub fn occupied_nt(&self, rt: &TmRuntime) -> usize {
+        (0..self.params.side * self.params.side)
+            .filter(|&i| rt.system().nt_read(self.grid + i as Addr) != 0)
+            .count()
+    }
+
+    /// Committed bookkeeping updates (verification).
+    pub fn bookkeeping_nt(&self, rt: &TmRuntime) -> u64 {
+        rt.system().nt_read(self.stats)
+    }
+}
+
+/// Initialise (empty grid).
+pub fn init(rt: &TmRuntime, params: &LabyrinthParams) -> LabyrinthShared {
+    LabyrinthShared {
+        grid: rt.app(0),
+        stats: rt.app(params.side * params.side),
+        params: *params,
+    }
+}
+
+/// Per-thread labyrinth workload with reusable Lee-router scratch buffers.
+pub struct Labyrinth {
+    shared: LabyrinthShared,
+    src: (usize, usize),
+    dst: (usize, usize),
+    /// False = small bookkeeping transaction, true = grid-copying routing
+    /// transaction.
+    routing: bool,
+    /// Private snapshot of the grid, filled during the planning segments.
+    grid_copy: Vec<u64>,
+    /// Lee backtrace parents (cell index + 1; 0 = unvisited).
+    parent: Vec<u32>,
+    /// Wavefront queue, reused across transactions.
+    frontier: VecDeque<u32>,
+    /// The computed route, source to destination inclusive.
+    path: Vec<(usize, usize)>,
+    tag: u64,
+    /// Whether the in-flight execution claimed its route (promoted to `routed` only
+    /// when the transaction commits).
+    routed_this: bool,
+    /// Set when no route exists or a claim raced: remaining claim segments no-op.
+    claim_failed: bool,
+    /// Successfully routed connections (committed).
+    pub routed: u64,
+}
+
+impl Labyrinth {
+    /// Build the per-thread workload; `tag` marks claimed cells (non-zero).
+    pub fn new(shared: LabyrinthShared, tag: u64) -> Self {
+        let cells = shared.params.side * shared.params.side;
+        Self {
+            shared,
+            src: (0, 0),
+            dst: (1, 1),
+            routing: true,
+            grid_copy: vec![0; cells],
+            parent: vec![0; cells],
+            frontier: VecDeque::new(),
+            path: Vec::new(),
+            tag: tag.max(1),
+            routed_this: false,
+            claim_failed: false,
+            routed: 0,
+        }
+    }
+
+    fn grid_cells(&self) -> usize {
+        self.shared.params.side * self.shared.params.side
+    }
+
+    fn planning_segments(&self) -> usize {
+        self.grid_cells()
+            .div_ceil(self.shared.params.cells_per_segment)
+    }
+
+    /// Cells claimed per claim sub-transaction. Lee paths wander across rows, so
+    /// their lines concentrate in few L1 sets; small chunks keep each claim
+    /// sub-transaction within associativity.
+    const CLAIM_CHUNK: usize = 48;
+
+    fn claim_segments(&self) -> usize {
+        self.shared.params.max_path().div_ceil(Self::CLAIM_CHUNK)
+    }
+
+    /// The Lee algorithm on the private copy: BFS wavefront from `src` over free
+    /// cells, then backtrace from `dst`. Fills `self.path` (empty = unroutable).
+    fn lee_route(&mut self) {
+        let side = self.shared.params.side;
+        let idx = |r: usize, c: usize| r * side + c;
+        self.parent.fill(0);
+        self.frontier.clear();
+        self.path.clear();
+
+        let (sr, sc) = self.src;
+        let (dr, dc) = self.dst;
+        let start = idx(sr, sc) as u32;
+        let goal = idx(dr, dc) as u32;
+        if start == goal {
+            self.path.push(self.src);
+            return;
+        }
+        self.parent[start as usize] = start + 1; // visited marker (self-parent)
+        self.frontier.push_back(start);
+
+        'bfs: while let Some(cur) = self.frontier.pop_front() {
+            let (r, c) = ((cur as usize) / side, (cur as usize) % side);
+            let neighbours = [
+                (r.wrapping_sub(1), c),
+                (r + 1, c),
+                (r, c.wrapping_sub(1)),
+                (r, c + 1),
+            ];
+            for (nr, nc) in neighbours {
+                if nr >= side || nc >= side {
+                    continue;
+                }
+                let n = idx(nr, nc) as u32;
+                if self.parent[n as usize] != 0 {
+                    continue; // visited
+                }
+                // Occupied cells block the wavefront; the destination is always
+                // enterable (it is ours to claim).
+                if n != goal && self.grid_copy[n as usize] != 0 {
+                    continue;
+                }
+                self.parent[n as usize] = cur + 1;
+                if n == goal {
+                    break 'bfs;
+                }
+                self.frontier.push_back(n);
+            }
+        }
+
+        if self.parent[goal as usize] == 0 {
+            return; // unreachable
+        }
+        // Backtrace goal -> start, then reverse.
+        let mut cur = goal;
+        loop {
+            self.path
+                .push(((cur as usize) / side, (cur as usize) % side));
+            let p = self.parent[cur as usize] - 1;
+            if p == cur {
+                break; // reached the self-parented start
+            }
+            cur = p;
+        }
+        self.path.reverse();
+        if self.path.len() > self.shared.params.max_path() {
+            self.path.clear(); // treated as unroutable (bounds claim segments)
+        }
+    }
+}
+
+impl Workload for Labyrinth {
+    /// Claim-phase cursor: (claim_failed, routed_this), rolled back on segment
+    /// retry.
+    type Snap = (bool, bool);
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let side = self.shared.params.side;
+        self.routing = rng.gen_range(0..100) < self.shared.params.route_pct;
+        self.src = (rng.gen_range(0..side), rng.gen_range(0..side));
+        self.dst = (rng.gen_range(0..side), rng.gen_range(0..side));
+    }
+
+    fn segments(&self) -> usize {
+        if self.routing {
+            // Planning (grid copy) + route computation + the claim segments.
+            self.planning_segments() + 1 + self.claim_segments()
+        } else {
+            1
+        }
+    }
+
+    fn software_segment(&self, seg: usize) -> bool {
+        // Planning (the racy grid copy) and the Lee expansion are non-transactional
+        // code; only the claim segments are transactional.
+        self.routing && seg <= self.planning_segments()
+    }
+
+    fn profiled_resource_limited(&self) -> Option<bool> {
+        // The static profiler knows a grid copy can never fit best-effort HTM and a
+        // bookkeeping update always does.
+        Some(self.routing)
+    }
+
+    fn reset(&mut self) {
+        self.routed_this = false;
+        self.claim_failed = false;
+    }
+
+    fn snapshot(&self) -> (bool, bool) {
+        (self.claim_failed, self.routed_this)
+    }
+
+    fn restore(&mut self, s: (bool, bool)) {
+        (self.claim_failed, self.routed_this) = s;
+    }
+
+    fn after_commit(&mut self) {
+        if self.routed_this {
+            self.routed += 1;
+        }
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        if !self.routing {
+            // Bookkeeping transaction: bump the shared statistics line — small,
+            // always HTM-friendly (the other half of labyrinth's transaction mix).
+            let v = ctx.read(s.stats)?;
+            ctx.write(s.stats, v + 1)?;
+            let slot = s.stats + 1 + (self.src.0 % 6) as Addr;
+            let w = ctx.read(slot)?;
+            return ctx.write(slot, w + 1);
+        }
+        let plan = self.planning_segments();
+        if seg < plan {
+            // Planning: copy a chunk of the grid (the phase that makes labyrinth
+            // transactions huge).
+            let per = s.params.cells_per_segment;
+            let start = seg * per;
+            let end = (start + per).min(self.grid_cells());
+            for i in start..end {
+                self.grid_copy[i] = ctx.read(s.grid + i as Addr)?;
+            }
+            return Ok(());
+        }
+        if seg == plan {
+            // Route computation on the private copy: the Lee expansion runs for
+            // real, and its cost is charged to the (non-transactional) time budget.
+            self.lee_route();
+            let units = (self.grid_cells() as u64 / 64).max(1) * s.params.work_per_64_cells;
+            return ctx.nt_work(units);
+        }
+        // Claim phase, chunked: re-validate and write the computed path.
+        if self.claim_failed || self.path.is_empty() {
+            self.claim_failed = true;
+            return Ok(());
+        }
+        let chunk = seg - plan - 1;
+        let start = chunk * Self::CLAIM_CHUNK;
+        let end = (start + Self::CLAIM_CHUNK).min(self.path.len());
+        for &(r, c) in self.path.get(start..end).unwrap_or(&[]) {
+            // Re-read so a cell claimed since planning fails the route instead of
+            // silently double-claiming (the racy copy's re-validation).
+            let v = ctx.read(s.cell(r, c))?;
+            if v != 0 && (r, c) != self.src && (r, c) != self.dst {
+                self.claim_failed = true;
+                return Ok(()); // lost the race; commit without routing
+            }
+            ctx.write(s.cell(r, c), self.tag)?;
+        }
+        if end == self.path.len() {
+            self.routed_this = true;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmConfig, TmExecutor};
+    use rand::SeedableRng;
+
+    fn small_params() -> LabyrinthParams {
+        LabyrinthParams {
+            side: 48,
+            route_pct: 50,
+            cells_per_segment: 256,
+            work_per_64_cells: 4,
+        }
+    }
+
+    #[test]
+    fn lee_router_finds_shortest_path_on_empty_grid() {
+        let p = small_params();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut w = Labyrinth::new(s, 1);
+        w.src = (3, 5);
+        w.dst = (10, 20);
+        w.grid_copy.fill(0);
+        w.lee_route();
+        // Shortest Manhattan path: |dr| + |dc| + 1 cells.
+        assert_eq!(w.path.len(), 7 + 15 + 1);
+        assert_eq!(w.path.first(), Some(&(3, 5)));
+        assert_eq!(w.path.last(), Some(&(10, 20)));
+        // Each consecutive pair is 4-adjacent.
+        for pair in w.path.windows(2) {
+            let d = pair[0].0.abs_diff(pair[1].0) + pair[0].1.abs_diff(pair[1].1);
+            assert_eq!(d, 1, "non-adjacent step {pair:?}");
+        }
+    }
+
+    #[test]
+    fn lee_router_detours_around_obstacles() {
+        let p = small_params();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut w = Labyrinth::new(s, 1);
+        w.src = (10, 0);
+        w.dst = (10, 20);
+        w.grid_copy.fill(0);
+        // A wall across column 10 except row 40.
+        for r in 0..48 {
+            if r != 40 {
+                w.grid_copy[r * 48 + 10] = 9;
+            }
+        }
+        w.lee_route();
+        assert!(!w.path.is_empty(), "a detour exists through (40, 10)");
+        assert!(w.path.contains(&(40, 10)), "must pass the only gap");
+        assert!(w
+            .path
+            .iter()
+            .all(|&(r, c)| { (r, c) == (40, 10) || c != 10 || w.grid_copy[r * 48 + c] == 0 }));
+    }
+
+    #[test]
+    fn lee_router_reports_unroutable() {
+        let p = small_params();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut w = Labyrinth::new(s, 1);
+        w.src = (0, 0);
+        w.dst = (47, 47);
+        w.grid_copy.fill(0);
+        // A full wall with no gaps.
+        for r in 0..48 {
+            w.grid_copy[r * 48 + 24] = 9;
+        }
+        w.lee_route();
+        assert!(w.path.is_empty());
+    }
+
+    #[test]
+    fn routes_claim_contiguous_paths() {
+        let p = small_params();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Labyrinth::new(s, 7);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            w.sample(&mut rng);
+            e.execute(&mut w);
+        }
+        assert!(w.routed > 0, "some routes must succeed on an empty grid");
+        assert!(s.occupied_nt(&rt) > 0);
+    }
+
+    #[test]
+    fn routing_txs_take_partitioned_path() {
+        let p = LabyrinthParams {
+            side: 96,
+            route_pct: 100,
+            cells_per_segment: 512,
+            work_per_64_cells: 4,
+        };
+        // Small read budget so the grid copy cannot fit one hardware tx.
+        let htm = htm_sim::HtmConfig {
+            read_lines_max: 256,
+            ..htm_sim::HtmConfig::default()
+        };
+        let rt = TmRuntime::new(htm, TmConfig::default(), 1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Labyrinth::new(s, 3);
+        w.routing = true;
+        w.src = (0, 0);
+        w.dst = (95, 95);
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        assert_eq!(w.routed, 1);
+        // The claimed path length equals the Manhattan distance + 1 (empty grid).
+        assert_eq!(s.occupied_nt(&rt), 95 + 95 + 1);
+    }
+
+    #[test]
+    fn bookkeeping_txs_stay_on_fast_path() {
+        let p = LabyrinthParams {
+            side: 96,
+            route_pct: 0,
+            cells_per_segment: 512,
+            work_per_64_cells: 4,
+        };
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Labyrinth::new(s, 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            w.sample(&mut rng);
+            assert!(!w.routing);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+        assert_eq!(s.bookkeeping_nt(&rt), 20);
+    }
+
+    #[test]
+    fn concurrent_routing_never_overlaps_paths() {
+        let p = small_params();
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Labyrinth::new(s, t as u64 + 1);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..15 {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        // Every claimed cell carries exactly one owner tag — overlapping claims
+        // would have required two transactions to both see the cell free.
+        let occupied = s.occupied_nt(&rt);
+        assert!(occupied > 0);
+        for i in 0..p.side * p.side {
+            let v = rt.system().nt_read(rt.app(i));
+            assert!(v <= 4, "cell {i} holds invalid tag {v}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Kernels reproducing the transactional *profiles* of the STAMP applications used
+//! in the paper's evaluation (Fig. 5 and Table 1).
+//!
+//! STAMP's role in the evaluation is to exercise distinct transaction profiles —
+//! footprint, duration, contention, read/write mix — not its application logic, so
+//! each kernel here reproduces the profile that drives the paper's analysis:
+//!
+//! | Kernel | Profile (per the paper §7.2) |
+//! |---|---|
+//! | [`kmeans`] | short transactions, real data conflicts (low/high contention via cluster count) |
+//! | [`ssca2`] | tiny transactions, very low contention |
+//! | [`labyrinth`] | mixed: >50 % of transactions exceed HTM space/time limits, but rarely conflict (Table 1) |
+//! | [`intruder`] | short/medium transactions, high structural contention (shared queue) |
+//! | [`vacation`] | medium table-lookup transactions (low/high contention via key range) |
+//! | [`yada`] | long *and* large transactions with high contention |
+//! | [`genome`] | medium deduplication/matching transactions, low contention |
+//!
+//! See DESIGN.md ("Substitutions") for why profile-equivalent kernels preserve the
+//! figures' shapes.
+
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod ssca2;
+pub mod vacation;
+pub mod yada;

@@ -1,0 +1,345 @@
+//! Vacation profile (Fig. 5(f) low contention, 5(g) high contention): a travel
+//! reservation system with STAMP's three transaction types.
+//!
+//! * **Make reservation** (the bulk): for each requested resource kind (car / room /
+//!   flight) query a handful of candidate resources, pick the best-stocked one,
+//!   decrement it, and record it on the customer.
+//! * **Delete customer**: release every resource the customer holds back into the
+//!   tables and clear the record.
+//! * **Update tables**: an administrative transaction minting extra availability
+//!   for a few resources (tracked against a global minted counter so the
+//!   conservation invariant stays checkable).
+//!
+//! Medium-sized table-lookup transactions; contention is controlled by the fraction
+//! of the resource table each query draws from.
+
+use crate::structures::HeapHashMap;
+use htm_sim::abort::TxResult;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of resource kinds (car, room, flight).
+pub const KINDS: usize = 3;
+
+/// Configuration of the vacation kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct VacationParams {
+    /// Resources per kind.
+    pub resources: usize,
+    /// Customers.
+    pub customers: usize,
+    /// Candidate resources examined per reservation.
+    pub queries: usize,
+    /// Fraction (percent) of the resource table queries draw from — 100 in the
+    /// low-contention run, a narrow slice in the high-contention run (STAMP's -q/-u
+    /// knobs).
+    pub query_range_pct: u32,
+    /// Initial availability per resource.
+    pub initial_avail: u64,
+    /// Percent of transactions that are reservations (STAMP's -u knob); the rest
+    /// split evenly between delete-customer and update-tables.
+    pub reserve_pct: u32,
+}
+
+impl VacationParams {
+    /// Fig. 5(f): low contention.
+    pub fn low_contention() -> Self {
+        Self {
+            resources: 4096,
+            customers: 4096,
+            queries: 4,
+            query_range_pct: 100,
+            initial_avail: 1 << 20,
+            reserve_pct: 90,
+        }
+    }
+
+    /// Fig. 5(g): high contention.
+    pub fn high_contention() -> Self {
+        Self {
+            resources: 4096,
+            customers: 4096,
+            queries: 8,
+            query_range_pct: 2,
+            initial_avail: 1 << 20,
+            reserve_pct: 60,
+        }
+    }
+
+    fn table_slots(&self) -> usize {
+        (self.resources * 4).next_power_of_two()
+    }
+
+    /// Words of application memory: three resource tables + customer records + the
+    /// minted-availability counter line.
+    pub fn app_words(&self) -> usize {
+        KINDS * HeapHashMap::words_needed(self.table_slots()) + self.customers * 8 + 8
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct VacationShared {
+    tables: [HeapHashMap; KINDS],
+    customers: htm_sim::Addr,
+    /// Availability minted by update-tables transactions (for conservation checks).
+    minted: htm_sim::Addr,
+    params: VacationParams,
+}
+
+impl VacationShared {
+    /// Total availability across one kind's table (verification: reservations
+    /// conserve availability + customer bookings).
+    pub fn total_avail_nt(&self, rt: &TmRuntime, kind: usize) -> u64 {
+        let th = part_htm_core::TmThread::new(rt, 0);
+        let mut ctx = part_htm_core::ctx::SlowCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        (0..self.params.resources as u64)
+            .map(|r| self.tables[kind].get(&mut ctx, r).unwrap().unwrap_or(0))
+            .sum()
+    }
+
+    /// Total bookings recorded on customer lines (verification).
+    pub fn total_bookings_nt(&self, rt: &TmRuntime) -> u64 {
+        (0..self.params.customers)
+            .map(|c| {
+                rt.system()
+                    .nt_read(self.customers + (c * 8) as htm_sim::Addr)
+            })
+            .sum()
+    }
+
+    /// Availability minted by update-tables transactions (verification).
+    pub fn total_minted_nt(&self, rt: &TmRuntime) -> u64 {
+        rt.system().nt_read(self.minted)
+    }
+}
+
+/// Initialise: fill the three tables with full availability.
+pub fn init(rt: &TmRuntime, params: &VacationParams) -> VacationShared {
+    let tw = HeapHashMap::words_needed(params.table_slots());
+    let tables = [
+        HeapHashMap::new(rt.app(0), params.table_slots()),
+        HeapHashMap::new(rt.app(tw), params.table_slots()),
+        HeapHashMap::new(rt.app(2 * tw), params.table_slots()),
+    ];
+    let shared = VacationShared {
+        tables,
+        customers: rt.app(3 * tw),
+        minted: rt.app(3 * tw + params.customers * 8),
+        params: *params,
+    };
+    let th = part_htm_core::TmThread::new(rt, 0);
+    let mut ctx = part_htm_core::ctx::SlowCtx {
+        th: &th.hw,
+        mask_values: false,
+    };
+    for t in &shared.tables {
+        for r in 0..params.resources as u64 {
+            t.insert(&mut ctx, r, params.initial_avail).unwrap();
+        }
+    }
+    shared
+}
+
+/// The sampled transaction type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VacOp {
+    Reserve,
+    DeleteCustomer,
+    UpdateTables,
+}
+
+/// Per-thread vacation workload.
+pub struct Vacation {
+    shared: VacationShared,
+    op: VacOp,
+    customer: usize,
+    seed: u64,
+}
+
+impl Vacation {
+    /// Build the per-thread workload.
+    pub fn new(shared: VacationShared) -> Self {
+        Self {
+            shared,
+            op: VacOp::Reserve,
+            customer: 0,
+            seed: 0,
+        }
+    }
+
+    #[inline]
+    fn cust_addr(&self) -> htm_sim::Addr {
+        self.shared.customers + (self.customer * 8) as htm_sim::Addr
+    }
+
+    /// One kind's reservation step: query candidates, decrement the best-stocked
+    /// resource, record it on the customer (at most one held resource per kind; a
+    /// kind already booked is skipped so delete-customer can release exactly what
+    /// the record lists).
+    fn reserve_kind<C: TxCtx>(&mut self, kind: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let p = &s.params;
+        let cust = self.cust_addr();
+        if ctx.read(cust + 1 + kind as htm_sim::Addr)? != 0 {
+            return Ok(()); // already holds this kind
+        }
+        let mut local = SmallRng::seed_from_u64(self.seed ^ (kind as u64) << 32);
+        let range = ((p.resources as u64) * u64::from(p.query_range_pct) / 100).max(1);
+        let base = local.gen_range(0..p.resources as u64 - range.min(p.resources as u64 - 1));
+        let mut best: Option<(u64, u64)> = None;
+        for _ in 0..p.queries {
+            let r = base + local.gen_range(0..range);
+            if let Some(avail) = s.tables[kind].get(ctx, r)? {
+                if avail > 0 && best.map(|(_, a)| avail > a).unwrap_or(true) {
+                    best = Some((r, avail));
+                }
+            }
+        }
+        if let Some((r, avail)) = best {
+            s.tables[kind].insert(ctx, r, avail - 1)?;
+            let booked = ctx.read(cust)?;
+            ctx.write(cust, booked + 1)?;
+            // Resource ids are stored +1 so 0 can mean "none held".
+            ctx.write(cust + 1 + kind as htm_sim::Addr, r + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Release everything the customer holds back into the tables and clear the
+    /// record (STAMP's delete-customer).
+    fn delete_customer<C: TxCtx>(&mut self, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let cust = self.cust_addr();
+        for kind in 0..KINDS {
+            let slot = cust + 1 + kind as htm_sim::Addr;
+            let stored = ctx.read(slot)?;
+            if stored != 0 {
+                let r = stored - 1;
+                s.tables[kind].update(ctx, r, 0, |v| v + 1)?;
+                ctx.write(slot, 0)?;
+                let booked = ctx.read(cust)?;
+                ctx.write(cust, booked - 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Administrative update: mint extra availability for a few resources of one
+    /// kind, tracked in the global minted counter (STAMP's update-tables).
+    fn update_tables<C: TxCtx>(&mut self, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let p = &s.params;
+        let mut local = SmallRng::seed_from_u64(self.seed ^ 0xDEAD_BEEF);
+        let kind = local.gen_range(0..KINDS);
+        let mut minted = 0u64;
+        for _ in 0..p.queries.min(4) {
+            let r = local.gen_range(0..p.resources as u64);
+            let add = local.gen_range(1..5);
+            s.tables[kind].update(ctx, r, 0, |v| v + add)?;
+            minted += add;
+        }
+        let m = ctx.read(s.minted)?;
+        ctx.write(s.minted, m + minted)
+    }
+}
+
+impl Workload for Vacation {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let p = &self.shared.params;
+        let roll: u32 = rng.gen_range(0..100);
+        self.op = if roll < p.reserve_pct {
+            VacOp::Reserve
+        } else if roll < p.reserve_pct + (100 - p.reserve_pct) / 2 {
+            VacOp::DeleteCustomer
+        } else {
+            VacOp::UpdateTables
+        };
+        self.customer = rng.gen_range(0..p.customers);
+        self.seed = rng.gen();
+    }
+
+    fn segments(&self) -> usize {
+        match self.op {
+            VacOp::Reserve => KINDS,
+            VacOp::DeleteCustomer | VacOp::UpdateTables => 1,
+        }
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        match self.op {
+            VacOp::Reserve => self.reserve_kind(seg, ctx),
+            VacOp::DeleteCustomer => self.delete_customer(ctx),
+            VacOp::UpdateTables => self.update_tables(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmExecutor};
+    use tm_baselines::HtmGl;
+
+    fn small() -> VacationParams {
+        VacationParams {
+            reserve_pct: 70,
+            resources: 128,
+            customers: 64,
+            queries: 4,
+            query_range_pct: 100,
+            initial_avail: 1000,
+        }
+    }
+
+    #[test]
+    fn reservations_conserve_availability() {
+        let p = small();
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        let before: u64 = (0..KINDS).map(|k| s.total_avail_nt(&rt, k)).sum();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Vacation::new(s);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..50 {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        let after: u64 = (0..KINDS).map(|k| s.total_avail_nt(&rt, k)).sum();
+        let booked = s.total_bookings_nt(&rt);
+        let minted = s.total_minted_nt(&rt);
+        assert_eq!(
+            before + minted,
+            after + booked,
+            "availability is conserved across reserve/delete/update transactions"
+        );
+        assert!(booked > 0 || minted > 0);
+    }
+
+    #[test]
+    fn fits_htm() {
+        let p = small();
+        let rt = TmRuntime::with_defaults(1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = HtmGl::new(&rt, 0);
+        let mut w = Vacation::new(s);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            w.sample(&mut rng);
+            assert_eq!(e.execute(&mut w), CommitPath::Htm);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Yada profile (Fig. 5(h)): Delaunay mesh refinement — transactions that are
+//! simultaneously **long, large and highly contended**.
+//!
+//! Each transaction picks a "bad triangle" (a random mesh region), reads its cavity
+//! (a contiguous block of the mesh array), computes the re-triangulation (heavy
+//! work), rewrites most of the cavity and bumps the shared work counter. Cavities
+//! overlap often, so conflicts are frequent; the biggest cavities exceed the HTM
+//! time budget. The paper's Fig. 5(h) shows every protocol *below* sequential
+//! execution at higher thread counts — the contention dominates — with Part-HTM
+//! degrading least.
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Configuration of the yada kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct YadaParams {
+    /// Mesh size in words.
+    pub mesh_words: usize,
+    /// Minimum cavity size in words.
+    pub cavity_min: usize,
+    /// Maximum cavity size in words.
+    pub cavity_max: usize,
+    /// Re-triangulation work units per cavity word.
+    pub work_per_word: u64,
+    /// Fraction (percent) of cavity words rewritten.
+    pub rewrite_pct: u32,
+    /// Cavity words per sub-HTM segment.
+    pub words_per_segment: usize,
+}
+
+impl YadaParams {
+    /// The evaluation's configuration (scaled).
+    pub fn default_scale() -> Self {
+        Self {
+            mesh_words: 16 * 1024,
+            cavity_min: 256,
+            cavity_max: 2048,
+            work_per_word: 24,
+            rewrite_pct: 30,
+            words_per_segment: 512,
+        }
+    }
+
+    /// Words of application memory: the mesh plus the work counter line.
+    pub fn app_words(&self) -> usize {
+        self.mesh_words + 8
+    }
+}
+
+/// Shared layout.
+#[derive(Clone, Copy, Debug)]
+pub struct YadaShared {
+    mesh: Addr,
+    counter: Addr,
+    params: YadaParams,
+}
+
+impl YadaShared {
+    /// Committed refinements (verification).
+    pub fn refinements_nt(&self, rt: &TmRuntime) -> u64 {
+        rt.system().nt_read(self.counter)
+    }
+}
+
+/// Initialise: deterministic mesh contents.
+pub fn init(rt: &TmRuntime, params: &YadaParams) -> YadaShared {
+    let shared = YadaShared {
+        mesh: rt.app(0),
+        counter: rt.app(params.mesh_words),
+        params: *params,
+    };
+    let heap = rt.system().heap();
+    for i in 0..params.mesh_words {
+        heap.store(
+            shared.mesh + i as Addr,
+            (i as u64).wrapping_mul(2654435761) >> 3,
+        );
+    }
+    shared
+}
+
+/// Per-thread yada workload.
+pub struct Yada {
+    shared: YadaShared,
+    start: usize,
+    len: usize,
+}
+
+impl Yada {
+    /// Build the per-thread workload.
+    pub fn new(shared: YadaShared) -> Self {
+        Self {
+            shared,
+            start: 0,
+            len: shared.params.cavity_min,
+        }
+    }
+
+    fn cavity_segments(&self) -> usize {
+        self.len.div_ceil(self.shared.params.words_per_segment)
+    }
+}
+
+impl Workload for Yada {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        let p = &self.shared.params;
+        self.len = rng.gen_range(p.cavity_min..=p.cavity_max);
+        self.start = rng.gen_range(0..p.mesh_words - self.len);
+    }
+
+    fn segments(&self) -> usize {
+        // Cavity segments + final bookkeeping segment.
+        self.cavity_segments() + 1
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let s = self.shared;
+        let p = &s.params;
+        if seg < self.cavity_segments() {
+            let lo = seg * p.words_per_segment;
+            let hi = (lo + p.words_per_segment).min(self.len);
+            let mut acc = 0u64;
+            for i in lo..hi {
+                let a = s.mesh + (self.start + i) as Addr;
+                let v = ctx.read(a)?;
+                acc = acc.rotate_left(5) ^ v;
+                // Re-triangulation rewrites a deterministic subset of the cavity.
+                if (v ^ i as u64) % 100 < u64::from(p.rewrite_pct) {
+                    ctx.write(a, (acc ^ (i as u64) << 20) & ((1 << 62) - 1))?;
+                }
+            }
+            ctx.work((hi - lo) as u64 * p.work_per_word)?;
+            return Ok(());
+        }
+        // Bookkeeping: bump the shared refinement counter.
+        let c = ctx.read(s.counter)?;
+        ctx.write(s.counter, c + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::{CommitPath, PartHtm, TmConfig, TmExecutor};
+    use rand::SeedableRng;
+
+    #[test]
+    fn refinements_counted_exactly() {
+        let p = YadaParams {
+            mesh_words: 4096,
+            cavity_min: 64,
+            cavity_max: 256,
+            work_per_word: 2,
+            rewrite_pct: 30,
+            words_per_segment: 128,
+        };
+        let rt = TmRuntime::with_defaults(4, p.app_words());
+        let s = init(&rt, &p);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let rt = &rt;
+                scope.spawn(move || {
+                    let mut e = PartHtm::new(rt, t);
+                    let mut w = Yada::new(s);
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    for _ in 0..25 {
+                        w.sample(&mut rng);
+                        e.execute(&mut w);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.refinements_nt(&rt), 100);
+    }
+
+    #[test]
+    fn long_cavities_take_partitioned_path() {
+        let p = YadaParams::default_scale();
+        let htm = htm_sim::HtmConfig {
+            quantum: 20_000,
+            ..htm_sim::HtmConfig::default()
+        };
+        let rt = TmRuntime::new(htm, TmConfig::default(), 1, p.app_words());
+        let s = init(&rt, &p);
+        let mut e = PartHtm::new(&rt, 0);
+        let mut w = Yada::new(s);
+        // Force a maximal cavity: 2048 words x 24 units/word >> 20k quantum,
+        // while one 512-word segment (~13k units) fits.
+        w.start = 0;
+        w.len = p.cavity_max;
+        assert_eq!(e.execute(&mut w), CommitPath::SubHtm);
+        assert_eq!(s.refinements_nt(&rt), 1);
+    }
+}

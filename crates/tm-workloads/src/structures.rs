@@ -1,0 +1,267 @@
+//! Shared-memory data structures programmed against [`TxCtx`], used by the
+//! STAMP-profile kernels: an open-addressing hash map and a bounded queue.
+//!
+//! Layout conventions: every slot is one cache line apart where contention matters;
+//! keys are offset by one so 0 can mean "empty". Values are 63-bit (Part-HTM-O's
+//! embedded lock bit).
+
+use htm_sim::abort::TxResult;
+use htm_sim::Addr;
+use part_htm_core::{TmRuntime, TxCtx};
+
+/// A fixed-capacity open-addressing (linear probing) hash map in the simulated
+/// heap. No deletion (STAMP's kernels only insert and look up during the measured
+/// phase). Slot layout: `[key+1, value]` pairs, one pair per cache line to keep
+/// collision probes from false-sharing.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapHashMap {
+    base: Addr,
+    /// Power-of-two slot count.
+    slots: u32,
+}
+
+impl HeapHashMap {
+    /// Words of heap needed for `slots` slots (line-aligned pairs).
+    pub fn words_needed(slots: usize) -> usize {
+        assert!(slots.is_power_of_two());
+        slots * 8
+    }
+
+    /// Wrap a heap region previously sized with [`HeapHashMap::words_needed`].
+    /// `base` must be the runtime app address of the region start.
+    pub fn new(base: Addr, slots: usize) -> Self {
+        assert!(slots.is_power_of_two());
+        Self {
+            base,
+            slots: slots as u32,
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> u32 {
+        self.slots
+    }
+
+    #[inline]
+    fn slot_addr(&self, slot: u32) -> Addr {
+        self.base + slot * 8
+    }
+
+    #[inline]
+    fn hash(&self, key: u64) -> u32 {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as u32 & (self.slots - 1)
+    }
+
+    /// Transactionally insert `key -> value`. Returns the previous value if the key
+    /// was present, or `None` for a fresh insert. Panics (via `debug_assert`) if the
+    /// table fills up — size tables generously.
+    pub fn insert<C: TxCtx>(&self, ctx: &mut C, key: u64, value: u64) -> TxResult<Option<u64>> {
+        let mut slot = self.hash(key);
+        for _probe in 0..self.slots {
+            let a = self.slot_addr(slot);
+            let k = ctx.read(a)?;
+            if k == 0 {
+                ctx.write(a, key + 1)?;
+                ctx.write(a + 1, value)?;
+                return Ok(None);
+            }
+            if k == key + 1 {
+                let old = ctx.read(a + 1)?;
+                ctx.write(a + 1, value)?;
+                return Ok(Some(old));
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+        unreachable!("HeapHashMap full: size tables above peak occupancy");
+    }
+
+    /// Transactional lookup.
+    pub fn get<C: TxCtx>(&self, ctx: &mut C, key: u64) -> TxResult<Option<u64>> {
+        let mut slot = self.hash(key);
+        for _probe in 0..self.slots {
+            let a = self.slot_addr(slot);
+            let k = ctx.read(a)?;
+            if k == 0 {
+                return Ok(None);
+            }
+            if k == key + 1 {
+                return Ok(Some(ctx.read(a + 1)?));
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+        Ok(None)
+    }
+
+    /// Transactional read-modify-write of the value for `key`, inserting
+    /// `default` first if absent. Returns the value written.
+    pub fn update<C: TxCtx>(
+        &self,
+        ctx: &mut C,
+        key: u64,
+        default: u64,
+        f: impl FnOnce(u64) -> u64,
+    ) -> TxResult<u64> {
+        let mut slot = self.hash(key);
+        for _probe in 0..self.slots {
+            let a = self.slot_addr(slot);
+            let k = ctx.read(a)?;
+            if k == 0 {
+                let v = f(default);
+                ctx.write(a, key + 1)?;
+                ctx.write(a + 1, v)?;
+                return Ok(v);
+            }
+            if k == key + 1 {
+                let v = f(ctx.read(a + 1)?);
+                ctx.write(a + 1, v)?;
+                return Ok(v);
+            }
+            slot = (slot + 1) & (self.slots - 1);
+        }
+        unreachable!("HeapHashMap full: size tables above peak occupancy");
+    }
+
+    /// Non-transactional occupancy count (verification only).
+    pub fn occupancy_nt(&self, rt: &TmRuntime) -> usize {
+        (0..self.slots)
+            .filter(|&s| rt.system().nt_read(self.slot_addr(s)) != 0)
+            .count()
+    }
+}
+
+/// A bounded multi-producer multi-consumer queue in the simulated heap, protected by
+/// the enclosing transaction (no internal synchronisation — the TM provides it).
+/// Layout: `[head, tail]` on one line, then `capacity` slots one line apart.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapQueue {
+    base: Addr,
+    capacity: u32,
+}
+
+impl HeapQueue {
+    /// Words needed for a queue of `capacity` slots (power of two).
+    pub fn words_needed(capacity: usize) -> usize {
+        assert!(capacity.is_power_of_two());
+        8 + capacity * 8
+    }
+
+    /// Wrap a heap region previously sized with [`HeapQueue::words_needed`].
+    pub fn new(base: Addr, capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        Self {
+            base,
+            capacity: capacity as u32,
+        }
+    }
+
+    #[inline]
+    fn head_addr(&self) -> Addr {
+        self.base
+    }
+
+    #[inline]
+    fn tail_addr(&self) -> Addr {
+        self.base + 1
+    }
+
+    #[inline]
+    fn slot_addr(&self, i: u64) -> Addr {
+        self.base + 8 + (i as u32 & (self.capacity - 1)) * 8
+    }
+
+    /// Transactionally enqueue; returns false if full.
+    pub fn push<C: TxCtx>(&self, ctx: &mut C, value: u64) -> TxResult<bool> {
+        let head = ctx.read(self.head_addr())?;
+        let tail = ctx.read(self.tail_addr())?;
+        if tail - head >= u64::from(self.capacity) {
+            return Ok(false);
+        }
+        ctx.write(self.slot_addr(tail), value)?;
+        ctx.write(self.tail_addr(), tail + 1)?;
+        Ok(true)
+    }
+
+    /// Transactionally dequeue; returns `None` if empty.
+    pub fn pop<C: TxCtx>(&self, ctx: &mut C) -> TxResult<Option<u64>> {
+        let head = ctx.read(self.head_addr())?;
+        let tail = ctx.read(self.tail_addr())?;
+        if head == tail {
+            return Ok(None);
+        }
+        let v = ctx.read(self.slot_addr(head))?;
+        ctx.write(self.head_addr(), head + 1)?;
+        Ok(Some(v))
+    }
+
+    /// Transactional length.
+    pub fn len<C: TxCtx>(&self, ctx: &mut C) -> TxResult<u64> {
+        Ok(ctx.read(self.tail_addr())? - ctx.read(self.head_addr())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use part_htm_core::ctx::SlowCtx;
+    use part_htm_core::TmThread;
+
+    fn direct_ctx_test(words: usize, f: impl FnOnce(&TmRuntime, &mut SlowCtx<'_, '_>)) {
+        let rt = TmRuntime::with_defaults(1, words);
+        let th = TmThread::new(&rt, 0);
+        let mut ctx = SlowCtx {
+            th: &th.hw,
+            mask_values: false,
+        };
+        f(&rt, &mut ctx);
+    }
+
+    #[test]
+    fn hashmap_insert_get_update() {
+        direct_ctx_test(HeapHashMap::words_needed(64), |rt, ctx| {
+            let m = HeapHashMap::new(rt.app(0), 64);
+            assert_eq!(m.get(ctx, 42).unwrap(), None);
+            assert_eq!(m.insert(ctx, 42, 7).unwrap(), None);
+            assert_eq!(m.get(ctx, 42).unwrap(), Some(7));
+            assert_eq!(m.insert(ctx, 42, 8).unwrap(), Some(7));
+            assert_eq!(m.update(ctx, 42, 0, |v| v + 1).unwrap(), 9);
+            assert_eq!(m.update(ctx, 99, 100, |v| v + 1).unwrap(), 101);
+            assert_eq!(m.occupancy_nt(rt), 2);
+        });
+    }
+
+    #[test]
+    fn hashmap_handles_collisions() {
+        direct_ctx_test(HeapHashMap::words_needed(16), |rt, ctx| {
+            let m = HeapHashMap::new(rt.app(0), 16);
+            // Fill half the table; every key must remain retrievable.
+            for k in 0..8u64 {
+                m.insert(ctx, k * 1000, k).unwrap();
+            }
+            for k in 0..8u64 {
+                assert_eq!(m.get(ctx, k * 1000).unwrap(), Some(k), "key {k}");
+            }
+            assert_eq!(m.get(ctx, 5).unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn queue_fifo_and_bounds() {
+        direct_ctx_test(HeapQueue::words_needed(4), |rt, ctx| {
+            let q = HeapQueue::new(rt.app(0), 4);
+            assert_eq!(q.pop(ctx).unwrap(), None);
+            for i in 0..4 {
+                assert!(q.push(ctx, i).unwrap());
+            }
+            assert!(!q.push(ctx, 99).unwrap(), "queue must report full");
+            assert_eq!(q.len(ctx).unwrap(), 4);
+            for i in 0..4 {
+                assert_eq!(q.pop(ctx).unwrap(), Some(i));
+            }
+            assert_eq!(q.pop(ctx).unwrap(), None);
+            // Wrap-around works.
+            assert!(q.push(ctx, 123).unwrap());
+            assert_eq!(q.pop(ctx).unwrap(), Some(123));
+        });
+    }
+}

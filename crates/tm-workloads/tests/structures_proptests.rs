@@ -1,0 +1,99 @@
+//! Property-based tests of the heap data structures against std-library oracles.
+
+use part_htm_core::ctx::SlowCtx;
+use part_htm_core::{TmRuntime, TmThread};
+use proptest::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use tm_workloads::structures::{HeapHashMap, HeapQueue};
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(u64, u64),
+    Get(u64),
+    Update(u64, u64),
+}
+
+fn arb_map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..40, 1u64..1000).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            (0u64..40).prop_map(MapOp::Get),
+            (0u64..40, 1u64..50).prop_map(|(k, d)| MapOp::Update(k, d)),
+        ],
+        1..120,
+    )
+}
+
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Push(u64),
+    Pop,
+}
+
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec(
+        prop_oneof![(1u64..1000).prop_map(QueueOp::Push), Just(QueueOp::Pop)],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// HeapHashMap behaves exactly like std::HashMap under insert/get/update.
+    #[test]
+    fn heap_hashmap_matches_std(ops in arb_map_ops()) {
+        let rt = TmRuntime::with_defaults(1, HeapHashMap::words_needed(128));
+        let th = TmThread::new(&rt, 0);
+        let mut ctx = SlowCtx { th: &th.hw, mask_values: false };
+        let m = HeapHashMap::new(rt.app(0), 128);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                MapOp::Insert(k, v) => {
+                    let prev = m.insert(&mut ctx, k, v).unwrap();
+                    prop_assert_eq!(prev, oracle.insert(k, v));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(m.get(&mut ctx, k).unwrap(), oracle.get(&k).copied());
+                }
+                MapOp::Update(k, d) => {
+                    let new = m.update(&mut ctx, k, 0, |v| v + d).unwrap();
+                    let e = oracle.entry(k).or_insert(0);
+                    *e += d;
+                    prop_assert_eq!(new, *e);
+                }
+            }
+        }
+        prop_assert_eq!(m.occupancy_nt(&rt), oracle.len());
+    }
+
+    /// HeapQueue behaves exactly like VecDeque under push/pop with capacity 16.
+    #[test]
+    fn heap_queue_matches_std(ops in arb_queue_ops()) {
+        let rt = TmRuntime::with_defaults(1, HeapQueue::words_needed(16));
+        let th = TmThread::new(&rt, 0);
+        let mut ctx = SlowCtx { th: &th.hw, mask_values: false };
+        let q = HeapQueue::new(rt.app(0), 16);
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+
+        for op in &ops {
+            match *op {
+                QueueOp::Push(v) => {
+                    let pushed = q.push(&mut ctx, v).unwrap();
+                    if oracle.len() < 16 {
+                        prop_assert!(pushed);
+                        oracle.push_back(v);
+                    } else {
+                        prop_assert!(!pushed, "must report full");
+                    }
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(q.pop(&mut ctx).unwrap(), oracle.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(&mut ctx).unwrap(), oracle.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! A transactional key-value store: multi-key read-modify-write transactions over
+//! the shared-heap hash map, executed under every protocol in the evaluation.
+//!
+//! Each transaction atomically rebalances "stock" from one key to two others and
+//! bumps an audit counter — the kind of multi-object atomic update TM exists for.
+//! After each protocol's run the example sums the stock back out of the heap and
+//! asserts conservation, and checks the audit counter equals the committed
+//! transaction count.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use part_htm::core::ctx::SlowCtx;
+use part_htm::core::{TmConfig, TmThread, TxCtx, Workload};
+use part_htm::harness::{run_cell_with, Algo};
+use part_htm::htm::abort::TxResult;
+use part_htm::htm::HtmConfig;
+use part_htm::workloads::structures::HeapHashMap;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const KEYS: u64 = 256;
+const SLOTS: usize = 1024;
+const INITIAL_STOCK: u64 = 100;
+const THREADS: usize = 4;
+const TXS_PER_THREAD: usize = 2_000;
+
+#[derive(Clone, Copy)]
+struct Store {
+    map: HeapHashMap,
+    audit: part_htm::htm::Addr,
+}
+
+/// Move stock from one key to two others, atomically, and bump the audit counter.
+struct Rebalance {
+    store: Store,
+    src: u64,
+    dst: [u64; 2],
+}
+
+impl Workload for Rebalance {
+    type Snap = ();
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        self.src = rng.gen_range(0..KEYS);
+        self.dst = [rng.gen_range(0..KEYS), rng.gen_range(0..KEYS)];
+    }
+
+    fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
+        let m = self.store.map;
+        let have = m.get(ctx, self.src)?.unwrap_or(0);
+        let move_out = (have / 2).min(10);
+        m.update(ctx, self.src, 0, |v| v - move_out)?;
+        m.update(ctx, self.dst[0], 0, |v| v + move_out / 2)?;
+        m.update(ctx, self.dst[1], 0, |v| v + (move_out - move_out / 2))?;
+        let a = ctx.read(self.store.audit)?;
+        ctx.write(self.store.audit, a + 1)
+    }
+}
+
+fn main() {
+    println!("{THREADS} threads x {TXS_PER_THREAD} rebalances over {KEYS} keys, every protocol:\n");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "algorithm", "tx/s", "total stock", "audited"
+    );
+
+    let app_words = HeapHashMap::words_needed(SLOTS) + 8;
+    for algo in Algo::COMPETITORS {
+        let (r, (total, audited)) = run_cell_with(
+            algo,
+            THREADS,
+            TXS_PER_THREAD,
+            HtmConfig::default(),
+            TmConfig::default(),
+            app_words,
+            |rt| {
+                let store = Store {
+                    map: HeapHashMap::new(rt.app(0), SLOTS),
+                    audit: rt.app(HeapHashMap::words_needed(SLOTS)),
+                };
+                // Seed the stock single-threadedly.
+                let th = TmThread::new(rt, 0);
+                let mut ctx = SlowCtx {
+                    th: &th.hw,
+                    mask_values: false,
+                };
+                for k in 0..KEYS {
+                    store.map.insert(&mut ctx, k, INITIAL_STOCK).unwrap();
+                }
+                store
+            },
+            |store, _t| Rebalance {
+                store,
+                src: 0,
+                dst: [1, 2],
+            },
+            |rt, store| {
+                let th = TmThread::new(rt, 0);
+                let mut ctx = SlowCtx {
+                    th: &th.hw,
+                    mask_values: false,
+                };
+                let total: u64 = (0..KEYS)
+                    .map(|k| store.map.get(&mut ctx, k).unwrap().unwrap_or(0))
+                    .sum();
+                (total, rt.verify_read(HeapHashMap::words_needed(SLOTS)))
+            },
+        );
+        println!(
+            "{:<12} {:>12.0} {:>14} {:>10}",
+            r.algo,
+            r.throughput(),
+            total,
+            audited
+        );
+        assert_eq!(
+            total,
+            KEYS * INITIAL_STOCK,
+            "{}: stock must be conserved",
+            r.algo
+        );
+        assert_eq!(
+            audited, r.commits,
+            "{}: audit counter must match commits",
+            r.algo
+        );
+        assert_eq!(r.commits, (THREADS * TXS_PER_THREAD) as u64);
+    }
+    println!(
+        "\nOK: every protocol conserved {} units of stock across {} transactions.",
+        KEYS * INITIAL_STOCK,
+        THREADS * TXS_PER_THREAD
+    );
+}

@@ -1,0 +1,16 @@
+//! # part-htm — facade crate
+//!
+//! Re-exports the full Part-HTM reproduction: the best-effort HTM simulator
+//! substrate, the signature/ring metadata substrate, the Part-HTM / Part-HTM-O
+//! protocols, the competitor baselines, the workloads of the paper's evaluation, and
+//! the experiment harness.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture and the
+//! per-experiment index.
+
+pub use htm_sim as htm;
+pub use part_htm_core as core;
+pub use tm_baselines as baselines;
+pub use tm_harness as harness;
+pub use tm_sig as sig;
+pub use tm_workloads as workloads;

@@ -1,0 +1,106 @@
+//! Failure injection: every protocol must stay serializable when the simulated
+//! hardware fires random asynchronous interrupts, shrinks its caches, or both.
+//! These runs push every fallback path hard (retries, partitioned-path aborts,
+//! undo-log restores, global-lock rescues).
+
+use part_htm::core::{TmConfig, TxCtx, Workload};
+use part_htm::harness::{run_cell_with, Algo};
+use part_htm::htm::abort::TxResult;
+use part_htm::htm::{Addr, HtmConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const COUNTERS: usize = 12;
+
+/// Random multi-counter increments in 3 segments; the oracle is the conserved sum.
+struct Chaos {
+    base: Addr,
+    picks: [usize; 6],
+}
+
+impl Workload for Chaos {
+    type Snap = ();
+    fn sample(&mut self, rng: &mut SmallRng) {
+        for p in &mut self.picks {
+            *p = rng.gen_range(0..COUNTERS);
+        }
+    }
+    fn segments(&self) -> usize {
+        3
+    }
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        for &p in &self.picks[seg * 2..seg * 2 + 2] {
+            let a = self.base + (p * 8) as Addr;
+            let v = ctx.read(a)?;
+            ctx.work(3)?;
+            ctx.write(a, v + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn total_increments_exact(algo: Algo, htm: HtmConfig) {
+    const THREADS: usize = 3;
+    const OPS: usize = 150;
+    let (r, total) = run_cell_with(
+        algo,
+        THREADS,
+        OPS,
+        htm,
+        TmConfig::default(),
+        COUNTERS * 8,
+        |rt| rt.app(0),
+        |base, _t| Chaos { base, picks: [0; 6] },
+        |rt, _| (0..COUNTERS).map(|i| rt.verify_read(i * 8)).sum::<u64>(),
+    );
+    assert_eq!(r.commits, (THREADS * OPS) as u64, "{}", r.algo);
+    assert_eq!(
+        total,
+        (THREADS * OPS * 6) as u64,
+        "{}: increments lost or duplicated under failure injection",
+        r.algo
+    );
+}
+
+#[test]
+fn every_protocol_survives_random_interrupts() {
+    let htm = HtmConfig { interrupt_prob: 0.01, ..HtmConfig::default() };
+    for algo in Algo::COMPETITORS {
+        total_increments_exact(algo, htm.clone());
+    }
+}
+
+#[test]
+fn every_protocol_survives_interrupts_plus_tiny_caches() {
+    let htm = HtmConfig {
+        interrupt_prob: 0.005,
+        l1_sets: 8,
+        l1_ways: 2,
+        read_lines_max: 24,
+        ..HtmConfig::default()
+    };
+    for algo in Algo::COMPETITORS {
+        total_increments_exact(algo, htm.clone());
+    }
+}
+
+#[test]
+fn extended_algos_survive_the_same_chaos() {
+    let htm = HtmConfig { interrupt_prob: 0.01, ..HtmConfig::default() };
+    for algo in [Algo::SpHt, Algo::Hle, Algo::PartHtmNoFast] {
+        total_increments_exact(algo, htm.clone());
+    }
+}
+
+#[test]
+fn part_htm_survives_interrupts_with_l2_associativity() {
+    let htm = HtmConfig {
+        interrupt_prob: 0.01,
+        l2_sets: 16,
+        l2_ways: 2,
+        ..HtmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::PartHtmO] {
+        total_increments_exact(algo, htm.clone());
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate opacity tests (§5.5, §6.2 of the paper).
+//!
+//! An invariant pair `x + y == TOTAL` is mutated by partitioned-path writers whose
+//! two updates commit in separate sub-HTM transactions (eager writing makes the
+//! intermediate state globally visible, protected only by write locks). Readers
+//! read the pair across a segment boundary:
+//!
+//! * **Serializability** (both protocols): no *committed* reader ever returns a
+//!   torn pair.
+//! * **Opacity** (Part-HTM-O only): no *live* reader ever observes a torn pair at
+//!   all. Base Part-HTM is explicitly allowed to observe one and abort later.
+
+use part_htm::core::{PartHtm, PartHtmO, TmConfig, TmExecutor, TmRuntime, TxCtx, Workload};
+use part_htm::htm::abort::TxResult;
+use part_htm::htm::Addr;
+use rand::rngs::SmallRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const TOTAL: u64 = 10_000;
+
+struct Mover {
+    base: Addr,
+    step: u64,
+}
+
+impl Workload for Mover {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {
+        self.step = (self.step % 13) + 1;
+    }
+    fn segments(&self) -> usize {
+        2
+    }
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        if seg == 0 {
+            let x = ctx.read(self.base)?;
+            let d = self.step.min(x);
+            ctx.write(self.base, x - d)?;
+            self.step = d;
+        } else {
+            let y = ctx.read(self.base + 8)?;
+            ctx.write(self.base + 8, y + self.step)?;
+        }
+        Ok(())
+    }
+}
+
+struct Checker<'a> {
+    base: Addr,
+    sum: u64,
+    live_torn: &'a AtomicU64,
+    committed_torn: &'a AtomicU64,
+}
+
+impl Workload for Checker<'_> {
+    type Snap = u64;
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segments(&self) -> usize {
+        2
+    }
+    fn snapshot(&self) -> u64 {
+        self.sum
+    }
+    fn restore(&mut self, s: u64) {
+        self.sum = s;
+    }
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        if seg == 0 {
+            self.sum = ctx.read(self.base)?;
+        } else {
+            self.sum += ctx.read(self.base + 8)?;
+            if self.sum != TOTAL {
+                self.live_torn.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+    fn after_commit(&mut self) {
+        if self.sum != TOTAL {
+            self.committed_torn.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run movers + checkers under one executor type; return (live torn, committed
+/// torn) observation counts.
+fn run_pair(opaque: bool, checks: usize) -> (u64, u64) {
+    let live = AtomicU64::new(0);
+    let committed = AtomicU64::new(0);
+    let rt = TmRuntime::new(
+        part_htm::htm::HtmConfig::default(),
+        TmConfig {
+            skip_fast: true,
+            ..TmConfig::default()
+        },
+        2,
+        64,
+    );
+    rt.setup_write(0, TOTAL);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let (rt, stop, live, committed) = (&rt, &stop, &live, &committed);
+        s.spawn(move || {
+            let mut w = Mover {
+                base: rt.app(0),
+                step: 3,
+            };
+            if opaque {
+                let mut e = PartHtmO::new(rt, 0);
+                while !stop.load(Ordering::Relaxed) {
+                    w.sample(&mut e.thread_mut().rng);
+                    e.execute(&mut w);
+                }
+            } else {
+                let mut e = PartHtm::new(rt, 0);
+                while !stop.load(Ordering::Relaxed) {
+                    w.sample(&mut e.thread_mut().rng);
+                    e.execute(&mut w);
+                }
+            }
+        });
+        s.spawn(move || {
+            let mut w = Checker {
+                base: rt.app(0),
+                sum: 0,
+                live_torn: live,
+                committed_torn: committed,
+            };
+            if opaque {
+                let mut e = PartHtmO::new(rt, 1);
+                for _ in 0..checks {
+                    w.sample(&mut e.thread_mut().rng);
+                    e.execute(&mut w);
+                }
+            } else {
+                let mut e = PartHtm::new(rt, 1);
+                for _ in 0..checks {
+                    w.sample(&mut e.thread_mut().rng);
+                    e.execute(&mut w);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+    // Final state must also be consistent.
+    assert_eq!(rt.verify_read(0) + rt.verify_read(8), TOTAL);
+    (
+        live.load(Ordering::Relaxed),
+        committed.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn part_htm_serializable_but_not_opaque() {
+    let (_live, committed) = run_pair(false, 20_000);
+    // Serializability: torn pairs never commit. (Live torn observations are
+    // permitted for the base protocol and do occur under this schedule, but their
+    // count is timing-dependent, so the test does not assert on it.)
+    assert_eq!(committed, 0, "base Part-HTM committed a torn observation");
+}
+
+#[test]
+fn part_htm_o_is_opaque() {
+    let (live, committed) = run_pair(true, 20_000);
+    assert_eq!(committed, 0, "Part-HTM-O committed a torn observation");
+    assert_eq!(
+        live, 0,
+        "Part-HTM-O let a live transaction observe a torn pair"
+    );
+}

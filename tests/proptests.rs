@@ -1,0 +1,127 @@
+//! Property-based tests over the whole stack: randomly generated transaction
+//! programs executed concurrently under Part-HTM (and competitors) must match a
+//! sequential oracle on commutative effects and conserve non-commutative ones.
+
+use part_htm::core::{TmConfig, TxCtx, Workload};
+use part_htm::harness::{run_cell_with, Algo};
+use part_htm::htm::abort::TxResult;
+use part_htm::htm::{Addr, HtmConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+
+/// A randomly generated multi-step transaction program: a sequence of
+/// add-to-counter steps, split over a random number of segments. All adds commute,
+/// so the final counter values are exactly the per-counter sums of committed
+/// transactions regardless of schedule.
+#[derive(Clone, Debug)]
+struct Program {
+    /// (counter index, delta) steps.
+    steps: Vec<(usize, u64)>,
+    segments: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Region {
+    base: Addr,
+}
+
+struct AddWorkload {
+    region: Region,
+    program: Program,
+}
+
+impl Workload for AddWorkload {
+    type Snap = ();
+    fn sample(&mut self, _rng: &mut SmallRng) {}
+    fn segments(&self) -> usize {
+        self.program.segments
+    }
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let len = self.program.steps.len();
+        let per = len.div_ceil(self.program.segments);
+        let start = (seg * per).min(len);
+        let end = (start + per).min(len);
+        for &(ctr, delta) in &self.program.steps[start..end] {
+            let a = self.region.base + (ctr * 8) as Addr;
+            let v = ctx.read(a)?;
+            ctx.write(a, v + delta)?;
+        }
+        Ok(())
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec((0usize..8, 1u64..100), 1..24),
+        1usize..5,
+    )
+        .prop_map(|(steps, segments)| Program {
+            segments: segments.min(steps.len()),
+            steps,
+        })
+}
+
+/// Execute `program` concurrently and assert every counter equals the sequential
+/// oracle (per-counter sums are schedule-independent because adds commute).
+fn check_counter_sums(algo: Algo, program: &Program, htm: HtmConfig) {
+    const THREADS: usize = 3;
+    const REPS: usize = 20;
+    let prog = program.clone();
+    let (r, finals) = run_cell_with(
+        algo,
+        THREADS,
+        REPS,
+        htm,
+        TmConfig::default(),
+        64,
+        |rt| Region { base: rt.app(0) },
+        move |region, _t| AddWorkload {
+            region,
+            program: prog.clone(),
+        },
+        |rt, _| (0..8).map(|c| rt.verify_read(c * 8)).collect::<Vec<u64>>(),
+    );
+    assert_eq!(r.commits, (THREADS * REPS) as u64);
+    for (c, &measured) in finals.iter().enumerate() {
+        let expected: u64 = program
+            .steps
+            .iter()
+            .filter(|&&(ctr, _)| ctr == c)
+            .map(|&(_, d)| d)
+            .sum::<u64>()
+            * (THREADS * REPS) as u64;
+        assert_eq!(measured, expected, "{}: counter {c} diverged", r.algo);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Random programs under Part-HTM on default geometry.
+    #[test]
+    fn random_programs_part_htm(program in arb_program()) {
+        check_counter_sums(Algo::PartHtm, &program, HtmConfig::default());
+    }
+
+    /// Random programs under Part-HTM-O with a capacity-starved HTM, forcing the
+    /// partitioned machinery (undo log, embedded locks) to carry the load.
+    #[test]
+    fn random_programs_part_htm_o_tiny_capacity(program in arb_program()) {
+        let htm = HtmConfig { l1_sets: 16, l1_ways: 2, ..HtmConfig::default() };
+        check_counter_sums(Algo::PartHtmO, &program, htm);
+    }
+
+    /// Random programs under HTM-GL and NOrec as cross-protocol oracles.
+    #[test]
+    fn random_programs_baselines(program in arb_program()) {
+        check_counter_sums(Algo::HtmGl, &program, HtmConfig::default());
+        check_counter_sums(Algo::NOrec, &program, HtmConfig::default());
+    }
+
+    /// Random programs under a tiny quantum (every transaction is time-limited).
+    #[test]
+    fn random_programs_tiny_quantum(program in arb_program()) {
+        let htm = HtmConfig { quantum: 200, ..HtmConfig::default() };
+        check_counter_sums(Algo::PartHtm, &program, htm);
+    }
+}

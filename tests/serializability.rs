@@ -1,0 +1,178 @@
+//! Cross-crate serializability tests: conserved-quantity invariants under every
+//! executor, thread count, and HTM geometry.
+
+use part_htm::core::{TmConfig, TxCtx, Workload};
+use part_htm::harness::{run_cell_with, Algo};
+use part_htm::htm::abort::TxResult;
+use part_htm::htm::{Addr, HtmConfig};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const ACCOUNTS: usize = 16;
+const INITIAL: u64 = 500;
+
+#[derive(Clone, Copy)]
+struct Bank {
+    base: Addr,
+}
+
+/// Transfer between two accounts, in two segments (so the partitioned path splits
+/// it and the global-abort/undo machinery is exercised).
+struct Transfer {
+    bank: Bank,
+    from: usize,
+    to: usize,
+    amount: u64,
+    moved: u64,
+}
+
+impl Workload for Transfer {
+    type Snap = u64;
+
+    fn sample(&mut self, rng: &mut SmallRng) {
+        self.from = rng.gen_range(0..ACCOUNTS);
+        self.to = (self.from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
+        self.amount = rng.gen_range(1..40);
+    }
+
+    fn segments(&self) -> usize {
+        2
+    }
+
+    fn snapshot(&self) -> u64 {
+        self.moved
+    }
+
+    fn restore(&mut self, s: u64) {
+        self.moved = s;
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        if seg == 0 {
+            let a = self.bank.base + (self.from * 8) as Addr;
+            let v = ctx.read(a)?;
+            self.moved = self.amount.min(v);
+            ctx.write(a, v - self.moved)?;
+        } else {
+            let a = self.bank.base + (self.to * 8) as Addr;
+            let v = ctx.read(a)?;
+            ctx.write(a, v + self.moved)?;
+        }
+        Ok(())
+    }
+}
+
+fn conserved_total_under(algo: Algo, threads: usize, htm: HtmConfig, tm: TmConfig) {
+    let (r, total) = run_cell_with(
+        algo,
+        threads,
+        300,
+        htm,
+        tm,
+        ACCOUNTS * 8,
+        |rt| {
+            for i in 0..ACCOUNTS {
+                rt.setup_write(i * 8, INITIAL);
+            }
+            Bank { base: rt.app(0) }
+        },
+        |bank, _t| Transfer {
+            bank,
+            from: 0,
+            to: 1,
+            amount: 0,
+            moved: 0,
+        },
+        |rt, _bank| (0..ACCOUNTS).map(|i| rt.verify_read(i * 8)).sum::<u64>(),
+    );
+    assert_eq!(
+        total,
+        (ACCOUNTS as u64) * INITIAL,
+        "{} at {threads} threads lost or created money",
+        r.algo
+    );
+    assert_eq!(r.commits, (threads * 300) as u64);
+}
+
+#[test]
+fn every_algo_conserves_money_default_geometry() {
+    for algo in Algo::COMPETITORS {
+        for threads in [1, 2, 4] {
+            conserved_total_under(algo, threads, HtmConfig::default(), TmConfig::default());
+        }
+    }
+}
+
+#[test]
+fn part_htm_conserves_money_under_tiny_capacity() {
+    // 16 sets x 2 ways: even two-account transfers plus metadata stress capacity,
+    // forcing heavy partitioned-path and slow-path traffic.
+    let htm = HtmConfig {
+        l1_sets: 16,
+        l1_ways: 2,
+        ..HtmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::PartHtmO, Algo::HtmGl, Algo::NOrecRh] {
+        conserved_total_under(algo, 4, htm.clone(), TmConfig::default());
+    }
+}
+
+#[test]
+fn part_htm_conserves_money_under_tiny_quantum() {
+    let htm = HtmConfig {
+        quantum: 300,
+        ..HtmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::PartHtmO] {
+        conserved_total_under(algo, 4, htm.clone(), TmConfig::default());
+    }
+}
+
+#[test]
+fn part_htm_conserves_money_without_fast_path() {
+    conserved_total_under(
+        Algo::PartHtmNoFast,
+        4,
+        HtmConfig::default(),
+        TmConfig::default(),
+    );
+}
+
+#[test]
+fn part_htm_conserves_money_with_minimal_validation() {
+    // Ablation knob: in-flight validation only before commit.
+    let tm = TmConfig {
+        validate_every_sub: false,
+        skip_fast: true,
+        ..TmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::PartHtmO] {
+        conserved_total_under(algo, 4, HtmConfig::default(), tm.clone());
+    }
+}
+
+#[test]
+fn part_htm_conserves_money_with_tiny_ring() {
+    // A 16-entry ring forces frequent rollover aborts; correctness must survive.
+    let tm = TmConfig {
+        ring_entries: 16,
+        skip_fast: true,
+        ..TmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::PartHtmO, Algo::RingStm] {
+        conserved_total_under(algo, 4, HtmConfig::default(), tm.clone());
+    }
+}
+
+#[test]
+fn part_htm_conserves_money_with_small_signatures() {
+    // 512-bit signatures collide often: more false conflicts, same correctness.
+    let tm = TmConfig {
+        sig_spec: part_htm::sig::SigSpec::new(512),
+        skip_fast: true,
+        ..TmConfig::default()
+    };
+    for algo in [Algo::PartHtm, Algo::RingStm] {
+        conserved_total_under(algo, 4, HtmConfig::default(), tm.clone());
+    }
+}
