@@ -1,0 +1,246 @@
+//! Workspace-local, dependency-free stand-in for the subset of the crates.io
+//! `criterion` 0.5 API this repository's bench targets use.
+//!
+//! The build environment has no network access (see `docs/offline.md`), so the
+//! real `criterion` cannot be fetched. This shim keeps every `benches/*.rs`
+//! target compiling and running under `cargo bench` unchanged, with a simple
+//! mean/min/max wall-clock measurement loop instead of criterion's statistical
+//! machinery (no outlier analysis, no HTML reports, no comparison to saved
+//! baselines). Results print one line per benchmark:
+//!
+//! ```text
+//! group/param            time: [min 1.234 ms  mean 1.250 ms  max 1.301 ms]  (12 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export hint: `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Measurement types (only wall-clock time in the shim).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named after its parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    /// Benchmark with an explicit function name and parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        Self {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, calling it repeatedly: a warm-up phase, then `sample_size`
+    /// timed samples (each one call — the workloads here are macro-benchmarks).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let meas_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            // Respect the measurement-time budget as an upper bound.
+            if meas_start.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'c mut Criterion,
+    _m: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement-time budget (upper bound in the shim).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} time: [no samples]");
+        return;
+    }
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<40} time: [min {}  mean {}  max {}]  ({} samples)",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(max),
+        samples.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            _parent: self,
+            _m: std::marker::PhantomData,
+        }
+    }
+}
+
+/// `criterion_group!(name, fn1, fn2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &5u64, |b, &v| {
+            b.iter(|| {
+                calls += 1;
+                black_box(v * 2)
+            })
+        });
+        g.finish();
+        assert!(calls >= 3, "warm-up + samples must call the closure");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_dur(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(fmt_dur(Duration::from_secs(2)).ends_with("s"));
+    }
+}

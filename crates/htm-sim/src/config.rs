@@ -34,8 +34,9 @@ pub struct HtmConfig {
     /// interrupt ([`crate::AbortCode::Other`]). Models page faults, device
     /// interrupts, etc. Default 0 (deterministic).
     pub interrupt_prob: f64,
-    /// Maximum number of hardware threads. Bounded by 64 because reader sets are
-    /// stored as single-word bitmaps.
+    /// Maximum number of hardware threads. Bounded by
+    /// [`crate::registry::MAX_THREADS`] (56) because each conflict-table line packs
+    /// its reader bitmap and writer byte into a single atomic word.
     pub max_threads: usize,
     /// Events retained per thread by the debugging trace (see [`crate::trace`]);
     /// 0 (the default) disables tracing entirely.
@@ -52,7 +53,7 @@ impl Default for HtmConfig {
             l2_ways: 8,
             quantum: 50_000,
             interrupt_prob: 0.0,
-            max_threads: 64,
+            max_threads: crate::registry::MAX_THREADS,
             trace_capacity: 0,
         }
     }
@@ -93,8 +94,9 @@ impl HtmConfig {
             assert!(self.l2_ways >= 1, "l2_ways must be >= 1");
         }
         assert!(
-            self.max_threads >= 1 && self.max_threads <= 64,
-            "max_threads must be in 1..=64"
+            self.max_threads >= 1 && self.max_threads <= crate::registry::MAX_THREADS,
+            "max_threads must be in 1..={} (packed line-table reader bitmap)",
+            crate::registry::MAX_THREADS
         );
         assert!(
             (0.0..=1.0).contains(&self.interrupt_prob),
@@ -135,7 +137,7 @@ mod tests {
     #[should_panic(expected = "max_threads")]
     fn rejects_too_many_threads() {
         let c = HtmConfig {
-            max_threads: 65,
+            max_threads: crate::registry::MAX_THREADS + 1,
             ..HtmConfig::default()
         };
         c.validate();

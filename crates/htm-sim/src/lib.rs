@@ -9,10 +9,12 @@
 //!   64-bit words. An address ([`Addr`]) is a word index; a cache line is
 //!   [`WORDS_PER_LINE`] consecutive words (64 bytes).
 //! * **Eager, line-granular conflict detection** ([`line_table::LineTable`]):
-//!   requester-wins semantics mirroring MESI invalidation. A transactional or
-//!   non-transactional access that conflicts with an active hardware transaction
-//!   *dooms* that transaction; the victim observes the doom at its next operation or
-//!   at commit. This also provides TSX's *strong atomicity*.
+//!   requester-wins semantics mirroring MESI invalidation, implemented lock-free as
+//!   one packed `AtomicU64` per line (56-bit reader bitmap + writer byte, CAS
+//!   updates). A transactional or non-transactional access that conflicts with an
+//!   active hardware transaction *dooms* that transaction; the victim observes the
+//!   doom at its next operation or at commit. This also provides TSX's *strong
+//!   atomicity*.
 //! * **Capacity limits** ([`cache::L1Model`]): written lines must fit a simulated
 //!   set-associative L1 data cache (default 64 sets x 8 ways = 32 KB); evictions of
 //!   written lines abort with [`AbortCode::Capacity`]. Read lines have a separate,
@@ -50,6 +52,7 @@ pub mod cache;
 pub mod config;
 pub mod heap;
 pub mod line_table;
+pub mod line_table_ref;
 pub mod registry;
 pub mod stats;
 pub mod system;

@@ -1,64 +1,165 @@
 //! Line-granular ownership table: the simulator's stand-in for the cache-coherence
 //! protocol's conflict detection.
 //!
-//! Every cache line of the heap has a slot recording which active hardware
-//! transactions hold it in their read or write sets. Accesses — transactional or not
-//! — consult the slot for the target line under its lock and resolve conflicts
-//! *requester-wins*: the requester dooms the current owner(s) and proceeds, exactly
-//! as a MESI invalidation message aborts the transaction monitoring the line. A peer
-//! that already reached `Committing` stalls the requester briefly instead (see
-//! [`crate::registry`]).
+//! Every cache line of the heap has one **packed `AtomicU64`** recording which
+//! active hardware transactions hold it in their read or write sets:
 //!
-//! The table is direct-indexed by line id (one slot per heap line): conflict checks
-//! on the simulator's hot path are a single lock + field update, mirroring the cost
-//! profile of real coherence hardware rather than adding hash-map overhead to every
-//! first access.
+//! ```text
+//!   63            56 55                                                     0
+//!  +----------------+-------------------------------------------------------+
+//!  |  writer byte   |                 reader bitmap (56 bits)               |
+//!  +----------------+-------------------------------------------------------+
+//!   0x00  no writer        bit t set  <=>  thread t holds the line in its
+//!   t+1   thread t                         transactional read set
+//!   0xFE  non-transactional write in progress (strong-atomicity claim)
+//! ```
+//!
+//! Accesses — transactional or not — resolve conflicts *requester-wins* with a
+//! single CAS loop on the line's word: the requester dooms the current owner(s)
+//! and installs its own registration in one atomic step, exactly as a MESI
+//! invalidation message aborts the transaction monitoring the line. A peer that
+//! already reached `Committing` stalls the requester briefly instead (see
+//! [`crate::registry`]). There is **no lock anywhere on this path**: a conflict
+//! check is one atomic load, zero or more status CASes on the victims, and one
+//! CAS on the line word; unregistration (commit publication / abort cleanup) is
+//! one atomic RMW per touched line.
+//!
+//! The table is direct-indexed by line id (one word per heap line), mirroring the
+//! cost profile of real coherence hardware rather than adding hash-map overhead
+//! to every first access.
+//!
+//! ## Lock-freedom caveats (deliberate, documented)
+//!
+//! * **Spurious dooms.** A requester dooms victims identified from a snapshot of
+//!   the line word. If the victim finishes that transaction and begins another
+//!   between the snapshot and the doom CAS, the doom hits the next incarnation.
+//!   Best-effort HTM explicitly permits spurious aborts, so this is semantically
+//!   sound; the window (rollback + table cleanup + restart, all inside one
+//!   requester access) makes it vanishingly rare in practice. *Lost* dooms and
+//!   *lost* registrations cannot happen — the full-word CAS fails whenever
+//!   ownership changed, and the requester re-inspects.
+//! * **Doomed owners keep their bits.** Dooming a writer/reader does not clear
+//!   its registration; the victim removes its own bits during rollback. A new
+//!   writer simply overwrites the writer byte (the victim's cleanup tolerates
+//!   that), matching the old behaviour where `entry.writer = Some(t)` displaced
+//!   the doomed owner.
+//! * **Strong atomicity claim.** A non-transactional *write* must execute
+//!   atomically with its conflict resolution (otherwise a hardware transaction
+//!   could register a read between the doom sweep and the store and keep a stale
+//!   value). The claim byte `0xFE` provides that window: while it is held, every
+//!   transactional registration and every other non-transactional write backs
+//!   off ([`AccessOutcome::Wait`]); readers can only *leave* (unregister). A
+//!   non-transactional *read* needs no claim — it dooms a conflicting writer
+//!   (whose buffered stores can then never be published) and performs one atomic
+//!   heap load.
+//!
+//! The 56-bit reader bitmap caps the machine at
+//! [`MAX_THREADS`](crate::registry::MAX_THREADS) = 56 simulated hardware
+//! threads, asserted at construction here, in [`crate::registry::TxRegistry`],
+//! and in [`crate::HtmConfig::validate`]. See `docs/line-table.md`.
+//!
+//! A mutex-based reference implementation with identical semantics lives in
+//! [`crate::line_table_ref`]; it serves as the differential-testing oracle and
+//! the "before" baseline of the `linebench` microbenchmark.
 
 use crate::heap::Line;
-use crate::registry::{DoomOutcome, ThreadId, TxRegistry};
-use parking_lot::Mutex;
+use crate::registry::{DoomOutcome, Requester, ThreadId, TxRegistry, MAX_THREADS};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Result of attempting to register an access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessOutcome {
     /// Access registered; all conflicting peers were doomed.
     Ok,
-    /// A conflicting peer is mid-commit; the caller must back off and retry.
+    /// A conflicting peer is mid-commit (or a non-transactional write holds the
+    /// line's claim); the caller must back off and retry.
     Wait,
 }
 
-#[derive(Clone, Copy, Default)]
-struct LineEntry {
-    /// Thread currently holding the line in its transactional write set, if any.
-    writer: Option<ThreadId>,
-    /// Bitmap of threads holding the line in their transactional read sets.
-    readers: u64,
+/// Low 56 bits: one reader bit per thread.
+const READERS_MASK: u64 = (1 << 56) - 1;
+/// High byte: the writer registration.
+const WRITER_SHIFT: u32 = 56;
+const WRITER_MASK: u64 = 0xFF << WRITER_SHIFT;
+/// Writer-byte value marking an in-progress non-transactional write.
+const NT_CLAIM_BYTE: u64 = 0xFE;
+const NT_CLAIM: u64 = NT_CLAIM_BYTE << WRITER_SHIFT;
+
+/// Decoded writer byte of a line word.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Writer {
+    None,
+    Thread(ThreadId),
+    NtClaim,
 }
 
-impl LineEntry {
-    fn is_empty(&self) -> bool {
-        self.writer.is_none() && self.readers == 0
+#[inline(always)]
+fn writer_of(word: u64) -> Writer {
+    match word >> WRITER_SHIFT {
+        0 => Writer::None,
+        NT_CLAIM_BYTE => Writer::NtClaim,
+        b => Writer::Thread((b - 1) as ThreadId),
     }
 }
 
-/// Direct-indexed table mapping every heap line to its transactional owners.
+#[inline(always)]
+fn writer_word(t: ThreadId) -> u64 {
+    (t as u64 + 1) << WRITER_SHIFT
+}
+
+#[inline(always)]
+fn reader_bit(t: ThreadId) -> u64 {
+    1u64 << t
+}
+
+/// Swap the claim byte back to the (possibly displaced doomed) writer byte it
+/// replaced. While the claim is held no other writer byte can appear — every
+/// registration and competing claim backs off on `0xFE` — so only the reader
+/// bits can have changed.
+///
+/// If the displaced writer unregistered *during* the claim (its `unregister`
+/// sees a byte that is not its own and leaves it), the restore briefly
+/// resurrects a stale byte; the next access observes `DoomOutcome::Gone` and
+/// clears it, exactly like any other stale-entry case.
+#[inline]
+fn release_claim(w: &AtomicU64, saved_writer: u64) {
+    let mut cur = w.load(Ordering::SeqCst);
+    loop {
+        debug_assert_eq!(cur & WRITER_MASK, NT_CLAIM);
+        let new = (cur & READERS_MASK) | saved_writer;
+        match w.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Direct-indexed table mapping every heap line to its packed owner word.
 pub struct LineTable {
-    entries: Box<[Mutex<LineEntry>]>,
+    words: Box<[AtomicU64]>,
 }
 
 impl LineTable {
     /// Create a table covering `n_lines` heap lines.
     pub fn new(n_lines: usize) -> Self {
+        // The bitmap layout is the load-bearing invariant of this module; check
+        // it at compile time rather than on every access.
+        const {
+            assert!(
+                MAX_THREADS <= 56,
+                "packed line word holds at most 56 reader bits"
+            );
+        }
         let mut v = Vec::with_capacity(n_lines);
-        v.resize_with(n_lines, || Mutex::new(LineEntry::default()));
+        v.resize_with(n_lines, || AtomicU64::new(0));
         Self {
-            entries: v.into_boxed_slice(),
+            words: v.into_boxed_slice(),
         }
     }
 
-    #[inline]
-    fn slot(&self, line: Line) -> &Mutex<LineEntry> {
-        &self.entries[line as usize]
+    #[inline(always)]
+    fn word(&self, line: Line) -> &AtomicU64 {
+        &self.words[line as usize]
     }
 
     /// Register thread `t` as a transactional reader of `line`.
@@ -66,51 +167,76 @@ impl LineTable {
     /// Dooms a conflicting transactional writer (reading a line in another core's
     /// transactionally-modified state invalidates that transaction).
     pub fn tx_read(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
-        let mut entry = self.slot(line).lock();
-        if let Some(w) = entry.writer {
-            if w != t {
-                match reg.doom(w, t) {
+        debug_assert!((t as usize) < MAX_THREADS);
+        let w = self.word(line);
+        let me = reader_bit(t);
+        let mut cur = w.load(Ordering::SeqCst);
+        loop {
+            let new = match writer_of(cur) {
+                Writer::None => cur | me,
+                Writer::Thread(owner) if owner == t => cur | me,
+                Writer::Thread(owner) => match reg.doom(owner, Requester::Thread(t)) {
                     DoomOutcome::MustWait => return AccessOutcome::Wait,
-                    DoomOutcome::Doomed => {}
-                    DoomOutcome::Gone => entry.writer = None,
-                }
+                    // The doomed victim clears its own byte during rollback.
+                    DoomOutcome::Doomed => cur | me,
+                    // Stale byte from a finished incarnation: clear it ourselves.
+                    DoomOutcome::Gone => (cur & !WRITER_MASK) | me,
+                },
+                Writer::NtClaim => return AccessOutcome::Wait,
+            };
+            if new == cur {
+                return AccessOutcome::Ok;
+            }
+            match w.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return AccessOutcome::Ok,
+                Err(observed) => cur = observed,
             }
         }
-        entry.readers |= 1u64 << t;
-        AccessOutcome::Ok
     }
 
     /// Register thread `t` as the transactional writer of `line`.
     ///
-    /// Dooms the conflicting writer and every conflicting reader (a write request for
-    /// ownership invalidates all other copies of the line).
+    /// Dooms the conflicting writer and every conflicting reader (a write request
+    /// for ownership invalidates all other copies of the line). Reader bits are
+    /// left in place — doomed readers unregister themselves during rollback.
     pub fn tx_write(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
-        let mut entry = self.slot(line).lock();
-        if let Some(w) = entry.writer {
-            if w != t {
-                match reg.doom(w, t) {
+        debug_assert!((t as usize) < MAX_THREADS);
+        let w = self.word(line);
+        let mut cur = w.load(Ordering::SeqCst);
+        loop {
+            match writer_of(cur) {
+                Writer::None => {}
+                Writer::Thread(owner) if owner == t => {}
+                Writer::Thread(owner) => match reg.doom(owner, Requester::Thread(t)) {
                     DoomOutcome::MustWait => return AccessOutcome::Wait,
-                    DoomOutcome::Doomed => {}
-                    DoomOutcome::Gone => {}
+                    // Either way the byte is overwritten below; a doomed victim's
+                    // cleanup tolerates its byte having been displaced.
+                    DoomOutcome::Doomed | DoomOutcome::Gone => {}
+                },
+                Writer::NtClaim => return AccessOutcome::Wait,
+            }
+            let mut readers = cur & READERS_MASK & !reader_bit(t);
+            while readers != 0 {
+                let r = readers.trailing_zeros() as ThreadId;
+                readers &= readers - 1;
+                match reg.doom(r, Requester::Thread(t)) {
+                    DoomOutcome::MustWait => return AccessOutcome::Wait,
+                    DoomOutcome::Doomed | DoomOutcome::Gone => {}
                 }
             }
-        }
-        let mut readers = entry.readers & !(1u64 << t);
-        while readers != 0 {
-            let r = readers.trailing_zeros() as ThreadId;
-            readers &= readers - 1;
-            match reg.doom(r, t) {
-                DoomOutcome::MustWait => return AccessOutcome::Wait,
-                DoomOutcome::Doomed | DoomOutcome::Gone => {}
+            let new = (cur & READERS_MASK) | writer_word(t);
+            match w.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return AccessOutcome::Ok,
+                // Ownership changed under us (new reader/writer/claim): re-doom
+                // from the fresh snapshot. Re-dooming is idempotent.
+                Err(observed) => cur = observed,
             }
         }
-        entry.writer = Some(t);
-        AccessOutcome::Ok
     }
 
-    /// Strong atomicity: a non-transactional access to `line` by `by` (if `by` is a
-    /// registered simulator thread). A non-transactional read dooms a transactional
-    /// writer; a non-transactional write dooms the writer and all readers.
+    /// Strong atomicity: a non-transactional access to `line` by `by`. A
+    /// non-transactional read dooms a transactional writer; a non-transactional
+    /// write dooms the writer and all readers.
     ///
     /// Nothing is registered — non-transactional accesses are not monitored.
     pub fn nt_access(
@@ -118,7 +244,7 @@ impl LineTable {
         reg: &TxRegistry,
         line: Line,
         is_write: bool,
-        by: Option<ThreadId>,
+        by: Requester,
     ) -> AccessOutcome {
         match self.nt_execute(reg, line, is_write, by, || ()) {
             Ok(()) => AccessOutcome::Ok,
@@ -127,69 +253,158 @@ impl LineTable {
     }
 
     /// Execute a non-transactional heap access atomically with its conflict
-    /// resolution: conflicting owners are doomed *and* `op` runs before the line
-    /// lock is released. This closes the window in which a hardware transaction could
-    /// register a read between the conflict check and the non-transactional store and
-    /// keep a stale value (strong atomicity would be violated otherwise).
+    /// resolution.
     ///
-    /// Returns `Err(())` if a committing peer forces a wait; the caller retries.
-    /// The unit error is deliberate: "wait and retry" carries no information.
+    /// For a *write*, the claim byte is installed first: conflicting owners are
+    /// doomed and `op` runs before the claim is released, closing the window in
+    /// which a hardware transaction could register a read between the conflict
+    /// check and the non-transactional store and keep a stale value (strong
+    /// atomicity would be violated otherwise). A *read* needs no claim: dooming
+    /// the writer already prevents its buffered stores from ever publishing, and
+    /// the single heap load is itself atomic.
+    ///
+    /// Returns `Err(())` if a committing peer (or a concurrent claim holder)
+    /// forces a wait; the caller retries. The unit error is deliberate: "wait and
+    /// retry" carries no information.
     #[allow(clippy::result_unit_err)]
     pub fn nt_execute<R>(
         &self,
         reg: &TxRegistry,
         line: Line,
         is_write: bool,
-        by: Option<ThreadId>,
+        by: Requester,
         op: impl FnOnce() -> R,
     ) -> Result<R, ()> {
-        let mut entry = self.slot(line).lock();
-        if !entry.is_empty() {
-            if let Some(w) = entry.writer {
-                if Some(w) != by {
-                    match reg.doom(w, by.unwrap_or(63)) {
-                        DoomOutcome::MustWait => return Err(()),
-                        DoomOutcome::Doomed => {}
-                        DoomOutcome::Gone => entry.writer = None,
+        let w = self.word(line);
+        if !is_write {
+            // Read path: doom a conflicting writer, then load.
+            let mut cur = w.load(Ordering::SeqCst);
+            loop {
+                match writer_of(cur) {
+                    Writer::None => break,
+                    Writer::NtClaim => return Err(()),
+                    Writer::Thread(owner) if Requester::Thread(owner) == by => {
+                        debug_assert!(
+                            false,
+                            "non-transactional access to a line in the caller's own active write set"
+                        );
+                        break;
                     }
-                } else {
+                    Writer::Thread(owner) => match reg.doom(owner, by) {
+                        DoomOutcome::MustWait => return Err(()),
+                        DoomOutcome::Doomed => break,
+                        DoomOutcome::Gone => {
+                            // Tidy the stale byte so later accesses skip the doom.
+                            match w.compare_exchange_weak(
+                                cur,
+                                cur & !WRITER_MASK,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            ) {
+                                Ok(_) => break,
+                                Err(observed) => cur = observed,
+                            }
+                        }
+                    },
+                }
+            }
+            return Ok(op());
+        }
+
+        // Write path, phase 1: install the claim byte, dooming a conflicting
+        // transactional writer on the way. A doomed writer stays registered (its
+        // own rollback unregisters it), so its displaced byte is restored when
+        // the claim is released; a stale byte (`Gone`) is dropped instead.
+        let mut cur = w.load(Ordering::SeqCst);
+        let (claimed, saved_writer) = loop {
+            let saved = match writer_of(cur) {
+                Writer::None => 0,
+                Writer::NtClaim => return Err(()),
+                Writer::Thread(owner) if Requester::Thread(owner) == by => {
                     debug_assert!(
                         false,
                         "non-transactional access to a line in the caller's own active write set"
                     );
+                    // Invalid state; degrade to an unclaimed store rather than
+                    // displacing the caller's own registration.
+                    return Ok(op());
                 }
+                Writer::Thread(owner) => match reg.doom(owner, by) {
+                    DoomOutcome::MustWait => return Err(()),
+                    DoomOutcome::Doomed => cur & WRITER_MASK,
+                    DoomOutcome::Gone => 0,
+                },
+            };
+            let new = (cur & READERS_MASK) | NT_CLAIM;
+            match w.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break (new, saved),
+                Err(observed) => cur = observed,
             }
-            if is_write {
-                let mut readers = entry.readers;
-                if let Some(b) = by {
-                    readers &= !(1u64 << b);
+        };
+
+        // Phase 2 (claim held): no new registration can land — tx_read/tx_write
+        // and other claims back off on 0xFE; readers can only unregister. Doom
+        // the snapshot's readers, run `op`, release.
+        let self_bit = match by {
+            Requester::Thread(b) => reader_bit(b),
+            Requester::External => 0,
+        };
+        let mut readers = claimed & READERS_MASK & !self_bit;
+        while readers != 0 {
+            let r = readers.trailing_zeros() as ThreadId;
+            readers &= readers - 1;
+            match reg.doom(r, by) {
+                DoomOutcome::MustWait => {
+                    // A reader is mid-commit: back off entirely and retry.
+                    release_claim(w, saved_writer);
+                    return Err(());
                 }
-                while readers != 0 {
-                    let r = readers.trailing_zeros() as ThreadId;
-                    readers &= readers - 1;
-                    match reg.doom(r, by.unwrap_or(63)) {
-                        DoomOutcome::MustWait => return Err(()),
-                        DoomOutcome::Doomed | DoomOutcome::Gone => {}
-                    }
-                }
+                DoomOutcome::Doomed | DoomOutcome::Gone => {}
             }
         }
-        Ok(op())
+        let out = op();
+        release_claim(w, saved_writer);
+        Ok(out)
     }
 
-    /// Remove thread `t`'s registration (reader and/or writer) for `line`.
-    /// Called during commit publication and abort cleanup.
+    /// Remove thread `t`'s registration (reader and/or writer) for `line`: one
+    /// atomic RMW, no lock. Called during commit publication and abort cleanup
+    /// for every touched line.
+    ///
+    /// The writer byte is cleared only if it still belongs to `t` — a requester
+    /// or claim holder may have displaced it after dooming `t`.
     pub fn unregister(&self, line: Line, t: ThreadId) {
-        let mut entry = self.slot(line).lock();
-        entry.readers &= !(1u64 << t);
-        if entry.writer == Some(t) {
-            entry.writer = None;
+        let w = self.word(line);
+        let me_bit = reader_bit(t);
+        let me_writer = writer_word(t);
+        let mut cur = w.load(Ordering::SeqCst);
+        loop {
+            let mut new = cur & !me_bit;
+            if cur & WRITER_MASK == me_writer {
+                new &= !WRITER_MASK;
+            }
+            if new == cur {
+                return;
+            }
+            match w.compare_exchange_weak(cur, new, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
         }
     }
 
     /// Total number of live line registrations (diagnostics / leak tests).
     pub fn live_entries(&self) -> usize {
-        self.entries.iter().filter(|e| !e.lock().is_empty()).count()
+        self.words
+            .iter()
+            .filter(|w| w.load(Ordering::SeqCst) != 0)
+            .count()
+    }
+
+    /// Raw packed word for `line` (test/diagnostic introspection).
+    #[doc(hidden)]
+    pub fn raw_word(&self, line: Line) -> u64 {
+        self.word(line).load(Ordering::SeqCst)
     }
 }
 
@@ -255,7 +470,10 @@ mod tests {
         reg.begin(1);
         assert_eq!(tab.tx_read(&reg, 9, 1), AccessOutcome::Wait);
         assert_eq!(tab.tx_write(&reg, 9, 1), AccessOutcome::Wait);
-        assert_eq!(tab.nt_access(&reg, 9, false, None), AccessOutcome::Wait);
+        assert_eq!(
+            tab.nt_access(&reg, 9, false, Requester::External),
+            AccessOutcome::Wait
+        );
         // After the committer finishes and unregisters, access proceeds.
         tab.unregister(9, 0);
         reg.finish(0);
@@ -269,7 +487,10 @@ mod tests {
         reg.begin(1);
         tab.tx_read(&reg, 3, 0);
         tab.tx_write(&reg, 3, 1);
-        assert_eq!(tab.nt_access(&reg, 3, true, None), AccessOutcome::Ok);
+        assert_eq!(
+            tab.nt_access(&reg, 3, true, Requester::External),
+            AccessOutcome::Ok
+        );
         assert!(reg.is_doomed(0));
         assert!(reg.is_doomed(1));
     }
@@ -279,7 +500,10 @@ mod tests {
         let (tab, reg) = setup();
         reg.begin(0);
         tab.tx_read(&reg, 3, 0);
-        assert_eq!(tab.nt_access(&reg, 3, false, None), AccessOutcome::Ok);
+        assert_eq!(
+            tab.nt_access(&reg, 3, false, Requester::External),
+            AccessOutcome::Ok
+        );
         assert!(!reg.is_doomed(0));
     }
 
@@ -289,8 +513,11 @@ mod tests {
         reg.begin(0);
         tab.tx_read(&reg, 3, 0);
         // Thread 0's own non-transactional write to a line it only *reads*
-        // transactionally: nt_access with by=Some(0) spares thread 0's read entry.
-        assert_eq!(tab.nt_access(&reg, 3, true, Some(0)), AccessOutcome::Ok);
+        // transactionally: by=Thread(0) spares thread 0's read entry.
+        assert_eq!(
+            tab.nt_access(&reg, 3, true, Requester::Thread(0)),
+            AccessOutcome::Ok
+        );
         assert!(!reg.is_doomed(0));
     }
 
@@ -304,5 +531,47 @@ mod tests {
         tab.unregister(1, 0);
         tab.unregister(2, 0);
         assert_eq!(tab.live_entries(), 0);
+    }
+
+    #[test]
+    fn packed_word_layout() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(3);
+        tab.tx_read(&reg, 7, 3);
+        tab.tx_write(&reg, 7, 0);
+        // Reader bit 3 kept, writer byte = 0 + 1.
+        assert_eq!(tab.raw_word(7), (1 << 3) | (1u64 << 56));
+        tab.unregister(7, 3);
+        tab.unregister(7, 0);
+        assert_eq!(tab.raw_word(7), 0);
+    }
+
+    #[test]
+    fn displaced_writer_unregister_keeps_new_owner() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        reg.begin(1);
+        tab.tx_write(&reg, 4, 0);
+        // Requester 1 dooms 0 and takes the writer byte.
+        assert_eq!(tab.tx_write(&reg, 4, 1), AccessOutcome::Ok);
+        assert!(reg.is_doomed(0));
+        // Victim 0's rollback must not clobber the new owner's byte.
+        tab.unregister(4, 0);
+        assert_eq!(tab.raw_word(4) >> 56, 1 + 1);
+    }
+
+    #[test]
+    fn nt_write_after_unregistered_writer_is_clean() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        tab.tx_write(&reg, 2, 0);
+        tab.unregister(2, 0);
+        reg.finish(0);
+        assert_eq!(
+            tab.nt_access(&reg, 2, true, Requester::External),
+            AccessOutcome::Ok
+        );
+        assert_eq!(tab.raw_word(2), 0, "claim byte must be released");
     }
 }

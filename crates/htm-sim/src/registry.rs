@@ -10,8 +10,32 @@
 use crate::abort::AbortCode;
 use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Thread identifier. Bounded by the configured `max_threads` (<= 64).
+/// Hard ceiling on simulated hardware threads.
+///
+/// The conflict table packs each line's ownership into a single `AtomicU64`:
+/// a 56-bit reader bitmap plus an 8-bit writer byte (see [`crate::line_table`]),
+/// so thread ids must fit in 56 bitmap positions. Asserted here and in
+/// [`crate::HtmConfig::validate`].
+pub const MAX_THREADS: usize = 56;
+
+/// Thread identifier. Bounded by the configured `max_threads` (<= [`MAX_THREADS`]).
 pub type ThreadId = u8;
+
+/// Identity of the agent performing a conflicting access.
+///
+/// Conflict-table operations need to know *who* is requesting an access, both to
+/// skip self-conflicts and to sanity-check that no thread dooms itself. Strongly
+/// atomic non-transactional accesses can also originate outside the simulated
+/// machine (verification code, harness checksums); those use [`Requester::External`]
+/// rather than a reserved fake thread id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Requester {
+    /// A registered simulator thread (id < configured `max_threads`).
+    Thread(ThreadId),
+    /// An agent outside the simulated machine; never owns table entries and can
+    /// never collide with a victim's id.
+    External,
+}
 
 /// Status of a thread's current hardware transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,7 +102,10 @@ pub struct TxRegistry {
 impl TxRegistry {
     /// Create a registry for `max_threads` hardware threads.
     pub fn new(max_threads: usize) -> Self {
-        assert!((1..=64).contains(&max_threads));
+        assert!(
+            (1..=MAX_THREADS).contains(&max_threads),
+            "max_threads must be in 1..={MAX_THREADS} (packed line-table reader bitmap)"
+        );
         let mut v = Vec::with_capacity(max_threads);
         v.resize_with(max_threads, TxSlot::new);
         Self {
@@ -142,13 +169,22 @@ impl TxRegistry {
         self.status(t) == TxStatus::Doomed
     }
 
-    /// Requester-wins conflict resolution: thread `requester` dooms thread `victim`.
+    /// Requester-wins conflict resolution: `requester` dooms thread `victim`.
     ///
-    /// Must be called while holding the line-table stripe lock that proves `victim`
-    /// currently owns the contended line, which guarantees the status observed here
-    /// belongs to the owning incarnation.
-    pub fn doom(&self, victim: ThreadId, requester: ThreadId) -> DoomOutcome {
-        debug_assert_ne!(victim, requester, "self-doom is a logic error");
+    /// Callers identify `victim` from a lock-free snapshot of a conflict-table
+    /// word, so by the time the CAS below lands, `victim` may have finished that
+    /// transaction and begun another: the doom then hits the *next* incarnation.
+    /// Such spurious dooms are semantically sound — best-effort HTM may abort any
+    /// transaction at any time for any reason — and are vanishingly rare (the
+    /// victim must roll back, clear its table entries, and restart inside the
+    /// requester's read-doom-CAS window). Lost dooms cannot happen: the table
+    /// word CAS fails if ownership changed, and the requester re-inspects.
+    pub fn doom(&self, victim: ThreadId, requester: Requester) -> DoomOutcome {
+        debug_assert_ne!(
+            Requester::Thread(victim),
+            requester,
+            "self-doom is a logic error"
+        );
         let slot = &self.slots[victim as usize];
         loop {
             let cur = slot.status.load(Ordering::SeqCst);
@@ -196,7 +232,7 @@ mod tests {
     fn doom_active_peer() {
         let r = TxRegistry::new(4);
         r.begin(1);
-        assert_eq!(r.doom(1, 0), DoomOutcome::Doomed);
+        assert_eq!(r.doom(1, Requester::Thread(0)), DoomOutcome::Doomed);
         assert!(r.is_doomed(1));
         // Doomed transactions cannot start committing.
         assert!(r.start_commit(1).is_err());
@@ -208,17 +244,17 @@ mod tests {
         let r = TxRegistry::new(4);
         r.begin(1);
         r.start_commit(1).unwrap();
-        assert_eq!(r.doom(1, 0), DoomOutcome::MustWait);
+        assert_eq!(r.doom(1, Requester::Thread(0)), DoomOutcome::MustWait);
         r.finish(1);
-        assert_eq!(r.doom(1, 0), DoomOutcome::Gone);
+        assert_eq!(r.doom(1, Requester::Thread(0)), DoomOutcome::Gone);
     }
 
     #[test]
     fn doom_idempotent() {
         let r = TxRegistry::new(4);
         r.begin(1);
-        assert_eq!(r.doom(1, 0), DoomOutcome::Doomed);
-        assert_eq!(r.doom(1, 2), DoomOutcome::Doomed);
+        assert_eq!(r.doom(1, Requester::Thread(0)), DoomOutcome::Doomed);
+        assert_eq!(r.doom(1, Requester::Thread(2)), DoomOutcome::Doomed);
         r.finish(1);
     }
 

@@ -6,7 +6,7 @@ use crate::cache::L1Model;
 use crate::config::HtmConfig;
 use crate::heap::{Addr, Heap, Line};
 use crate::line_table::LineTable;
-use crate::registry::{ThreadId, TxRegistry};
+use crate::registry::{Requester, ThreadId, TxRegistry};
 use crate::stats::HtmStats;
 use crate::txn::HtmTx;
 use crate::util::FastMap;
@@ -87,27 +87,23 @@ impl HtmSystem {
         }
     }
 
-    #[inline]
-    fn spin(&self) {
-        // Single stripe-holder finishes quickly; on an oversubscribed machine we must
-        // yield so the committing thread gets scheduled.
-        std::thread::yield_now();
-    }
-
     fn nt_op<R>(
         &self,
         line: Line,
         is_write: bool,
-        by: Option<ThreadId>,
+        by: Requester,
         mut op: impl FnMut() -> R,
     ) -> R {
+        let mut backoff = crate::util::Backoff::new();
         loop {
             match self
                 .table
                 .nt_execute(&self.registry, line, is_write, by, &mut op)
             {
                 Ok(r) => return r,
-                Err(()) => self.spin(),
+                // A committer or claim holder finishes quickly; spin briefly,
+                // then yield so it gets scheduled on an oversubscribed machine.
+                Err(()) => backoff.snooze(),
             }
         }
     }
@@ -115,12 +111,14 @@ impl HtmSystem {
     /// Strongly atomic non-transactional read (anonymous accessor, e.g. verification
     /// code). Dooms a hardware transaction that wrote `addr`'s line.
     pub fn nt_read(&self, addr: Addr) -> u64 {
-        self.nt_op(crate::line_of(addr), false, None, || self.heap.load(addr))
+        self.nt_op(crate::line_of(addr), false, Requester::External, || {
+            self.heap.load(addr)
+        })
     }
 
     /// Strongly atomic non-transactional write (anonymous accessor).
     pub fn nt_write(&self, addr: Addr, val: u64) {
-        self.nt_op(crate::line_of(addr), true, None, || {
+        self.nt_op(crate::line_of(addr), true, Requester::External, || {
             self.heap.store(addr, val)
         })
     }
@@ -128,49 +126,49 @@ impl HtmSystem {
     /// Strongly atomic non-transactional read performed by simulator thread `t`
     /// (software code of a TM protocol running between hardware transactions).
     pub fn nt_read_by(&self, t: ThreadId, addr: Addr) -> u64 {
-        self.nt_op(crate::line_of(addr), false, Some(t), || {
+        self.nt_op(crate::line_of(addr), false, Requester::Thread(t), || {
             self.heap.load(addr)
         })
     }
 
     /// Strongly atomic non-transactional write by thread `t`.
     pub fn nt_write_by(&self, t: ThreadId, addr: Addr, val: u64) {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.store(addr, val)
         })
     }
 
     /// Strongly atomic non-transactional compare-and-swap by thread `t`.
     pub fn nt_cas_by(&self, t: ThreadId, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.cas(addr, current, new)
         })
     }
 
     /// Strongly atomic non-transactional fetch-add by thread `t`.
     pub fn nt_fetch_add_by(&self, t: ThreadId, addr: Addr, delta: u64) -> u64 {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.fetch_add(addr, delta)
         })
     }
 
     /// Strongly atomic non-transactional fetch-subtract by thread `t`.
     pub fn nt_fetch_sub_by(&self, t: ThreadId, addr: Addr, delta: u64) -> u64 {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.fetch_sub(addr, delta)
         })
     }
 
     /// Strongly atomic non-transactional fetch-or by thread `t`.
     pub fn nt_fetch_or_by(&self, t: ThreadId, addr: Addr, bits: u64) -> u64 {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.fetch_or(addr, bits)
         })
     }
 
     /// Strongly atomic non-transactional fetch-and by thread `t`.
     pub fn nt_fetch_and_by(&self, t: ThreadId, addr: Addr, bits: u64) -> u64 {
-        self.nt_op(crate::line_of(addr), true, Some(t), || {
+        self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
             self.heap.fetch_and(addr, bits)
         })
     }

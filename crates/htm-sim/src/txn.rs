@@ -127,6 +127,7 @@ impl<'a, 's> HtmTx<'a, 's> {
         let st = self.th.lstate[line as usize];
         if st.epoch != self.th.epoch {
             // First access to this line: register it in the conflict table.
+            let mut backoff = crate::util::Backoff::new();
             loop {
                 match self
                     .th
@@ -139,7 +140,7 @@ impl<'a, 's> HtmTx<'a, 's> {
                         if self.doomed() {
                             return Err(self.fail(AbortCode::Conflict));
                         }
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
                 }
             }
@@ -179,6 +180,7 @@ impl<'a, 's> HtmTx<'a, 's> {
         let st = self.th.lstate[line as usize];
         if st.epoch != self.th.epoch || st.flags & crate::system::LINE_WRITTEN == 0 {
             // First write to this line (possibly an upgrade from a read).
+            let mut backoff = crate::util::Backoff::new();
             loop {
                 match self
                     .th
@@ -191,7 +193,7 @@ impl<'a, 's> HtmTx<'a, 's> {
                         if self.doomed() {
                             return Err(self.fail(AbortCode::Conflict));
                         }
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
                 }
             }
@@ -233,6 +235,7 @@ impl<'a, 's> HtmTx<'a, 's> {
         let line = crate::line_of(addr);
         let st = self.th.lstate[line as usize];
         if st.epoch != self.th.epoch || st.flags & crate::system::LINE_WRITTEN == 0 {
+            let mut backoff = crate::util::Backoff::new();
             loop {
                 match self
                     .th
@@ -245,7 +248,7 @@ impl<'a, 's> HtmTx<'a, 's> {
                         if self.doomed() {
                             return Err(self.fail(AbortCode::Conflict));
                         }
-                        std::thread::yield_now();
+                        backoff.snooze();
                     }
                 }
             }

@@ -49,6 +49,41 @@ pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildFib>;
 /// HashSet keyed by small integers using the fast hasher.
 pub type FastSet<K> = std::collections::HashSet<K, BuildFib>;
 
+/// Bounded exponential backoff for the conflict table's wait loops.
+///
+/// A `Committing` peer or a strong-atomicity claim holder finishes within a few
+/// hundred instructions, so the first rounds busy-spin with `spin_loop` hints
+/// (doubling 1→32 iterations); after that the waiter falls back to
+/// `yield_now`, which is mandatory on oversubscribed machines (the CI host has
+/// a single core — a pure spin would wait out the blocker's entire timeslice).
+#[derive(Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Maximum busy-spin rounds before every wait becomes an OS yield.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// Fresh backoff, starting at the shortest spin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wait a little longer than last time.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step < Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,190 @@
+//! Multi-threaded stress of the lock-free conflict table at the raw table level:
+//! concurrent `tx_read` / `tx_write` / `nt_execute` / `unregister` with the
+//! requester-wins protocol driven by hand, checking that no doom and no
+//! registration is ever lost.
+//!
+//! The oracle is a counter argument: each worker repeatedly runs the canonical
+//! read-modify-write transaction protocol (register read -> load -> register
+//! write -> start_commit -> store -> unregister -> finish) against a handful of
+//! contended lines, while interferer threads apply non-transactional increments
+//! through the strong-atomicity claim. If the table ever lost a registration
+//! (a committed transaction whose read was invisible to a conflicting writer) or
+//! lost a doom (a victim that commits anyway), two increments would overlap and
+//! the final counter values would undercount the successful operations.
+
+use htm_sim::heap::Heap;
+use htm_sim::line_table::{AccessOutcome, LineTable};
+use htm_sim::registry::{Requester, ThreadId, TxRegistry, TxStatus};
+use htm_sim::util::Backoff;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const LINES: u32 = 4;
+const WORDS_PER_LINE: u32 = 8;
+
+struct Machine {
+    table: LineTable,
+    reg: TxRegistry,
+    heap: Heap,
+}
+
+impl Machine {
+    fn new(threads: usize) -> Self {
+        Self {
+            table: LineTable::new(LINES as usize),
+            reg: TxRegistry::new(threads),
+            heap: Heap::new((LINES * WORDS_PER_LINE) as usize),
+        }
+    }
+
+    /// One transactional increment of `line`'s counter word, retried until it
+    /// commits. Returns the number of aborted attempts.
+    fn tx_increment(&self, t: ThreadId, line: u32) -> u64 {
+        let addr = line * WORDS_PER_LINE;
+        let mut aborts = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            self.reg.begin(t);
+            match self.try_increment(t, line, addr) {
+                Ok(()) => return aborts,
+                Err(()) => {
+                    self.table.unregister(line, t);
+                    self.reg.finish(t);
+                    aborts += 1;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+
+    fn try_increment(&self, t: ThreadId, line: u32, addr: u32) -> Result<(), ()> {
+        if self.table.tx_read(&self.reg, line, t) != AccessOutcome::Ok {
+            return Err(());
+        }
+        let v = self.heap.load(addr);
+        if self.reg.is_doomed(t) {
+            return Err(());
+        }
+        if self.table.tx_write(&self.reg, line, t) != AccessOutcome::Ok {
+            return Err(());
+        }
+        if self.reg.start_commit(t).is_err() {
+            return Err(());
+        }
+        // Committing: peers now MustWait; the publish cannot be invalidated.
+        self.heap.store(addr, v + 1);
+        self.table.unregister(line, t);
+        self.reg.finish(t);
+        Ok(())
+    }
+
+    /// One strongly atomic non-transactional increment (load + store inside the
+    /// claim window, mutually exclusive with registrations and other claims).
+    fn nt_increment(&self, line: u32) {
+        let addr = line * WORDS_PER_LINE;
+        let mut backoff = Backoff::new();
+        loop {
+            let r = self
+                .table
+                .nt_execute(&self.reg, line, true, Requester::External, || {
+                    let v = self.heap.load(addr);
+                    self.heap.store(addr, v + 1);
+                });
+            match r {
+                Ok(()) => return,
+                Err(()) => backoff.snooze(),
+            }
+        }
+    }
+}
+
+#[test]
+fn no_lost_dooms_or_registrations_under_contention() {
+    const TX_THREADS: usize = 4;
+    const NT_THREADS: usize = 2;
+    const OPS: usize = 400;
+
+    let m = Machine::new(TX_THREADS);
+    let nt_done = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..TX_THREADS {
+            let m = &m;
+            s.spawn(move || {
+                for i in 0..OPS {
+                    let line = ((i + t) % LINES as usize) as u32;
+                    m.tx_increment(t as ThreadId, line);
+                }
+            });
+        }
+        for n in 0..NT_THREADS {
+            let m = &m;
+            let nt_done = &nt_done;
+            s.spawn(move || {
+                for i in 0..OPS {
+                    let line = ((i + n) % LINES as usize) as u32;
+                    m.nt_increment(line);
+                    nt_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let expected = (TX_THREADS * OPS) as u64 + nt_done.load(Ordering::Relaxed);
+    let total: u64 = (0..LINES).map(|l| m.heap.load(l * WORDS_PER_LINE)).sum();
+    assert_eq!(total, expected, "lost increment: doom or registration dropped");
+    assert_eq!(m.table.live_entries(), 0, "leaked line registrations");
+    for t in 0..TX_THREADS {
+        assert_eq!(m.reg.status(t as ThreadId), TxStatus::Inactive);
+    }
+}
+
+/// Hammer a single line with writer-upgrades from every thread plus external
+/// reads: the word must stay internally consistent (a writer byte only for a
+/// thread that registered it, reader bits only below the thread count) and end
+/// empty.
+#[test]
+fn single_line_ownership_word_stays_consistent() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 500;
+
+    let m = Machine::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let m = &m;
+            s.spawn(move || {
+                let t = t as ThreadId;
+                let mut backoff = Backoff::new();
+                for _ in 0..ROUNDS {
+                    self_check(m);
+                    m.reg.begin(t);
+                    let mut registered = false;
+                    if m.table.tx_read(&m.reg, 0, t) == AccessOutcome::Ok {
+                        registered = true;
+                        if m.table.tx_write(&m.reg, 0, t) != AccessOutcome::Ok {
+                            backoff.snooze();
+                        }
+                    }
+                    if registered {
+                        m.table.unregister(0, t);
+                    }
+                    m.reg.finish(t);
+                }
+            });
+        }
+    });
+    assert_eq!(m.table.live_entries(), 0);
+}
+
+fn self_check(m: &Machine) {
+    let word = m.table.raw_word(0);
+    let readers = word & ((1u64 << 56) - 1);
+    let writer = word >> 56;
+    assert!(
+        readers >> 6 == 0,
+        "reader bit above thread count: {readers:#x}"
+    );
+    assert!(
+        writer == 0 || writer == 0xFE || writer <= 6,
+        "invalid writer byte {writer:#x}"
+    );
+}

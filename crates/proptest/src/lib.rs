@@ -1,0 +1,356 @@
+//! Workspace-local, dependency-free stand-in for the subset of the crates.io
+//! `proptest` 1.x API this repository uses.
+//!
+//! The build environment has no network access (see `docs/offline.md`), so the
+//! real `proptest` cannot be fetched. This shim keeps the repository's
+//! property-test files compiling and running unchanged:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer ranges and
+//!   tuples of strategies;
+//! * [`strategy::Just`], [`collection::vec`], the [`prop_oneof!`] macro;
+//! * the [`proptest!`] test macro with `#![proptest_config(...)]`;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** On failure the offending inputs are printed verbatim
+//!   (their `Debug` form) instead of being minimised. Re-run with the printed
+//!   case to reproduce — generation is deterministic per test name.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its own
+//!   name, so a failing case reproduces on every run; there is no persistence
+//!   file (any `*.proptest-regressions` files in the tree are inert).
+
+use rand::rngs::SmallRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    #[doc(hidden)]
+    pub __non_exhaustive: (),
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            __non_exhaustive: (),
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: std::fmt::Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy yielding a constant value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (backs [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        pub arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: std::fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                #[inline]
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                #[inline]
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident/$i:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A/0);
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the repo's test files import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use super::*;
+
+    /// Deterministic per-test seed derived from the test path (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Run `cases` random cases of `body`, printing the generated inputs of a
+    /// failing case before propagating its panic.
+    pub fn run_cases<I: std::fmt::Debug>(
+        name: &str,
+        cases: u32,
+        generate: impl Fn(&mut SmallRng) -> I,
+        body: impl Fn(I),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed_for(name));
+        for case in 0..cases {
+            let input = generate(&mut rng);
+            let guard = FailureReporter {
+                name,
+                case,
+                desc: format!("{input:?}"),
+            };
+            body(input);
+            std::mem::forget(guard);
+        }
+    }
+
+    struct FailureReporter<'a> {
+        name: &'a str,
+        case: u32,
+        desc: String,
+    }
+
+    impl Drop for FailureReporter<'_> {
+        fn drop(&mut self) {
+            // Only reached on unwind (success path forgets the guard).
+            eprintln!(
+                "proptest[offline-shim] {} failed at case {} with input:\n  {}",
+                self.name, self.case, self.desc
+            );
+        }
+    }
+}
+
+/// `prop_assert!` — plain assert (no shrinking in the offline shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            arms: vec![$($crate::strategy::Strategy::boxed($arm)),+],
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro (offline shim: random cases, no
+/// shrinking, deterministic per-test seed).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    // The `#[test]` attribute the test files write is captured by `$(#[$m])*`
+    // and re-emitted verbatim on the generated zero-argument function.
+    (@cfg ($cfg:expr)
+        $(#[$m:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$m])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::__rt::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                __cfg.cases,
+                |__rng| ( $( ($strat).generate(__rng), )+ ),
+                |( $($arg,)+ )| $body,
+            );
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // With a leading config block.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Without one.
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let s = collection::vec((0u8..8, 1u64..100).prop_map(|(a, b)| (a, b)), 1..30);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..30).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 8);
+                assert!((1..100).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let s = prop_oneof![
+            (0u8..1).prop_map(|_| 0usize),
+            (0u8..1).prop_map(|_| 1usize),
+            (0u8..1).prop_map(|_| 2usize),
+        ];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: multiple args, doc comments, config.
+        #[test]
+        fn macro_roundtrip(xs in collection::vec(0u32..10, 0..5), y in 5u64..6) {
+            prop_assert!(xs.len() < 5);
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn second_property(v in (1usize..4, 0u8..2)) {
+            prop_assert!(v.0 >= 1 && v.0 < 4);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Workspace-local, dependency-free stand-in for the subset of the crates.io
+//! `rand` 0.8 API this repository uses.
+//!
+//! The build environment has no network access and no vendored registry, so the
+//! real `rand` crate cannot be fetched (see `docs/offline.md`). This crate keeps
+//! every `use rand::...` call site compiling unchanged by providing:
+//!
+//! * [`rngs::SmallRng`] — a xoshiro256++ generator (the same family the real
+//!   `rand`'s `SmallRng` uses on 64-bit targets), seeded via SplitMix64;
+//! * [`SeedableRng::seed_from_u64`];
+//! * the [`Rng`] extension methods the repo calls: `gen`, `gen_range`, `gen_bool`.
+//!
+//! Streams are deterministic for a given seed, which is all the simulator needs
+//! (workload sampling, injected interrupts). The exact values differ from the
+//! real `rand`, so seeds reproduce runs *within* this repository only.
+
+/// Random number engines.
+pub mod rngs {
+    /// xoshiro256++ small fast PRNG. Not cryptographically secure.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+/// Seeding interface (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed, expanded with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // xoshiro must not start from the all-zero state; SplitMix64 only emits
+        // it for astronomically unlikely seeds, but guard anyway.
+        let s = if s == [0; 4] { [1, 2, 3, 4] } else { s };
+        SmallRng { s }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution of real `rand`).
+pub trait Standard: Sized {
+    #[doc(hidden)]
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample(rng: &mut SmallRng) -> $t {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> bool {
+        rng.next_u64_impl() >> 63 != 0
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f64 {
+        (rng.next_u64_impl() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> f32 {
+        (rng.next_u64_impl() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    #[doc(hidden)]
+    fn sample_range(rng: &mut SmallRng, low: Self, high_excl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range(rng: &mut SmallRng, low: $t, high_excl: $t) -> $t {
+                // `high_excl` may have wrapped past MAX for inclusive ranges
+                // ending at MAX; the span arithmetic below stays correct.
+                let span = (high_excl as i128).wrapping_sub(low as i128) as u64;
+                debug_assert!(span != 0, "gen_range: empty range");
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per
+                // draw, irrelevant for simulation workloads.
+                let hi = ((rng.next_u64_impl() as u128 * span as u128) >> 64) as u64;
+                (low as i128).wrapping_add(hi as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    #[doc(hidden)]
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_sample_range_incl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return <$t as Standard>::sample(rng);
+                }
+                <$t>::sample_range(rng, lo, hi.wrapping_add(1))
+            }
+        }
+    )*};
+}
+impl_sample_range_incl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    #[doc(hidden)]
+    fn engine(&mut self) -> &mut SmallRng;
+
+    /// Sample a value of type `T` from its standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.engine())
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.engine())
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn engine(&mut self) -> &mut SmallRng {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(3usize..=5);
+            assert!((3..=5).contains(&w));
+            let x = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "rate off: {hits}/10000");
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,407 @@
+//! Conflict-table microbenchmark: the lock-free packed-word `LineTable` versus
+//! the mutex-based reference `MutexLineTable`, measured from one binary so the
+//! committed before/after numbers (`BENCH_1.json`) are reproducible from this
+//! tree alone.
+//!
+//! Measures, for both implementations:
+//!
+//! * single-thread transactional access cycle (register reads + write upgrades +
+//!   commit-path unregistration) — the simulator's hottest path;
+//! * abort-path cleanup cost (bulk unregistration of a large read set);
+//! * strongly atomic non-transactional write throughput;
+//! * multi-thread throughput on disjoint lines (scalability of independent
+//!   accesses) and on read-shared lines (the lock vs CAS contention case);
+//!
+//! plus end-to-end transaction throughput on the real `HtmSystem` (packed table
+//! only — the system always uses the packed table).
+//!
+//! Usage: `linebench [--smoke] [--json PATH]`
+//!   --smoke   ~20x fewer iterations (CI sanity run)
+//!   --json P  write machine-readable results to P ("-" for stdout)
+
+use htm_sim::heap::Line;
+use htm_sim::line_table::{AccessOutcome, LineTable};
+use htm_sim::line_table_ref::MutexLineTable;
+use htm_sim::registry::{Requester, ThreadId, TxRegistry};
+use htm_sim::{HtmConfig, HtmSystem};
+use std::time::Instant;
+
+/// Common surface of the two table implementations.
+trait Table: Sync {
+    const NAME: &'static str;
+    fn tx_read(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome;
+    fn tx_write(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome;
+    fn nt_write(&self, reg: &TxRegistry, line: Line, by: Requester) -> AccessOutcome;
+    fn unregister(&self, line: Line, t: ThreadId);
+}
+
+impl Table for LineTable {
+    const NAME: &'static str = "packed";
+    fn tx_read(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        LineTable::tx_read(self, reg, line, t)
+    }
+    fn tx_write(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        LineTable::tx_write(self, reg, line, t)
+    }
+    fn nt_write(&self, reg: &TxRegistry, line: Line, by: Requester) -> AccessOutcome {
+        LineTable::nt_access(self, reg, line, true, by)
+    }
+    fn unregister(&self, line: Line, t: ThreadId) {
+        LineTable::unregister(self, line, t)
+    }
+}
+
+impl Table for MutexLineTable {
+    const NAME: &'static str = "mutex";
+    fn tx_read(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        MutexLineTable::tx_read(self, reg, line, t)
+    }
+    fn tx_write(&self, reg: &TxRegistry, line: Line, t: ThreadId) -> AccessOutcome {
+        MutexLineTable::tx_write(self, reg, line, t)
+    }
+    fn nt_write(&self, reg: &TxRegistry, line: Line, by: Requester) -> AccessOutcome {
+        MutexLineTable::nt_access(self, reg, line, true, by)
+    }
+    fn unregister(&self, line: Line, t: ThreadId) {
+        MutexLineTable::unregister(self, line, t)
+    }
+}
+
+const LINES: usize = 512;
+const THREADS: usize = 4;
+/// Lines per simulated transaction in the cycle benches.
+const TX_LINES: u32 = 16;
+
+struct Scale {
+    cycle_iters: u64,
+    abort_iters: u64,
+    nt_iters: u64,
+    mt_iters: u64,
+    e2e_iters: u64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            cycle_iters: 200_000,
+            abort_iters: 100_000,
+            nt_iters: 2_000_000,
+            mt_iters: 50_000,
+            e2e_iters: 200_000,
+        }
+    }
+    fn smoke() -> Self {
+        Self {
+            cycle_iters: 10_000,
+            abort_iters: 5_000,
+            nt_iters: 100_000,
+            mt_iters: 2_500,
+            e2e_iters: 10_000,
+        }
+    }
+}
+
+/// Best-of-3 wall time for `f()`, in nanoseconds.
+fn best_of<F: FnMut()>(mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Single-thread transactional access cycle: begin, register `TX_LINES` reads,
+/// upgrade them all to writes, unregister (commit path), finish. Returns
+/// ns per *access operation* (read + write registrations + unregister each
+/// count as one op).
+fn bench_cycle<T: Table>(table: &T, scale: &Scale) -> f64 {
+    let reg = TxRegistry::new(THREADS);
+    let iters = scale.cycle_iters;
+    let ns = best_of(|| {
+        for i in 0..iters {
+            let base = ((i as u32) * TX_LINES) % LINES as u32;
+            reg.begin(0);
+            for k in 0..TX_LINES {
+                assert_eq!(table.tx_read(&reg, base + k, 0), AccessOutcome::Ok);
+            }
+            for k in 0..TX_LINES {
+                assert_eq!(table.tx_write(&reg, base + k, 0), AccessOutcome::Ok);
+            }
+            reg.start_commit(0).unwrap();
+            for k in 0..TX_LINES {
+                table.unregister(base + k, 0);
+            }
+            reg.finish(0);
+        }
+    });
+    ns as f64 / (iters * 3 * TX_LINES as u64) as f64
+}
+
+/// Abort-path cleanup: register a 64-line read set, then time only the bulk
+/// unregistration walk (the rollback loop). Returns ns per released line.
+fn bench_abort_cleanup<T: Table>(table: &T, scale: &Scale) -> f64 {
+    const SET: u32 = 64;
+    let reg = TxRegistry::new(THREADS);
+    let iters = scale.abort_iters;
+    let mut cleanup_ns = u64::MAX;
+    for _ in 0..3 {
+        let mut total = 0u64;
+        for _ in 0..iters {
+            reg.begin(0);
+            for k in 0..SET {
+                table.tx_read(&reg, k, 0);
+            }
+            let t0 = Instant::now();
+            for k in 0..SET {
+                table.unregister(k, 0);
+            }
+            total += t0.elapsed().as_nanos() as u64;
+            reg.finish(0);
+        }
+        cleanup_ns = cleanup_ns.min(total);
+    }
+    cleanup_ns as f64 / (iters * SET as u64) as f64
+}
+
+/// Strongly atomic non-transactional writes to unowned lines. Returns ns/op.
+fn bench_nt<T: Table>(table: &T, scale: &Scale) -> f64 {
+    let reg = TxRegistry::new(THREADS);
+    let iters = scale.nt_iters;
+    let ns = best_of(|| {
+        for i in 0..iters {
+            let line = (i % LINES as u64) as u32;
+            assert_eq!(
+                table.nt_write(&reg, line, Requester::External),
+                AccessOutcome::Ok
+            );
+        }
+    });
+    ns as f64 / iters as f64
+}
+
+/// Multi-thread cycle throughput. With `disjoint`, each thread works a private
+/// line range (pure scalability); otherwise all threads register *reads* on the
+/// same `TX_LINES` lines (read sharing is conflict-free, so this isolates
+/// lock/CAS contention on the table words). Returns total ops/sec.
+fn bench_mt<T: Table>(table: &T, scale: &Scale, disjoint: bool) -> f64 {
+    let reg = TxRegistry::new(THREADS);
+    let iters = scale.mt_iters;
+    let mut best_ns = u64::MAX;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let reg = &reg;
+                s.spawn(move || {
+                    let t = t as ThreadId;
+                    let span = (LINES / THREADS) as u32;
+                    for i in 0..iters {
+                        let base = if disjoint {
+                            t as u32 * span + ((i as u32 * TX_LINES) % span)
+                        } else {
+                            0
+                        };
+                        reg.begin(t);
+                        for k in 0..TX_LINES {
+                            table.tx_read(reg, base + k, t);
+                        }
+                        reg.start_commit(t).unwrap();
+                        for k in 0..TX_LINES {
+                            table.unregister(base + k, t);
+                        }
+                        reg.finish(t);
+                    }
+                });
+            }
+        });
+        best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+    let total_ops = (THREADS as u64) * iters * 2 * TX_LINES as u64;
+    total_ops as f64 * 1e9 / best_ns as f64
+}
+
+/// End-to-end transaction throughput on the real `HtmSystem` (packed table):
+/// a read-modify-write transaction over 4 lines, single- or multi-threaded.
+/// Returns (ops/sec, abort fraction).
+fn bench_end_to_end(scale: &Scale, threads: usize) -> (f64, f64) {
+    let sys = HtmSystem::new(HtmConfig::default(), LINES * 8);
+    let iters = scale.e2e_iters;
+    let aborts = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let sys = &sys;
+            let aborts = &aborts;
+            s.spawn(move || {
+                let mut th = sys.thread(t);
+                let mut local_aborts = 0u64;
+                for i in 0..iters {
+                    // Disjoint-ish slices keep the abort rate low but non-zero.
+                    let base = (((i as u32).wrapping_mul(7) + t as u32 * 97) % 480) * 8;
+                    loop {
+                        let r = th.attempt(|tx| {
+                            for k in 0..4u32 {
+                                let a = base + k * 8;
+                                let v = tx.read(a)?;
+                                tx.write(a, v + 1)?;
+                            }
+                            Ok(())
+                        });
+                        match r {
+                            Ok(()) => break,
+                            Err(_) => local_aborts += 1,
+                        }
+                    }
+                }
+                aborts.fetch_add(local_aborts, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    let ns = t0.elapsed().as_nanos() as u64;
+    // 4 reads + 4 writes per committed transaction.
+    let ops = threads as u64 * iters * 8;
+    let commits = threads as u64 * iters;
+    let ab = aborts.load(std::sync::atomic::Ordering::Relaxed);
+    (
+        ops as f64 * 1e9 / ns as f64,
+        ab as f64 / (commits + ab) as f64,
+    )
+}
+
+struct TableResults {
+    cycle_ns_per_op: f64,
+    abort_cleanup_ns_per_line: f64,
+    nt_write_ns_per_op: f64,
+    mt_disjoint_ops_per_sec: f64,
+    mt_read_shared_ops_per_sec: f64,
+}
+
+fn run_table<T: Table>(table: &T, scale: &Scale) -> TableResults {
+    eprintln!("  [{}] single-thread cycle...", T::NAME);
+    let cycle = bench_cycle(table, scale);
+    eprintln!("  [{}] abort cleanup...", T::NAME);
+    let cleanup = bench_abort_cleanup(table, scale);
+    eprintln!("  [{}] nt write...", T::NAME);
+    let nt = bench_nt(table, scale);
+    eprintln!("  [{}] {}-thread disjoint...", T::NAME, THREADS);
+    let disjoint = bench_mt(table, scale, true);
+    eprintln!("  [{}] {}-thread read-shared...", T::NAME, THREADS);
+    let shared = bench_mt(table, scale, false);
+    TableResults {
+        cycle_ns_per_op: cycle,
+        abort_cleanup_ns_per_line: cleanup,
+        nt_write_ns_per_op: nt,
+        mt_disjoint_ops_per_sec: disjoint,
+        mt_read_shared_ops_per_sec: shared,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+
+    eprintln!("linebench: {} run", if smoke { "smoke" } else { "full" });
+    let mutex_table = MutexLineTable::new(LINES);
+    let packed_table = LineTable::new(LINES);
+    let before = run_table(&mutex_table, &scale);
+    let after = run_table(&packed_table, &scale);
+    eprintln!("  [system] end-to-end 1 thread...");
+    let (e2e_1t, ab_1t) = bench_end_to_end(&scale, 1);
+    eprintln!("  [system] end-to-end {THREADS} threads...");
+    let (e2e_mt, ab_mt) = bench_end_to_end(&scale, THREADS);
+
+    let speedup_cycle = before.cycle_ns_per_op / after.cycle_ns_per_op;
+    let speedup_cleanup = before.abort_cleanup_ns_per_line / after.abort_cleanup_ns_per_line;
+    let speedup_nt = before.nt_write_ns_per_op / after.nt_write_ns_per_op;
+    let speedup_disjoint = after.mt_disjoint_ops_per_sec / before.mt_disjoint_ops_per_sec;
+    let speedup_shared = after.mt_read_shared_ops_per_sec / before.mt_read_shared_ops_per_sec;
+
+    println!("linebench results ({} run)", if smoke { "smoke" } else { "full" });
+    println!("                               mutex        packed     speedup");
+    println!(
+        "single-thread cycle     {:>10.1} ns {:>10.1} ns   {:>6.2}x",
+        before.cycle_ns_per_op, after.cycle_ns_per_op, speedup_cycle
+    );
+    println!(
+        "abort cleanup/line      {:>10.1} ns {:>10.1} ns   {:>6.2}x",
+        before.abort_cleanup_ns_per_line, after.abort_cleanup_ns_per_line, speedup_cleanup
+    );
+    println!(
+        "nt write                {:>10.1} ns {:>10.1} ns   {:>6.2}x",
+        before.nt_write_ns_per_op, after.nt_write_ns_per_op, speedup_nt
+    );
+    println!(
+        "{}t disjoint ops/s       {:>10.2e} {:>10.2e}      {:>6.2}x",
+        THREADS, before.mt_disjoint_ops_per_sec, after.mt_disjoint_ops_per_sec, speedup_disjoint
+    );
+    println!(
+        "{}t read-shared ops/s    {:>10.2e} {:>10.2e}      {:>6.2}x",
+        THREADS,
+        before.mt_read_shared_ops_per_sec,
+        after.mt_read_shared_ops_per_sec,
+        speedup_shared
+    );
+    println!("end-to-end 1t: {e2e_1t:.2e} ops/s (abort rate {ab_1t:.4})");
+    println!("end-to-end {THREADS}t: {e2e_mt:.2e} ops/s (abort rate {ab_mt:.4})");
+
+    if let Some(path) = json_path {
+        let fmt_table = |r: &TableResults| {
+            format!(
+                concat!(
+                    "{{\"cycle_ns_per_op\": {:.2}, \"abort_cleanup_ns_per_line\": {:.2}, ",
+                    "\"nt_write_ns_per_op\": {:.2}, \"mt_disjoint_ops_per_sec\": {:.0}, ",
+                    "\"mt_read_shared_ops_per_sec\": {:.0}}}"
+                ),
+                r.cycle_ns_per_op,
+                r.abort_cleanup_ns_per_line,
+                r.nt_write_ns_per_op,
+                r.mt_disjoint_ops_per_sec,
+                r.mt_read_shared_ops_per_sec
+            )
+        };
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"linebench\",\n",
+                "  \"config\": {{\"smoke\": {}, \"threads\": {}, \"lines\": {}, \"tx_lines\": {}}},\n",
+                "  \"mutex\": {},\n",
+                "  \"packed\": {},\n",
+                "  \"speedup\": {{\"single_thread_cycle\": {:.3}, \"abort_cleanup\": {:.3}, ",
+                "\"nt_write\": {:.3}, \"mt_disjoint\": {:.3}, \"mt_read_shared\": {:.3}}},\n",
+                "  \"end_to_end_packed\": {{\"ops_per_sec_1t\": {:.0}, \"abort_rate_1t\": {:.4}, ",
+                "\"ops_per_sec_{}t\": {:.0}, \"abort_rate_{}t\": {:.4}}}\n",
+                "}}\n"
+            ),
+            smoke,
+            THREADS,
+            LINES,
+            TX_LINES,
+            fmt_table(&before),
+            fmt_table(&after),
+            speedup_cycle,
+            speedup_cleanup,
+            speedup_nt,
+            speedup_disjoint,
+            speedup_shared,
+            e2e_1t,
+            ab_1t,
+            THREADS,
+            e2e_mt,
+            THREADS,
+            ab_mt,
+        );
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(&path, json).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -23,25 +23,46 @@ use htm_sim::Addr;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sig {
     spec: SigSpec,
-    words: Box<[u64]>,
+    storage: Storage,
+}
+
+/// Word count covered by the inline representation: 32 words = 2048 bits, exactly
+/// [`SigSpec::PAPER`]. Protocol signatures therefore never allocate; only larger
+/// experimental geometries (e.g. the 8192-bit sweeps in the ablation tests) spill.
+const INLINE_WORDS: usize = 32;
+
+/// Signature bit storage. Both variants keep the invariant that words beyond
+/// `spec.words()` are zero, so the derived `PartialEq` (which compares the whole
+/// inline array) agrees with comparing the active slices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Storage {
+    /// Up to 2048 bits, held inline: `Sig::new(SigSpec::PAPER)` is allocation-free
+    /// and the filter kernels run over a fixed-size `[u64; 32]` the compiler can
+    /// fully unroll/vectorise.
+    Inline([u64; INLINE_WORDS]),
+    /// Larger geometries fall back to a heap slice.
+    Heap(Box<[u64]>),
 }
 
 impl Sig {
-    /// An empty signature with the given geometry.
+    /// An empty signature with the given geometry. Allocation-free for geometries
+    /// up to 2048 bits (the paper's configuration).
     pub fn new(spec: SigSpec) -> Self {
-        Self {
-            spec,
-            words: vec![0u64; spec.words() as usize].into_boxed_slice(),
-        }
+        let n = spec.words() as usize;
+        let storage = if n <= INLINE_WORDS {
+            Storage::Inline([0u64; INLINE_WORDS])
+        } else {
+            Storage::Heap(vec![0u64; n].into_boxed_slice())
+        };
+        Self { spec, storage }
     }
 
     /// Build from raw words (e.g. a heap snapshot). Panics on length mismatch.
     pub fn from_words(spec: SigSpec, words: Vec<u64>) -> Self {
         assert_eq!(words.len(), spec.words() as usize);
-        Self {
-            spec,
-            words: words.into_boxed_slice(),
-        }
+        let mut sig = Self::new(spec);
+        sig.words_mut().copy_from_slice(&words);
+        sig
     }
 
     /// The geometry of this signature.
@@ -50,24 +71,30 @@ impl Sig {
         self.spec
     }
 
-    /// Raw word access.
+    /// Raw word access (exactly `spec().words()` words).
     #[inline]
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.storage {
+            Storage::Inline(a) => &a[..self.spec.words() as usize],
+            Storage::Heap(b) => b,
+        }
     }
 
     /// Raw mutable word access (protocol fast paths that maintain the heap copy and
     /// the mirror in lock-step).
     #[inline]
     pub fn words_mut(&mut self) -> &mut [u64] {
-        &mut self.words
+        match &mut self.storage {
+            Storage::Inline(a) => &mut a[..self.spec.words() as usize],
+            Storage::Heap(b) => b,
+        }
     }
 
     /// Record an address.
     #[inline]
     pub fn add(&mut self, addr: Addr) {
         let (w, m) = self.spec.slot_of(addr);
-        self.words[w as usize] |= m;
+        self.words_mut()[w as usize] |= m;
     }
 
     /// Bloom-filter membership: may return true for addresses never added (false
@@ -75,48 +102,57 @@ impl Sig {
     #[inline]
     pub fn contains(&self, addr: Addr) -> bool {
         let (w, m) = self.spec.slot_of(addr);
-        self.words[w as usize] & m != 0
+        self.words()[w as usize] & m != 0
     }
 
     /// True if no bit is set.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Clear all bits.
+    #[inline]
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        match &mut self.storage {
+            Storage::Inline(a) => *a = [0u64; INLINE_WORDS],
+            Storage::Heap(b) => b.fill(0),
+        }
     }
 
     /// `self |= other`.
+    #[inline]
     pub fn union_with(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words().iter()) {
             *a |= b;
         }
     }
 
     /// `self &= !other` (remove the other signature's bits).
+    #[inline]
     pub fn subtract(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words().iter()) {
             *a &= !b;
         }
     }
 
     /// True if the two signatures share any bit (the "bitwise AND" conflict test of
     /// the paper's commit validations).
+    #[inline]
     pub fn intersects(&self, other: &Sig) -> bool {
         debug_assert_eq!(self.spec, other.spec);
-        self.words
+        self.words()
             .iter()
-            .zip(other.words.iter())
+            .zip(other.words().iter())
             .any(|(&a, &b)| a & b != 0)
     }
 
     /// Number of set bits (diagnostics).
+    #[inline]
     pub fn popcount(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        self.words().iter().map(|w| w.count_ones()).sum()
     }
 }
 
@@ -178,6 +214,27 @@ mod tests {
         b.add(42);
         assert!(a.intersects(&b));
         assert!(disjoint || spec().bit_of(42) == spec().bit_of(43));
+    }
+
+    #[test]
+    fn inline_for_paper_heap_for_larger() {
+        // PAPER (2048 bits) fits the inline array exactly.
+        let a = Sig::new(SigSpec::PAPER);
+        assert_eq!(a.words().len(), 32);
+        // An 8192-bit sweep geometry spills to the heap transparently.
+        let mut big = Sig::new(SigSpec::new(8192));
+        assert_eq!(big.words().len(), 128);
+        big.add(12345);
+        assert!(big.contains(12345));
+        let round = Sig::from_words(SigSpec::new(8192), big.words().to_vec());
+        assert_eq!(round, big);
+        // Sub-inline specs expose only their active slice.
+        let mut small = Sig::new(SigSpec::new(64));
+        assert_eq!(small.words().len(), 1);
+        small.add(3);
+        assert_eq!(small.clone(), small);
+        small.clear();
+        assert!(small.is_empty());
     }
 
     #[test]

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, workspace tests, clippy on the simulator core.
+# Add --smoke to also run the conflict-table microbenchmark (reduced iterations).
+#
+# Fully offline: all dependencies are workspace-local (see docs/offline.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q (workspace) =="
+cargo test -q --workspace
+
+echo "== tier1: clippy -D warnings (htm-sim) =="
+cargo clippy -q -p htm-sim --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== tier1: linebench --smoke =="
+    cargo run -q --release -p tm-harness --bin linebench -- --smoke
+fi
+
+echo "== tier1: OK =="
