@@ -24,7 +24,7 @@ use crate::api::{spin_work, TxCtx, VALUE_MASK};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::{Addr, HtmThread, HtmTx};
-use tm_sig::{HeapSig, Sig};
+use tm_sig::{HeapSig, Sig, SigJournal, SigSlot};
 
 /// A heap-resident signature paired with its software mirror; both are updated on
 /// every add.
@@ -43,10 +43,31 @@ impl SigPair<'_> {
     #[inline]
     pub fn add(&mut self, tx: &mut HtmTx<'_, '_>, addr: Addr) -> TxResult<()> {
         let (w, m) = self.mirror.spec().slot_of(addr);
-        let word = &mut self.mirror.words_mut()[w as usize];
-        if *word & m == 0 {
-            *word |= m;
-            tx.write_private(self.heap.word_addr(w), *word)?;
+        if self.mirror.add_slot(w, m) {
+            tx.write_private(self.heap.word_addr(w), self.mirror.word(w))?;
+        }
+        Ok(())
+    }
+
+    /// [`SigPair::add`] with undo journalling: the word's pre-add value is recorded
+    /// in `journal` (first dirty only) so a failed segment can roll the mirror back
+    /// without ever having cloned it. Only the mirror is journalled — the heap copy
+    /// is capacity ballast that nothing reads back, so stale bits there after an
+    /// abort are as harmless as they were under the clone scheme.
+    #[inline]
+    pub fn add_journaled(
+        &mut self,
+        tx: &mut HtmTx<'_, '_>,
+        addr: Addr,
+        journal: &mut SigJournal,
+        slot: SigSlot,
+    ) -> TxResult<()> {
+        let (w, m) = self.mirror.spec().slot_of(addr);
+        let old = self.mirror.word(w);
+        if old & m == 0 {
+            journal.note(slot, w, old);
+            self.mirror.add_slot(w, m);
+            tx.write_private(self.heap.word_addr(w), old | m)?;
         }
         Ok(())
     }
@@ -103,6 +124,9 @@ pub struct SubCtx<'c, 'a, 's> {
     pub wsig: SigPair<'c>,
     /// The global transaction's value-based undo-log.
     pub undo: &'c mut UndoLog,
+    /// The segment's signature undo journal: mirror words are rolled back from it
+    /// when the segment fails, instead of restoring pre-segment clones.
+    pub journal: &'c mut SigJournal,
     /// Set when any write happens anywhere in the global transaction.
     pub wrote: &'c mut bool,
 }
@@ -113,7 +137,8 @@ impl TxCtx for SubCtx<'_, '_, '_> {
         // Values written by previous sub-HTM transactions of this very global
         // transaction are already in shared memory (eager writing), so a plain read
         // suffices (§5.3.4).
-        self.rsig.add(self.tx, addr)?;
+        self.rsig
+            .add_journaled(self.tx, addr, self.journal, SigSlot::Read)?;
         self.tx.read(addr)
     }
 
@@ -127,7 +152,8 @@ impl TxCtx for SubCtx<'_, '_, '_> {
         // Log the old value first (Fig. 1 line 23), then record and write.
         let old = self.tx.read(addr)?;
         self.undo.append_tx(self.tx, addr, old)?;
-        self.wsig.add(self.tx, addr)?;
+        self.wsig
+            .add_journaled(self.tx, addr, self.journal, SigSlot::Write)?;
         *self.wrote = true;
         self.tx.write(addr, val)
     }
@@ -266,21 +292,31 @@ impl TxCtx for SoftwareCtx<'_, '_> {
 /// signatures are supplied as their software mirrors (exactly equal to the heap
 /// copies). Words where the transaction has no bits need no read at all — their
 /// intersection is empty whatever the lock word holds — which also keeps the
-/// transaction's conflict surface on the lock lines minimal.
+/// transaction's conflict surface on the lock lines minimal. The mirrors'
+/// nonzero-word masks drive the scan, so a signature with a handful of set bits
+/// costs a popcount loop, not a full-width walk.
 pub fn fast_validation(
     tx: &mut HtmTx<'_, '_>,
     locks: &HeapSig,
     rmir: &Sig,
     wmir: &Sig,
 ) -> TxResult<bool> {
-    for (i, (&r, &w)) in rmir.words().iter().zip(wmir.words().iter()).enumerate() {
-        let mine = r | w;
-        if mine == 0 {
-            continue;
-        }
-        let l = tx.read(locks.word_addr(i as u32))?;
-        if l & mine != 0 {
-            return Ok(true);
+    let words = rmir.spec().words();
+    let mut groups = rmir.nonzero_mask() | wmir.nonzero_mask();
+    while groups != 0 {
+        // Each mask bit covers words b, b+64, … (one word exactly for the practical
+        // geometries, where words <= 64).
+        let mut i = groups.trailing_zeros();
+        groups &= groups - 1;
+        while i < words {
+            let mine = rmir.word(i) | wmir.word(i);
+            if mine != 0 {
+                let l = tx.read(locks.word_addr(i))?;
+                if l & mine != 0 {
+                    return Ok(true);
+                }
+            }
+            i += 64;
         }
     }
     Ok(false)
@@ -297,20 +333,20 @@ pub fn sub_validation(
     rmir: &Sig,
     wmir: &Sig,
 ) -> TxResult<bool> {
-    for (i, ((&a, &r), &w)) in amir
-        .words()
-        .iter()
-        .zip(rmir.words().iter())
-        .zip(wmir.words().iter())
-        .enumerate()
-    {
-        let mine = r | w;
-        if mine == 0 {
-            continue;
-        }
-        let l = tx.read(locks.word_addr(i as u32))?;
-        if (l & !a) & mine != 0 {
-            return Ok(true);
+    let words = rmir.spec().words();
+    let mut groups = rmir.nonzero_mask() | wmir.nonzero_mask();
+    while groups != 0 {
+        let mut i = groups.trailing_zeros();
+        groups &= groups - 1;
+        while i < words {
+            let mine = rmir.word(i) | wmir.word(i);
+            if mine != 0 {
+                let l = tx.read(locks.word_addr(i))?;
+                if (l & !amir.word(i)) & mine != 0 {
+                    return Ok(true);
+                }
+            }
+            i += 64;
         }
     }
     Ok(false)
@@ -321,13 +357,10 @@ pub fn sub_validation(
 /// sub-transaction has bits (from the write mirror) and skipping stores that would
 /// not change the word.
 pub fn acquire_locks_tx(tx: &mut HtmTx<'_, '_>, locks: &HeapSig, wmir: &Sig) -> TxResult<()> {
-    for (i, &w) in wmir.words().iter().enumerate() {
-        if w == 0 {
-            continue;
-        }
-        let l = tx.read(locks.word_addr(i as u32))?;
+    for (i, w) in wmir.nonzero_words() {
+        let l = tx.read(locks.word_addr(i))?;
         if l | w != l {
-            tx.write(locks.word_addr(i as u32), l | w)?;
+            tx.write(locks.word_addr(i), l | w)?;
         }
     }
     Ok(())
@@ -384,6 +417,8 @@ mod tests {
         let mut rmir = Sig::new(SigSpec::PAPER);
         let mut wmir = Sig::new(SigSpec::PAPER);
         let mut undo = UndoLog::new(a.undo_base, a.undo_words);
+        let mut journal = SigJournal::new();
+        journal.begin(SigSpec::PAPER);
         let mut wrote = false;
         rt.setup_write(0, 5);
 
@@ -400,11 +435,16 @@ mod tests {
                     mirror: &mut wmir,
                 },
                 undo: &mut undo,
+                journal: &mut journal,
                 wrote: &mut wrote,
             };
             ctx.write(rt.app(0), 6).unwrap();
         }
         tx.commit().unwrap();
+        // The journal recorded the write-mirror word's pre-segment value.
+        assert_eq!(journal.len(), 1);
+        journal.rollback(&mut rmir, &mut wmir);
+        assert!(wmir.is_empty(), "rollback forgets the segment's sig bits");
         assert_eq!(undo.len(), 1);
         assert_eq!(undo.entry_nt(&th.hw, 0), (rt.app(0), 5));
         assert_eq!(rt.verify_read(0), 6);

@@ -34,7 +34,7 @@ use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::util::FastSet;
 use htm_sim::{AbortCode, Addr, HtmTx};
-use tm_sig::Sig;
+use tm_sig::{Sig, SigJournal, SigSlot};
 
 /// The set of addresses this global transaction holds embedded locks on, with
 /// mark/rollback for failed sub-HTM attempts. Stands in for the paper's
@@ -142,6 +142,7 @@ struct OSubCtx<'c, 'a, 's> {
     wsig: SigPair<'c>,
     undo: &'c mut UndoLog,
     locked: &'c mut LockedSet,
+    journal: &'c mut SigJournal,
     wrote: &'c mut bool,
 }
 
@@ -152,7 +153,8 @@ impl TxCtx for OSubCtx<'_, '_, '_> {
         if v & LOCK_BIT != 0 && !self.locked.contains(addr) {
             return Err(self.tx.xabort(XABORT_LOCKED));
         }
-        self.rsig.add(self.tx, addr)?;
+        self.rsig
+            .add_journaled(self.tx, addr, self.journal, SigSlot::Read)?;
         Ok(v & VALUE_MASK)
     }
 
@@ -172,7 +174,8 @@ impl TxCtx for OSubCtx<'_, '_, '_> {
             return self.tx.write(addr, val | LOCK_BIT);
         }
         self.undo.append_tx(self.tx, addr, v)?;
-        self.wsig.add(self.tx, addr)?;
+        self.wsig
+            .add_journaled(self.tx, addr, self.journal, SigSlot::Write)?;
         self.locked.insert(addr);
         *self.wrote = true;
         // Acquire the embedded lock together with the value (Fig. 2 lines 34–35).
@@ -198,6 +201,9 @@ pub struct PartHtmO<'r> {
     /// Write-signature software mirror, accumulated over the whole global
     /// transaction (no aggregate signature in `-O`: locks are embedded).
     wmir: Sig,
+    /// Per-segment signature undo journal (zero-clone sub-HTM retries; see the base
+    /// executor).
+    journal: SigJournal,
     start_time: u64,
     /// Consecutive transactions whose fast attempt died of a resource failure
     /// (adaptive profiler stand-in; see the base executor).
@@ -285,12 +291,13 @@ impl<'r> PartHtmO<'r> {
             // No pre-commit signature validation: encounter-time lock checks already
             // guarantee no non-visible location was touched (Fig. 2 lines 8–11).
             if wrote {
-                if let Err(e) = rt.ring().publish_tx(&mut tx, &self.wmir) {
+                if let Err(e) = rt.ring().publish_tx_summarized(&mut tx, &self.wmir, rt.summary()) {
                     break 'b Err(e);
                 }
             }
             Ok(())
         };
+        let published = body.is_ok() && wrote;
         let res = match body {
             Ok(()) => tx.commit(),
             Err(code) => {
@@ -300,10 +307,16 @@ impl<'r> PartHtmO<'r> {
         };
         match res {
             Ok(()) => {
+                if published {
+                    rt.summary().complete_publish(&self.wmir);
+                }
                 self.wmir.clear();
                 Ok(())
             }
             Err(code) => {
+                if published {
+                    rt.summary().cancel_publish();
+                }
                 self.th.stats.fast_aborts += 1;
                 Err(code)
             }
@@ -334,14 +347,22 @@ impl<'r> PartHtmO<'r> {
         self.cleanup_partitioned();
     }
 
-    /// In-flight validation against the ring; advances `start_time` on success.
+    /// In-flight validation against the ring (summary fast path first); advances
+    /// `start_time` on success.
     fn validate(&mut self) -> bool {
-        match self
-            .th
-            .rt
-            .ring()
-            .validate_nt(&self.th.hw, &self.rmir, self.start_time)
-        {
+        let rt = self.th.rt;
+        let (res, fast) = rt.ring().validate_summarized_nt(
+            &self.th.hw,
+            rt.summary(),
+            &self.rmir,
+            self.start_time,
+        );
+        if fast {
+            self.th.stats.val_fast_hits += 1;
+        } else {
+            self.th.stats.val_fast_misses += 1;
+        }
+        match res {
             Ok(ts) => {
                 self.start_time = ts;
                 true
@@ -356,10 +377,10 @@ impl<'r> PartHtmO<'r> {
         let snap = w.snapshot();
         let undo_mark = self.undo.len();
         let locked_mark = self.locked.mark();
-        let wmir_save = self.wmir.clone();
-        let rmir_save = self.rmir.clone();
         let mut attempts = 0u32;
         loop {
+            // Zero-clone retries: journal the mirrors' dirtied words per attempt.
+            self.journal.begin(self.rmir.spec());
             let mut tx = self.th.hw.begin();
             let body: TxResult<()> = 'b: {
                 // Timestamp subscription (Fig. 2 lines 23–24): any global commit
@@ -383,6 +404,7 @@ impl<'r> PartHtmO<'r> {
                         },
                         undo: &mut self.undo,
                         locked: &mut self.locked,
+                        journal: &mut self.journal,
                         wrote,
                     };
                     if let Err(e) = w.segment(seg, &mut ctx) {
@@ -401,13 +423,16 @@ impl<'r> PartHtmO<'r> {
                 }
             };
             match res {
-                Ok(()) => return true,
+                Ok(()) => {
+                    self.journal.discard();
+                    return true;
+                }
                 Err(code) => {
                     self.th.stats.sub_aborts += 1;
                     self.undo.truncate(undo_mark);
                     self.locked.truncate(locked_mark);
-                    self.wmir.clone_from(&wmir_save);
-                    self.rmir.clone_from(&rmir_save);
+                    self.journal.rollback(&mut self.rmir, &mut self.wmir);
+                    self.th.stats.journal_rollbacks += 1;
                     w.restore(snap.clone());
                     attempts += 1;
                     // Fig. 2 lines 36–39: a timestamp change (explicit, or the
@@ -473,8 +498,12 @@ impl<'r> PartHtmO<'r> {
                 self.global_abort();
                 return Err(());
             }
-            rt.ring().publish_software(&self.th.hw, &self.wmir);
+            rt.ring()
+                .publish_software_summarized(&self.th.hw, &self.wmir, rt.summary());
             self.undo.unlock_all_nt(&self.th.hw);
+            if rt.ring().maybe_reset_summary(&self.th.hw, rt.summary()) {
+                self.th.stats.summary_resets += 1;
+            }
         }
         self.cleanup_partitioned();
         Ok(())
@@ -562,6 +591,7 @@ impl<'r> TmExecutor<'r> for PartHtmO<'r> {
             arena,
             rmir: Sig::new(spec),
             wmir: Sig::new(spec),
+            journal: SigJournal::new(),
             start_time: 0,
             resource_streak: 0,
             tx_count: 0,

@@ -12,7 +12,7 @@ use crate::runtime::{ThreadArena, TmRuntime, TmThread};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::AbortCode;
-use tm_sig::Sig;
+use tm_sig::{Sig, SigJournal};
 
 /// Run a transaction under the global lock (the slow path, Fig. 1 lines 61–65):
 /// acquire `GLock`, wait for every partitioned-path transaction to drain
@@ -58,6 +58,12 @@ pub struct PartHtm<'r> {
     wmir: Sig,
     /// Software mirror of the aggregate write-set signature (kept exact).
     amir: Sig,
+    /// Per-segment signature undo journal (zero-clone sub-HTM retries): records the
+    /// mirrors' dirtied words so a failed segment rolls back by replaying a handful
+    /// of words instead of restoring full clones. Lives on the executor so its
+    /// storage is reused across segments and transactions — no allocation after
+    /// warm-up.
+    journal: SigJournal,
     start_time: u64,
     /// Consecutive transactions whose fast attempt died of a resource failure.
     /// Stands in for the paper's static profiler (§4: transactions that "likely (or
@@ -164,14 +170,18 @@ impl<'r> PartHtm<'r> {
                 Ok(true) => break 'b Err(tx.xabort(XABORT_LOCKED)),
                 Err(e) => break 'b Err(e),
             }
-            // Writers publish their write signature to the ring (Fig. 1 lines 9–11).
+            // Writers publish their write signature to the ring (Fig. 1 lines 9–11),
+            // announcing the publish to the ring summary as the last body step.
             if wrote {
-                if let Err(e) = rt.ring().publish_tx(&mut tx, &self.wmir) {
+                if let Err(e) = rt.ring().publish_tx_summarized(&mut tx, &self.wmir, rt.summary()) {
                     break 'b Err(e);
                 }
             }
             Ok(())
         };
+        // An announced publish (body reached Ok with `wrote`) must be completed or
+        // cancelled depending on how the hardware commit resolves.
+        let published = body.is_ok() && wrote;
         let res = match body {
             Ok(()) => tx.commit(),
             Err(code) => {
@@ -181,6 +191,9 @@ impl<'r> PartHtm<'r> {
         };
         match res {
             Ok(()) => {
+                if published {
+                    rt.summary().complete_publish(&self.wmir);
+                }
                 // Post-commit software: clear local signatures (Fig. 1 lines 14–15).
                 // The mirrors are the authoritative copies; the heap copies are
                 // capacity ballast and need no clearing.
@@ -189,6 +202,9 @@ impl<'r> PartHtm<'r> {
                 Ok(())
             }
             Err(code) => {
+                if published {
+                    rt.summary().cancel_publish();
+                }
                 self.th.stats.fast_aborts += 1;
                 Err(code)
             }
@@ -229,10 +245,11 @@ impl<'r> PartHtm<'r> {
         let a = self.arena;
         let snap = w.snapshot();
         let undo_mark = self.undo.len();
-        let wmir_save = self.wmir.clone();
-        let rmir_save = self.rmir.clone();
         let mut attempts = 0u32;
         loop {
+            // Zero-clone retries: each attempt journals the mirror words it dirties
+            // instead of saving full signature clones up front.
+            self.journal.begin(self.rmir.spec());
             let mut tx = self.th.hw.begin();
             let body: TxResult<()> = 'b: {
                 {
@@ -247,6 +264,7 @@ impl<'r> PartHtm<'r> {
                             mirror: &mut self.wmir,
                         },
                         undo: &mut self.undo,
+                        journal: &mut self.journal,
                         wrote,
                     };
                     if let Err(e) = w.segment(seg, &mut ctx) {
@@ -279,14 +297,17 @@ impl<'r> PartHtm<'r> {
                 }
             };
             match res {
-                Ok(()) => return true,
+                Ok(()) => {
+                    self.journal.discard();
+                    return true;
+                }
                 Err(code) => {
                     self.th.stats.sub_aborts += 1;
                     // The failed attempt's hardware writes never published; roll the
                     // software cursors back to the segment entry.
                     self.undo.truncate(undo_mark);
-                    self.wmir.clone_from(&wmir_save);
-                    self.rmir.clone_from(&rmir_save);
+                    self.journal.rollback(&mut self.rmir, &mut self.wmir);
+                    self.th.stats.journal_rollbacks += 1;
                     w.restore(snap.clone());
                     attempts += 1;
                     // A conflict on the global write-locks (or an overflowing undo
@@ -347,12 +368,21 @@ impl<'r> PartHtm<'r> {
                 return Err(());
             }
             // In-flight validation after each sub-HTM commit (§5.3.6); always before
-            // the global commit.
+            // the global commit. The summary fast path decides the common
+            // no-conflict case in O(live words); anything doubtful walks the ring.
             if rt.config().validate_every_sub || Some(seg) == last_htm_seg {
-                match rt
-                    .ring()
-                    .validate_nt(&self.th.hw, &self.rmir, self.start_time)
-                {
+                let (res, fast) = rt.ring().validate_summarized_nt(
+                    &self.th.hw,
+                    rt.summary(),
+                    &self.rmir,
+                    self.start_time,
+                );
+                if fast {
+                    self.th.stats.val_fast_hits += 1;
+                } else {
+                    self.th.stats.val_fast_misses += 1;
+                }
+                match res {
                     Ok(ts) => self.start_time = ts,
                     Err(_) => {
                         self.global_abort();
@@ -369,8 +399,14 @@ impl<'r> PartHtm<'r> {
 
         // Global commit (Fig. 1 lines 42–52). Read-only transactions just leave.
         if wrote {
-            rt.ring().publish_software(&self.th.hw, &self.amir);
+            rt.ring()
+                .publish_software_summarized(&self.th.hw, &self.amir, rt.summary());
             rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
+            // Software commits are the cheap place to police summary density: no
+            // hardware transaction is in flight here.
+            if rt.ring().maybe_reset_summary(&self.th.hw, rt.summary()) {
+                self.th.stats.summary_resets += 1;
+            }
         }
         self.cleanup_partitioned();
         Ok(())
@@ -473,6 +509,7 @@ impl<'r> PartHtm<'r> {
             rmir: Sig::new(spec),
             wmir: Sig::new(spec),
             amir: Sig::new(spec),
+            journal: SigJournal::new(),
             start_time: 0,
             resource_streak: 0,
             tx_count: 0,

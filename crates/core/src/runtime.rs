@@ -5,7 +5,7 @@ use crate::stats::TmStats;
 use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tm_sig::{HeapSig, Ring, SigSpec};
+use tm_sig::{HeapSig, Ring, RingSummary, SigSpec};
 
 /// Protocol configuration (paper defaults).
 #[derive(Clone, Debug)]
@@ -94,6 +94,11 @@ pub struct TmRuntime {
     /// same runtime).
     seqlock: Addr,
     ring: Ring,
+    /// Host-side summary signature of everything published to the ring since its
+    /// last reset (the validation fast path). Deliberately *not* in the simulated
+    /// heap: validators probe it non-transactionally on every in-flight validation,
+    /// and heap reads there would doom concurrent hardware publishers.
+    summary: RingSummary,
     write_locks: HeapSig,
     arenas: Vec<ThreadArena>,
     app_base: Addr,
@@ -136,6 +141,7 @@ impl TmRuntime {
             active_tx,
             seqlock,
             ring,
+            summary: RingSummary::new(spec),
             write_locks,
             arenas,
             app_base,
@@ -186,6 +192,11 @@ impl TmRuntime {
     /// The global ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The ring's host-side summary signature (validation fast path).
+    pub fn summary(&self) -> &RingSummary {
+        &self.summary
     }
 
     /// The global write-locks signature.

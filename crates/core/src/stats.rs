@@ -29,6 +29,15 @@ pub struct TmStats {
     pub fallbacks_partitioned: u64,
     /// Transactions that fell all the way back to the global lock.
     pub fallbacks_gl: u64,
+    /// In-flight validations decided by the ring-summary fast path (no per-entry
+    /// walk).
+    pub val_fast_hits: u64,
+    /// In-flight validations that fell back to the precise per-entry ring walk.
+    pub val_fast_misses: u64,
+    /// Ring-summary generation resets performed by this thread.
+    pub summary_resets: u64,
+    /// Sub-HTM segment failures rolled back through the signature journal.
+    pub journal_rollbacks: u64,
 }
 
 impl TmStats {
@@ -75,6 +84,10 @@ impl TmStats {
         self.stm_aborts += o.stm_aborts;
         self.fallbacks_partitioned += o.fallbacks_partitioned;
         self.fallbacks_gl += o.fallbacks_gl;
+        self.val_fast_hits += o.val_fast_hits;
+        self.val_fast_misses += o.val_fast_misses;
+        self.summary_resets += o.summary_resets;
+        self.journal_rollbacks += o.journal_rollbacks;
     }
 }
 

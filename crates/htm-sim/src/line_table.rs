@@ -311,11 +311,25 @@ impl LineTable {
             return Ok(op());
         }
 
+        // Write path, uncontended fast path: a line nobody monitors is claimed
+        // with one CAS and released with one plain store. Correct because while
+        // the claim is held with zero readers present, no other party can change
+        // the word at all: registrations and competing claims back off on 0xFE,
+        // and unregistering absent bits is a no-op. A failed CAS hands us the
+        // observed word, doubling as the two-phase path's initial load.
+        let mut cur = match w.compare_exchange(0, NT_CLAIM, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                let out = op();
+                w.store(0, Ordering::SeqCst);
+                return Ok(out);
+            }
+            Err(observed) => observed,
+        };
+
         // Write path, phase 1: install the claim byte, dooming a conflicting
         // transactional writer on the way. A doomed writer stays registered (its
         // own rollback unregisters it), so its displaced byte is restored when
         // the claim is released; a stale byte (`Gone`) is dropped instead.
-        let mut cur = w.load(Ordering::SeqCst);
         let (claimed, saved_writer) = loop {
             let saved = match writer_of(cur) {
                 Writer::None => 0,
@@ -559,6 +573,84 @@ mod tests {
         // Victim 0's rollback must not clobber the new owner's byte.
         tab.unregister(4, 0);
         assert_eq!(tab.raw_word(4) >> 56, 1 + 1);
+    }
+
+    #[test]
+    fn fast_path_claim_still_blocks_registration() {
+        let (tab, reg) = setup();
+        reg.begin(0);
+        // The line is empty, so this write takes the single-CAS fast path; the
+        // claim must still exclude every other party for the duration of `op`.
+        let r = tab.nt_execute(&reg, 6, true, Requester::External, || {
+            assert_eq!(tab.raw_word(6) >> WRITER_SHIFT, NT_CLAIM_BYTE);
+            assert_eq!(tab.tx_read(&reg, 6, 0), AccessOutcome::Wait);
+            assert_eq!(tab.tx_write(&reg, 6, 0), AccessOutcome::Wait);
+            assert_eq!(
+                tab.nt_access(&reg, 6, true, Requester::External),
+                AccessOutcome::Wait
+            );
+            42
+        });
+        assert_eq!(r, Ok(42));
+        assert!(!reg.is_doomed(0), "empty line: nobody to doom");
+        assert_eq!(tab.raw_word(6), 0, "claim released");
+        assert_eq!(tab.tx_read(&reg, 6, 0), AccessOutcome::Ok);
+    }
+
+    #[test]
+    fn nt_write_stress_preserves_doom_semantics() {
+        // Transactional writers and a non-transactional writer hammer one line.
+        // Strong atomicity demands: once a transaction owns the line and reaches
+        // Committing undoomed, no nt write can have executed since it registered
+        // (the nt writer must either doom it first or wait). The nt writer
+        // constantly alternates between the uncontended fast path (line empty)
+        // and the two-phase claim (owners present), so both paths are exercised
+        // against the same invariant.
+        use std::sync::atomic::AtomicU64;
+        const NT_WRITES: u64 = 2000;
+        let tab = LineTable::new(1);
+        let reg = TxRegistry::new(8);
+        let cell = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (tab, reg, cell) = (&tab, &reg, &cell);
+                s.spawn(move || {
+                    for _ in 0..2000 {
+                        reg.begin(t);
+                        if tab.tx_write(reg, 0, t) == AccessOutcome::Ok {
+                            let seen = cell.load(Ordering::SeqCst);
+                            std::hint::spin_loop();
+                            if reg.start_commit(t).is_ok() {
+                                // Undoomed at commit: the nt writer cannot have
+                                // run between our registration and now.
+                                assert_eq!(
+                                    cell.load(Ordering::SeqCst),
+                                    seen,
+                                    "nt write raced an undoomed owner"
+                                );
+                            }
+                        }
+                        tab.unregister(0, t);
+                        reg.finish(t);
+                    }
+                });
+            }
+            let (tab, reg, cell) = (&tab, &reg, &cell);
+            s.spawn(move || {
+                for _ in 0..NT_WRITES {
+                    while tab
+                        .nt_execute(reg, 0, true, Requester::External, || {
+                            cell.fetch_add(1, Ordering::SeqCst)
+                        })
+                        .is_err()
+                    {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(cell.load(Ordering::SeqCst), NT_WRITES, "no lost nt writes");
+        assert_eq!(tab.live_entries(), 0, "no leaked claims or registrations");
     }
 
     #[test]

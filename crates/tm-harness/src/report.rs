@@ -106,6 +106,15 @@ impl Table {
                 out.push_str(&r.render_row());
                 out.push('\n');
             }
+            let hot: Vec<String> = self.reports.iter().filter_map(|r| r.render_hot_path()).collect();
+            if !hot.is_empty() {
+                out.push_str("\n  partitioned-path hot loop:\n");
+                for line in hot {
+                    out.push_str("  ");
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
         }
         out
     }
@@ -142,6 +151,14 @@ pub struct StatsReport {
     pub total_aborts: u64,
     /// Committed transactions.
     pub total_commits: u64,
+    /// In-flight validations decided by the ring-summary fast path.
+    pub val_fast_hits: u64,
+    /// In-flight validations that fell back to the precise per-entry walk.
+    pub val_fast_misses: u64,
+    /// Ring-summary resets performed.
+    pub summary_resets: u64,
+    /// Sub-HTM segment failures rolled back through the signature journal.
+    pub journal_rollbacks: u64,
 }
 
 impl StatsReport {
@@ -164,7 +181,36 @@ impl StatsReport {
             ],
             total_aborts: r.hw.aborts_total(),
             total_commits: r.tm.commits_total(),
+            val_fast_hits: r.tm.val_fast_hits,
+            val_fast_misses: r.tm.val_fast_misses,
+            summary_resets: r.tm.summary_resets,
+            journal_rollbacks: r.tm.journal_rollbacks,
         }
+    }
+
+    /// One-line partitioned-path hot-loop breakdown (validation fast-path hit
+    /// rate, summary resets, journal rollbacks), or `None` when the run never
+    /// touched those counters (pure-HTM or baseline algorithms).
+    pub fn render_hot_path(&self) -> Option<String> {
+        let validations = self.val_fast_hits + self.val_fast_misses;
+        if validations == 0 && self.summary_resets == 0 && self.journal_rollbacks == 0 {
+            return None;
+        }
+        let hit_pct = if validations == 0 {
+            0.0
+        } else {
+            self.val_fast_hits as f64 * 100.0 / validations as f64
+        };
+        Some(format!(
+            "{:<18} | ring-val fast path {:>5.1}% of {} ({} hits, {} misses) | summary resets {} | journal rollbacks {}",
+            self.label,
+            hit_pct,
+            validations,
+            self.val_fast_hits,
+            self.val_fast_misses,
+            self.summary_resets,
+            self.journal_rollbacks,
+        ))
     }
 
     /// Render one row in Table 1's layout.
@@ -219,6 +265,27 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("threads,A,B"));
         assert!(csv.contains("2,15.0000,25.0000"));
+    }
+
+    #[test]
+    fn hot_path_line_only_when_counters_fire() {
+        let mut r = StatsReport {
+            label: "Part-HTM".into(),
+            abort_pct: [0.0; 4],
+            commit_pct: [0.0; 3],
+            total_aborts: 0,
+            total_commits: 0,
+            val_fast_hits: 0,
+            val_fast_misses: 0,
+            summary_resets: 0,
+            journal_rollbacks: 0,
+        };
+        assert!(r.render_hot_path().is_none());
+        r.val_fast_hits = 3;
+        r.val_fast_misses = 1;
+        let line = r.render_hot_path().unwrap();
+        assert!(line.contains("75.0%"));
+        assert!(line.contains("3 hits"));
     }
 
     #[test]

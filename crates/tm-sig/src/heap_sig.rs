@@ -146,14 +146,12 @@ impl HeapSig {
         Sig::from_words(self.spec, words)
     }
 
-    /// Non-transactional intersection with a software signature, early-exit.
+    /// Non-transactional intersection with a software signature: visits only the
+    /// probe's live words (its nonzero-word mask), early-exit.
     pub fn intersects_nt(&self, th: &HtmThread<'_>, sig: &Sig) -> bool {
         debug_assert_eq!(self.spec, sig.spec());
-        for (i, &s) in sig.words().iter().enumerate() {
-            if s == 0 {
-                continue;
-            }
-            if th.nt_read(self.word_addr(i as u32)) & s != 0 {
+        for (i, s) in sig.nonzero_words() {
+            if th.nt_read(self.word_addr(i)) & s != 0 {
                 return true;
             }
         }
@@ -172,11 +170,8 @@ impl HeapSig {
     /// Non-transactional union from a software signature: `self |= sig`, atomic per
     /// word.
     pub fn or_nt(&self, th: &HtmThread<'_>, sig: &Sig) {
-        for (i, &s) in sig.words().iter().enumerate() {
-            if s != 0 {
-                th.system()
-                    .nt_fetch_or_by(th.id(), self.word_addr(i as u32), s);
-            }
+        for (i, s) in sig.nonzero_words() {
+            th.system().nt_fetch_or_by(th.id(), self.word_addr(i), s);
         }
     }
 
@@ -186,11 +181,8 @@ impl HeapSig {
     /// pre-commit validation aborts on foreign locks), so AND-NOT only clears bits
     /// this transaction owns.
     pub fn and_not_nt(&self, th: &HtmThread<'_>, sig: &Sig) {
-        for (i, &s) in sig.words().iter().enumerate() {
-            if s != 0 {
-                th.system()
-                    .nt_fetch_and_by(th.id(), self.word_addr(i as u32), !s);
-            }
+        for (i, s) in sig.nonzero_words() {
+            th.system().nt_fetch_and_by(th.id(), self.word_addr(i), !s);
         }
     }
 

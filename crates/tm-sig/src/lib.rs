@@ -14,14 +14,20 @@
 //!   analyses) and strongly atomic non-transactional accessors (used by the software
 //!   framework);
 //! * [`Ring`] — the RingSTM-style global ring of committed write signatures used for
-//!   in-flight validation, with both a hardware (in-HTM) and a software publish path.
+//!   in-flight validation, with both a hardware (in-HTM) and a software publish path,
+//!   plus [`RingSummary`] — the host-side summary signature backing the validation
+//!   fast path;
+//! * [`SigJournal`] — the word-level undo journal that makes sub-HTM segment retries
+//!   allocation- and clone-free.
 
 pub mod heap_sig;
+pub mod journal;
 pub mod ring;
 pub mod sig;
 pub mod spec;
 
 pub use heap_sig::HeapSig;
-pub use ring::{Ring, RingValidationError};
+pub use journal::{CloneSaved, SigJournal, SigSlot};
+pub use ring::{Ring, RingSummary, RingValidationError};
 pub use sig::Sig;
 pub use spec::SigSpec;

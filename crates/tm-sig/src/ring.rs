@@ -14,6 +14,24 @@
 //!   atomic block with a ring lock that hardware publishers subscribe to: acquiring
 //!   it (a non-transactional CAS) dooms every hardware transaction that already read
 //!   the lock word — strong atomicity makes the two worlds mutually exclusive.
+//!
+//! # The summary fast path
+//!
+//! [`Ring::validate_nt`] walks every entry between the validator's start time and
+//! the current timestamp — O(ts-delta × words) strongly-atomic heap reads, the worst
+//! scaling term of the software framework. [`RingSummary`] collapses the common
+//! no-conflict case to O(live words): it maintains, in *host* memory (deliberately
+//! outside the simulated heap, so summary reads never doom in-flight hardware
+//! publishers), the OR of every signature published since the summary's last reset.
+//! A validator whose read signature is disjoint from the summary — checked under the
+//! publish-counter/generation fence of [`RingSummary::try_fast_pass`] — has nothing
+//! to conflict with and skips the walk entirely; any doubt falls back to the precise
+//! walk. False positives only cost the fallback; false negatives cannot happen (the
+//! correctness argument lives with `try_fast_pass` and in `docs/hot-path.md`).
+//! A summary pass is valid even across ring rollover: the OR covers every publish
+//! since the reset, whether or not its slot has been overwritten.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 
 use crate::heap_sig::HeapSig;
 use crate::sig::Sig;
@@ -105,15 +123,16 @@ impl Ring {
 
     /// Non-transactional intersection of ring entry `ts` with `sig`, honouring the
     /// entry's non-zero-word mask (words outside the mask hold stale content from an
-    /// earlier lap and are never read).
+    /// earlier lap and are never read) and `sig`'s own mask (only its live words can
+    /// intersect anything).
     pub fn entry_intersects_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) -> bool {
         let mask = th.nt_read(self.entry_mask_addr(ts));
-        if mask == 0 {
+        if mask & sig.nonzero_mask() == 0 {
             return false;
         }
         let entry = self.entry(ts);
-        for (i, &w) in sig.words().iter().enumerate() {
-            if w != 0 && mask & (1 << i) != 0 && th.nt_read(entry.word_addr(i as u32)) & w != 0 {
+        for (i, w) in sig.nonzero_words() {
+            if mask & (1 << i) != 0 && th.nt_read(entry.word_addr(i)) & w != 0 {
                 return true;
             }
         }
@@ -138,23 +157,38 @@ impl Ring {
     /// timestamp and store `write_sig` into the new entry — all inside `tx`, hence
     /// atomic with the transaction's own commit. The signature is supplied as its
     /// software value (the caller's mirror tracks the heap copy exactly), so the
-    /// publish is write-only; every entry word is stored because the slot holds a
-    /// previous commit's signature. Returns the new timestamp.
+    /// publish is write-only and visits only the live words. Returns the new
+    /// timestamp.
     pub fn publish_tx(&self, tx: &mut HtmTx<'_, '_>, write_sig: &Sig) -> TxResult<u64> {
         if tx.read(self.lock)? != 0 {
             return Err(tx.xabort(XABORT_RING_LOCKED));
         }
         let ts = tx.read(self.timestamp)? + 1;
         let entry = self.entry(ts);
-        let mut mask = 0u64;
-        for (i, &w) in write_sig.words().iter().enumerate() {
-            if w != 0 {
-                mask |= 1 << i;
-                tx.write(entry.word_addr(i as u32), w)?;
-            }
+        for (i, w) in write_sig.nonzero_words() {
+            tx.write(entry.word_addr(i), w)?;
         }
-        tx.write(self.entry_mask_addr(ts), mask)?;
+        tx.write(self.entry_mask_addr(ts), write_sig.nonzero_mask())?;
         tx.write(self.timestamp, ts)?;
+        Ok(ts)
+    }
+
+    /// [`Ring::publish_tx`] plus summary accounting: announces the publish to
+    /// `summary` at the point of no return (the last body step before commit), so
+    /// validators running concurrently with this transaction's commit cannot take
+    /// the fast path past it. The *caller* must finish the hand-shake after the
+    /// hardware transaction resolves: [`RingSummary::complete_publish`] with the
+    /// same signature on commit, [`RingSummary::cancel_publish`] on abort.
+    pub fn publish_tx_summarized(
+        &self,
+        tx: &mut HtmTx<'_, '_>,
+        write_sig: &Sig,
+        summary: &RingSummary,
+    ) -> TxResult<u64> {
+        let ts = self.publish_tx(tx, write_sig)?;
+        // Announce *before* the timestamp store can become visible (it publishes at
+        // commit, which is after this body step by construction).
+        summary.begin_publish();
         Ok(ts)
     }
 
@@ -168,17 +202,31 @@ impl Ring {
             std::thread::yield_now();
         }
         let ts = th.nt_read(self.timestamp) + 1;
-        let entry = self.entry(ts);
-        let mut mask = 0u64;
-        for (i, &w) in sig.words().iter().enumerate() {
-            if w != 0 {
-                mask |= 1 << i;
-                th.nt_write(entry.word_addr(i as u32), w);
-            }
-        }
-        th.nt_write(self.entry_mask_addr(ts), mask);
+        self.write_entry_nt(th, ts, sig);
         th.nt_write(self.timestamp, ts);
         th.nt_write(self.lock, 0);
+        ts
+    }
+
+    /// [`Ring::publish_software`] plus the full summary hand-shake: the publish is
+    /// announced before the timestamp bump makes it visible and completed right
+    /// after (a software committer cannot abort past this point, so no cancel path
+    /// exists here).
+    pub fn publish_software_summarized(
+        &self,
+        th: &HtmThread<'_>,
+        sig: &Sig,
+        summary: &RingSummary,
+    ) -> u64 {
+        while th.nt_cas(self.lock, 0, 1).is_err() {
+            std::thread::yield_now();
+        }
+        let ts = th.nt_read(self.timestamp) + 1;
+        self.write_entry_nt(th, ts, sig);
+        summary.begin_publish();
+        th.nt_write(self.timestamp, ts);
+        th.nt_write(self.lock, 0);
+        summary.complete_publish(sig);
         ts
     }
 
@@ -187,14 +235,10 @@ impl Ring {
     /// writer commit). The caller must hold the ring lock.
     pub fn write_entry_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) {
         let entry = self.entry(ts);
-        let mut mask = 0u64;
-        for (i, &w) in sig.words().iter().enumerate() {
-            if w != 0 {
-                mask |= 1 << i;
-                th.nt_write(entry.word_addr(i as u32), w);
-            }
+        for (i, w) in sig.nonzero_words() {
+            th.nt_write(entry.word_addr(i), w);
         }
-        th.nt_write(self.entry_mask_addr(ts), mask);
+        th.nt_write(self.entry_mask_addr(ts), sig.nonzero_mask());
     }
 
     /// Validate `read_sig` against every commit later than `start_time` (Fig. 1
@@ -224,6 +268,218 @@ impl Ring {
             return Err(RingValidationError::Rollover);
         }
         Ok(ts)
+    }
+
+    /// [`Ring::validate_nt`] behind the summary fast path: if `read_sig` provably
+    /// misses everything published since `start_time`, skip the per-entry walk.
+    /// The second return value reports whether the fast path decided the call
+    /// (true) or the precise walk ran (false) — the executors feed it into their
+    /// statistics.
+    pub fn validate_summarized_nt(
+        &self,
+        th: &HtmThread<'_>,
+        summary: &RingSummary,
+        read_sig: &Sig,
+        start_time: u64,
+    ) -> (Result<u64, RingValidationError>, bool) {
+        if let Some(ts) = summary.try_fast_pass(read_sig, start_time, || self.timestamp_nt(th)) {
+            return (Ok(ts), true);
+        }
+        (self.validate_nt(th, read_sig, start_time), false)
+    }
+
+    /// Reset the summary when it has grown dense enough to stop filtering (see
+    /// [`RingSummary::wants_reset`]). At most one resetter runs at a time; the
+    /// generation seqlock keeps concurrent publishers and validators correct (the
+    /// interleaving argument is spelled out in `docs/hot-path.md`). Returns true
+    /// when a reset was performed.
+    pub fn maybe_reset_summary(&self, th: &HtmThread<'_>, summary: &RingSummary) -> bool {
+        if !summary.wants_reset() {
+            return false;
+        }
+        if summary
+            .resetting
+            .compare_exchange(0, 1, SeqCst, SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        summary.gen.fetch_add(1, SeqCst); // odd: publishers re-OR, validators fall back
+        for w in summary.words.iter() {
+            w.store(0, SeqCst);
+        }
+        // Read the timestamp only *after* the clear: any publish whose bits the
+        // clear dropped and whose OR completed beforehand had made its timestamp
+        // visible before this read, so `reset_ts` covers it and validators that
+        // started earlier are sent to the precise walk.
+        summary.reset_ts.store(self.timestamp_nt(th), SeqCst);
+        summary.since_reset.store(0, SeqCst);
+        summary.gen.fetch_add(1, SeqCst); // even: fast path re-opens
+        summary.resetting.store(0, SeqCst);
+        true
+    }
+}
+
+/// Density threshold: reset once more than a third of the summary's bits are set
+/// (a summary this dense intersects almost every read signature, so the fast path
+/// stops paying for itself).
+const SUMMARY_DENSITY_NUM: u32 = 1;
+const SUMMARY_DENSITY_DEN: u32 = 3;
+/// Publishes between density checks (keeps `wants_reset` off the common path).
+const SUMMARY_CHECK_INTERVAL: u64 = 256;
+
+/// The global summary signature: host-side companion to a [`Ring`] (the ring itself
+/// is a plain-old-data heap handle; the summary holds atomics and therefore lives
+/// in the runtime). See the module docs for the protocol overview.
+///
+/// Soundness hinges on three rules, in concert:
+///
+/// 1. **Announce-then-bump**: a publisher increments `started` *before* its
+///    timestamp store can become visible, and increments `completed` only after its
+///    bits are in the summary (or the publish aborted). A validator reads
+///    `completed` first and `started` last and requires them equal — any publish it
+///    could be missing bits from is then provably either fully summarised or not
+///    yet visible in the timestamp it validated against.
+/// 2. **Generation seqlock around resets**: publishers OR their bits under a
+///    generation re-check (retrying if a reset overlapped), and validators require
+///    the generation stable and even across their whole read sequence.
+/// 3. **Reset timestamp read after the clear**: bits the clear may have dropped
+///    belong to publishes whose timestamps were visible before `reset_ts` was read,
+///    so requiring `start_time >= reset_ts` on the fast path makes the dropped bits
+///    irrelevant (those publishes are before the validator's window).
+#[derive(Debug)]
+pub struct RingSummary {
+    /// OR of every signature published since the last reset.
+    words: Box<[AtomicU64]>,
+    /// Generation seqlock: odd while a reset is clearing the words.
+    gen: AtomicU64,
+    /// Ring timestamp observed just after the last clear; fast-path validators
+    /// must have `start_time >= reset_ts`.
+    reset_ts: AtomicU64,
+    /// Publishes announced (monotone; never decremented).
+    started: AtomicU64,
+    /// Publishes completed or cancelled (monotone; never decremented).
+    completed: AtomicU64,
+    /// Completed publishes since the last reset (density-check pacing).
+    since_reset: AtomicU64,
+    /// CAS guard: at most one resetter at a time.
+    resetting: AtomicU64,
+    spec: SigSpec,
+}
+
+impl RingSummary {
+    /// An empty summary for signatures of geometry `spec`.
+    pub fn new(spec: SigSpec) -> Self {
+        Self {
+            words: (0..spec.words()).map(|_| AtomicU64::new(0)).collect(),
+            gen: AtomicU64::new(0),
+            reset_ts: AtomicU64::new(0),
+            started: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            since_reset: AtomicU64::new(0),
+            resetting: AtomicU64::new(0),
+            spec,
+        }
+    }
+
+    /// Geometry.
+    pub fn spec(&self) -> SigSpec {
+        self.spec
+    }
+
+    /// Announce a publish whose timestamp is about to become visible. Every
+    /// `begin_publish` must be matched by exactly one [`RingSummary::complete_publish`]
+    /// or [`RingSummary::cancel_publish`].
+    #[inline]
+    pub fn begin_publish(&self) {
+        self.started.fetch_add(1, SeqCst);
+    }
+
+    /// Fold a committed publish's signature into the summary. The generation
+    /// re-check makes the OR effectively atomic against resets: if a reset clears
+    /// words mid-OR, the loop runs again and re-ORs into the fresh summary.
+    pub fn complete_publish(&self, sig: &Sig) {
+        loop {
+            let g1 = self.gen.load(SeqCst);
+            if g1 & 1 != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for (i, w) in sig.nonzero_words() {
+                self.words[i as usize].fetch_or(w, SeqCst);
+            }
+            if self.gen.load(SeqCst) == g1 {
+                break;
+            }
+        }
+        self.since_reset.fetch_add(1, SeqCst);
+        self.completed.fetch_add(1, SeqCst);
+    }
+
+    /// Retire an announced publish whose hardware transaction aborted (its
+    /// timestamp never became visible, so there is nothing to fold in).
+    #[inline]
+    pub fn cancel_publish(&self) {
+        self.completed.fetch_add(1, SeqCst);
+    }
+
+    /// The summary fast path: `Some(ts)` when `read_sig` provably conflicts with
+    /// nothing published after `start_time` (with `ts` the timestamp the caller may
+    /// advance to), `None` when the precise walk must decide. `read_ts` reads the
+    /// ring timestamp; it is taken as a closure because the timestamp lives in the
+    /// simulated heap while the summary does not.
+    ///
+    /// Read order is load-bearing (see the type-level docs): `completed` first,
+    /// generation + reset window, the timestamp, the summary words, then `started`
+    /// and the generation again. Equality of the two counters proves every publish
+    /// visible in `ts` had completed before the first read — and was therefore
+    /// either in the summary words read afterwards, or dropped by a reset that the
+    /// `start_time >= reset_ts` check already accounts for.
+    pub fn try_fast_pass(
+        &self,
+        read_sig: &Sig,
+        start_time: u64,
+        read_ts: impl FnOnce() -> u64,
+    ) -> Option<u64> {
+        let c1 = self.completed.load(SeqCst);
+        let g1 = self.gen.load(SeqCst);
+        if g1 & 1 != 0 {
+            return None;
+        }
+        if start_time < self.reset_ts.load(SeqCst) {
+            return None;
+        }
+        let ts = read_ts();
+        if ts == start_time {
+            return Some(ts); // nothing committed since; same early-out as validate_nt
+        }
+        for (i, w) in read_sig.nonzero_words() {
+            if self.words[i as usize].load(SeqCst) & w != 0 {
+                return None;
+            }
+        }
+        if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
+            return None;
+        }
+        Some(ts)
+    }
+
+    /// True when the summary is due for a density check and more than
+    /// [`SUMMARY_DENSITY_NUM`]/[`SUMMARY_DENSITY_DEN`] of its bits are set.
+    pub fn wants_reset(&self) -> bool {
+        if self.since_reset.load(SeqCst) < SUMMARY_CHECK_INTERVAL {
+            return false;
+        }
+        let pop: u32 = self.words.iter().map(|w| w.load(SeqCst).count_ones()).sum();
+        pop > self.spec.bits() * SUMMARY_DENSITY_NUM / SUMMARY_DENSITY_DEN
+    }
+
+    /// Snapshot of the summary bits (diagnostics and tests).
+    pub fn snapshot(&self) -> Sig {
+        Sig::from_words(
+            self.spec,
+            self.words.iter().map(|w| w.load(SeqCst)).collect(),
+        )
     }
 }
 
@@ -365,5 +621,124 @@ mod tests {
             400,
             "every publish must get a unique ts"
         );
+    }
+
+    // ---- summary fast path ----
+
+    #[test]
+    fn summary_fast_pass_on_disjoint_reader() {
+        let (sys, ring) = setup(64);
+        let th = sys.thread(0);
+        let summary = RingSummary::new(SigSpec::PAPER);
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        wsig.add(1000);
+        for _ in 0..5 {
+            ring.publish_software_summarized(&th, &wsig, &summary);
+        }
+        // Disjoint reader: fast pass, advances to the current timestamp.
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(2000);
+        assert!(!rsig.intersects(&wsig), "test addresses must not collide");
+        let (res, fast) = ring.validate_summarized_nt(&th, &summary, &rsig, 0);
+        assert_eq!(res, Ok(5));
+        assert!(fast, "disjoint reader must take the fast path");
+        // Intersecting reader: falls back and is rejected.
+        let mut rbad = Sig::new(SigSpec::PAPER);
+        rbad.add(1000);
+        let (res, fast) = ring.validate_summarized_nt(&th, &summary, &rbad, 0);
+        assert_eq!(res, Err(RingValidationError::Invalid));
+        assert!(!fast);
+    }
+
+    #[test]
+    fn summary_fast_pass_survives_rollover() {
+        // 8-entry ring, 20 publishes: the precise walk from 0 reports Rollover, but
+        // the summary (which covers every publish since reset, regardless of slot
+        // overwrites) still passes a disjoint reader.
+        let (sys, ring) = setup(8);
+        let th = sys.thread(0);
+        let summary = RingSummary::new(SigSpec::PAPER);
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        wsig.add(1000);
+        for _ in 0..20 {
+            ring.publish_software_summarized(&th, &wsig, &summary);
+        }
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(2000);
+        assert_eq!(
+            ring.validate_nt(&th, &rsig, 0),
+            Err(RingValidationError::Rollover)
+        );
+        let (res, fast) = ring.validate_summarized_nt(&th, &summary, &rsig, 0);
+        assert_eq!(res, Ok(20), "summary pass avoids the spurious rollover abort");
+        assert!(fast);
+    }
+
+    #[test]
+    fn hardware_publish_hand_shake() {
+        let (sys, ring) = setup(64);
+        let mut th = sys.thread(0);
+        let summary = RingSummary::new(SigSpec::PAPER);
+        let mut s = Sig::new(SigSpec::PAPER);
+        s.add(777);
+
+        let ts = th
+            .attempt(|tx| ring.publish_tx_summarized(tx, &s, &summary))
+            .unwrap();
+        summary.complete_publish(&s);
+        assert_eq!(ts, 1);
+        assert!(summary.snapshot().contains(777));
+        // A reader of 777 must not fast-pass; a disjoint one must.
+        let mut rbad = Sig::new(SigSpec::PAPER);
+        rbad.add(777);
+        assert_eq!(summary.try_fast_pass(&rbad, 0, || 1), None);
+        let mut rok = Sig::new(SigSpec::PAPER);
+        rok.add(4242);
+        assert!(!rok.intersects(&s));
+        assert_eq!(summary.try_fast_pass(&rok, 0, || 1), Some(1));
+    }
+
+    #[test]
+    fn incomplete_publish_blocks_fast_pass() {
+        let summary = RingSummary::new(SigSpec::PAPER);
+        summary.begin_publish();
+        // A publish is in flight (announced, not completed): nobody may fast-pass.
+        let rsig = {
+            let mut s = Sig::new(SigSpec::PAPER);
+            s.add(1);
+            s
+        };
+        assert_eq!(summary.try_fast_pass(&rsig, 0, || 5), None);
+        summary.cancel_publish();
+        assert_eq!(summary.try_fast_pass(&rsig, 0, || 5), Some(5));
+    }
+
+    #[test]
+    fn reset_redirects_older_validators_to_precise_walk() {
+        let (sys, ring) = setup(1024);
+        let th = sys.thread(0);
+        let summary = RingSummary::new(SigSpec::PAPER);
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        // Saturate the summary well past the density threshold.
+        for a in 0..SUMMARY_CHECK_INTERVAL + 10 {
+            wsig.clear();
+            wsig.add((a * 4099) as u32);
+            wsig.add((a * 7919 + 13) as u32);
+            wsig.add((a * 104_729 + 7) as u32);
+            ring.publish_software_summarized(&th, &wsig, &summary);
+        }
+        assert!(summary.wants_reset());
+        assert!(ring.maybe_reset_summary(&th, &summary));
+        assert!(summary.snapshot().is_empty());
+        let rts = ring.timestamp_nt(&th);
+        assert_eq!(summary.reset_ts.load(SeqCst), rts);
+        // A validator that started before the reset must not fast-pass...
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(1);
+        assert_eq!(summary.try_fast_pass(&rsig, rts - 1, || rts), None);
+        // ...but one that starts at/after the reset timestamp may.
+        assert_eq!(summary.try_fast_pass(&rsig, rts, || rts), Some(rts));
+        // Second reset attempt is a no-op until the interval elapses again.
+        assert!(!ring.maybe_reset_summary(&th, &summary));
     }
 }

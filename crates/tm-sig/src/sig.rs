@@ -3,6 +3,16 @@
 //! The software framework manipulates signatures outside hardware transactions
 //! (in-flight validation, lock release, aggregation). [`Sig`] is the plain-old-data
 //! representation of a Bloom-filter signature for that purpose.
+//!
+//! Protocol signatures are *sparse*: a transaction touching a handful of lines sets
+//! a handful of bits in a 2048-bit filter. Every [`Sig`] therefore carries a 64-bit
+//! **non-zero-word mask** (bit `i % 64` set iff some word `i` is non-zero), kept
+//! exact by every mutator, so the filter kernels — intersection, union, subtraction,
+//! ring publishing — iterate the few live words via the mask instead of scanning all
+//! of them. For geometries of at most 64 words (every practical configuration,
+//! including the paper's 32-word filters) the mask identifies words one-to-one; the
+//! group fold for larger sweep geometries only ever costs extra word visits, never a
+//! missed one.
 
 use crate::spec::SigSpec;
 use htm_sim::Addr;
@@ -23,6 +33,10 @@ use htm_sim::Addr;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sig {
     spec: SigSpec,
+    /// Non-zero-word mask: bit `i % 64` is set iff some word `i` congruent to it is
+    /// non-zero. A pure function of the words, so the derived `PartialEq` stays
+    /// consistent.
+    mask: u64,
     storage: Storage,
 }
 
@@ -34,6 +48,10 @@ const INLINE_WORDS: usize = 32;
 /// Signature bit storage. Both variants keep the invariant that words beyond
 /// `spec.words()` are zero, so the derived `PartialEq` (which compares the whole
 /// inline array) agrees with comparing the active slices.
+/// The size skew between the variants is deliberate: the inline array *is* the
+/// optimisation (boxing it, as the lint suggests, would reintroduce the
+/// allocation this representation exists to avoid).
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Storage {
     /// Up to 2048 bits, held inline: `Sig::new(SigSpec::PAPER)` is allocation-free
@@ -54,14 +72,19 @@ impl Sig {
         } else {
             Storage::Heap(vec![0u64; n].into_boxed_slice())
         };
-        Self { spec, storage }
+        Self {
+            spec,
+            mask: 0,
+            storage,
+        }
     }
 
     /// Build from raw words (e.g. a heap snapshot). Panics on length mismatch.
     pub fn from_words(spec: SigSpec, words: Vec<u64>) -> Self {
         assert_eq!(words.len(), spec.words() as usize);
         let mut sig = Self::new(spec);
-        sig.words_mut().copy_from_slice(&words);
+        sig.raw_words_mut().copy_from_slice(&words);
+        sig.mask = mask_of(&words);
         sig
     }
 
@@ -80,21 +103,75 @@ impl Sig {
         }
     }
 
-    /// Raw mutable word access (protocol fast paths that maintain the heap copy and
-    /// the mirror in lock-step).
+    /// Mutable word access that bypasses mask maintenance — internal only; every
+    /// caller re-establishes the mask invariant itself.
     #[inline]
-    pub fn words_mut(&mut self) -> &mut [u64] {
+    fn raw_words_mut(&mut self) -> &mut [u64] {
         match &mut self.storage {
             Storage::Inline(a) => &mut a[..self.spec.words() as usize],
             Storage::Heap(b) => b,
         }
     }
 
+    /// The non-zero-word mask (bit `i % 64` set iff some word `i` is non-zero).
+    /// For geometries of at most 64 words this identifies the live words exactly —
+    /// the ring stores it verbatim as the entry mask.
+    #[inline]
+    pub fn nonzero_mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Word `i`'s current value.
+    #[inline]
+    pub fn word(&self, i: u32) -> u64 {
+        self.words()[i as usize]
+    }
+
+    /// Overwrite word `i`, maintaining the mask (the journal's rollback path).
+    #[inline]
+    pub fn set_word(&mut self, i: u32, v: u64) {
+        let bit = 1u64 << (i % 64);
+        self.raw_words_mut()[i as usize] = v;
+        if v != 0 {
+            self.mask |= bit;
+        } else if self.spec.words() <= 64 {
+            self.mask &= !bit;
+        } else {
+            // Folded group: the bit stays only if a sibling word is non-zero.
+            let n = self.spec.words() as usize;
+            let mut j = (i % 64) as usize;
+            let mut any = false;
+            while j < n {
+                if self.words()[j] != 0 {
+                    any = true;
+                    break;
+                }
+                j += 64;
+            }
+            if !any {
+                self.mask &= !bit;
+            }
+        }
+    }
+
+    /// OR `m` into word `w` (a precomputed [`SigSpec::slot_of`] slot), returning
+    /// whether any bit was newly set. The protocol hot paths use this to skip the
+    /// heap-copy store for repeated accesses.
+    #[inline]
+    pub fn add_slot(&mut self, w: u32, m: u64) -> bool {
+        debug_assert_ne!(m, 0);
+        let word = &mut self.raw_words_mut()[w as usize];
+        let newly = *word & m != m;
+        *word |= m;
+        self.mask |= 1u64 << (w % 64);
+        newly
+    }
+
     /// Record an address.
     #[inline]
     pub fn add(&mut self, addr: Addr) {
         let (w, m) = self.spec.slot_of(addr);
-        self.words_mut()[w as usize] |= m;
+        self.add_slot(w, m);
     }
 
     /// Bloom-filter membership: may return true for addresses never added (false
@@ -108,51 +185,150 @@ impl Sig {
     /// True if no bit is set.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words().iter().all(|&w| w == 0)
+        self.mask == 0
     }
 
-    /// Clear all bits.
+    /// Clear all bits. Sparse: only the live words are zeroed.
     #[inline]
     pub fn clear(&mut self) {
-        match &mut self.storage {
-            Storage::Inline(a) => *a = [0u64; INLINE_WORDS],
-            Storage::Heap(b) => b.fill(0),
+        let mut m = self.mask;
+        let n = self.spec.words() as usize;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut i = b;
+            while i < n {
+                self.raw_words_mut()[i] = 0;
+                i += 64;
+            }
         }
+        self.mask = 0;
     }
 
-    /// `self |= other`.
+    /// `self |= other`. Sparse: only `other`'s live words are visited, and the mask
+    /// union is exact (a group is non-zero afterwards iff it was non-zero in either
+    /// operand).
     #[inline]
     pub fn union_with(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
-        for (a, b) in self.words_mut().iter_mut().zip(other.words().iter()) {
-            *a |= b;
+        for (i, w) in other.nonzero_words() {
+            self.raw_words_mut()[i as usize] |= w;
         }
+        self.mask |= other.mask;
     }
 
-    /// `self &= !other` (remove the other signature's bits).
+    /// `self &= !other` (remove the other signature's bits). Sparse: only groups
+    /// live in both operands are touched, and their mask bits are recomputed.
     #[inline]
     pub fn subtract(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
-        for (a, b) in self.words_mut().iter_mut().zip(other.words().iter()) {
-            *a &= !b;
+        let shared = self.mask & other.mask;
+        if shared == 0 {
+            return;
+        }
+        let n = self.spec.words() as usize;
+        let mut m = shared;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut any = false;
+            let mut i = b;
+            while i < n {
+                let w = self.words()[i] & !other.words()[i];
+                self.raw_words_mut()[i] = w;
+                any |= w != 0;
+                i += 64;
+            }
+            if !any {
+                self.mask &= !(1u64 << b);
+            }
         }
     }
 
     /// True if the two signatures share any bit (the "bitwise AND" conflict test of
-    /// the paper's commit validations).
+    /// the paper's commit validations). Sparse: groups live in only one operand are
+    /// skipped without reading a single word, so the common few-bits-vs-few-bits
+    /// test costs a mask AND plus a word or two.
     #[inline]
     pub fn intersects(&self, other: &Sig) -> bool {
         debug_assert_eq!(self.spec, other.spec);
-        self.words()
-            .iter()
-            .zip(other.words().iter())
-            .any(|(&a, &b)| a & b != 0)
+        let mut m = self.mask & other.mask;
+        if m == 0 {
+            return false;
+        }
+        let n = self.spec.words() as usize;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut i = b;
+            while i < n {
+                if self.words()[i] & other.words()[i] != 0 {
+                    return true;
+                }
+                i += 64;
+            }
+        }
+        false
     }
 
     /// Number of set bits (diagnostics).
     #[inline]
     pub fn popcount(&self) -> u32 {
-        self.words().iter().map(|w| w.count_ones()).sum()
+        self.nonzero_words().map(|(_, w)| w.count_ones()).sum()
+    }
+
+    /// Iterate the non-zero words as `(index, word)` pairs, driven by the mask.
+    #[inline]
+    pub fn nonzero_words(&self) -> NonzeroWords<'_> {
+        NonzeroWords {
+            words: self.words(),
+            mask: self.mask,
+            cursor: usize::MAX,
+        }
+    }
+}
+
+/// Compute the non-zero-word mask of a word slice from scratch.
+fn mask_of(words: &[u64]) -> u64 {
+    let mut m = 0u64;
+    for (i, &w) in words.iter().enumerate() {
+        if w != 0 {
+            m |= 1u64 << (i % 64);
+        }
+    }
+    m
+}
+
+/// Iterator over a signature's non-zero `(index, word)` pairs (see
+/// [`Sig::nonzero_words`]). For folded geometries (> 64 words) a group may contain
+/// zero words, which are filtered out here — the mask never hides a non-zero word.
+pub struct NonzeroWords<'a> {
+    words: &'a [u64],
+    mask: u64,
+    cursor: usize,
+}
+
+impl Iterator for NonzeroWords<'_> {
+    type Item = (u32, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u64)> {
+        loop {
+            if self.cursor < self.words.len() {
+                let i = self.cursor;
+                self.cursor += 64;
+                let w = self.words[i];
+                if w != 0 {
+                    return Some((i as u32, w));
+                }
+                continue;
+            }
+            if self.mask == 0 {
+                return None;
+            }
+            self.cursor = self.mask.trailing_zeros() as usize;
+            self.mask &= self.mask - 1;
+        }
     }
 }
 
@@ -164,6 +340,11 @@ mod tests {
         SigSpec::PAPER
     }
 
+    /// Every mutator must leave the mask exactly equal to the recomputed one.
+    fn assert_mask_exact(s: &Sig) {
+        assert_eq!(s.nonzero_mask(), mask_of(s.words()), "mask out of sync");
+    }
+
     #[test]
     fn no_false_negatives() {
         let mut s = Sig::new(spec());
@@ -173,6 +354,7 @@ mod tests {
         for addr in (0..50_000).step_by(131) {
             assert!(s.contains(addr));
         }
+        assert_mask_exact(&s);
     }
 
     #[test]
@@ -184,6 +366,7 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.popcount(), 0);
+        assert_mask_exact(&s);
     }
 
     #[test]
@@ -197,11 +380,13 @@ mod tests {
         let orig = a.clone();
         a.union_with(&b);
         assert!(a.contains(100));
+        assert_mask_exact(&a);
         a.subtract(&b);
         // Subtracting b restores a unless a and b collided; with these addresses
         // collisions would make the test fail loudly, which is acceptable for a
         // deterministic hash.
         assert_eq!(a, orig);
+        assert_mask_exact(&a);
     }
 
     #[test]
@@ -254,5 +439,97 @@ mod tests {
         // 200 of 2048 bits set => ~9.7% expected false-positive rate.
         let rate = fp as f64 / probes as f64;
         assert!(rate < 0.2, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn nonzero_words_visits_exactly_the_live_words() {
+        let mut s = Sig::new(spec());
+        for addr in [3u32, 5000, 77777, 123456] {
+            s.add(addr);
+        }
+        let visited: Vec<(u32, u64)> = s.nonzero_words().collect();
+        let expected: Vec<(u32, u64)> = s
+            .words()
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| (i as u32, w))
+            .collect();
+        let mut sorted = visited.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected);
+        assert!(!visited.is_empty());
+    }
+
+    #[test]
+    fn add_slot_reports_newly_set() {
+        let mut s = Sig::new(spec());
+        let (w, m) = spec().slot_of(42);
+        assert!(s.add_slot(w, m));
+        assert!(!s.add_slot(w, m), "second add of the same bit is not new");
+        assert!(s.contains(42));
+        assert_mask_exact(&s);
+    }
+
+    #[test]
+    fn set_word_maintains_mask() {
+        let mut s = Sig::new(spec());
+        s.set_word(5, 0b1010);
+        assert_eq!(s.word(5), 0b1010);
+        assert!(!s.is_empty());
+        assert_mask_exact(&s);
+        s.set_word(5, 0);
+        assert!(s.is_empty());
+        assert_mask_exact(&s);
+    }
+
+    #[test]
+    fn folded_mask_never_hides_words() {
+        // 128-word geometry: words 3 and 67 share mask bit 3. Clearing one must
+        // keep the group live until both are zero.
+        let big = SigSpec::new(8192);
+        let mut s = Sig::new(big);
+        s.set_word(3, 7);
+        s.set_word(67, 9);
+        assert_eq!(s.nonzero_mask(), 1 << 3);
+        let seen: Vec<(u32, u64)> = s.nonzero_words().collect();
+        assert_eq!(seen, vec![(3, 7), (67, 9)]);
+        s.set_word(3, 0);
+        assert_eq!(s.nonzero_mask(), 1 << 3, "sibling word 67 keeps the group");
+        assert_eq!(s.nonzero_words().collect::<Vec<_>>(), vec![(67, 9)]);
+        s.set_word(67, 0);
+        assert!(s.is_empty());
+        assert_mask_exact(&s);
+    }
+
+    #[test]
+    fn sparse_ops_match_dense_on_folded_geometry() {
+        let big = SigSpec::new(8192);
+        let mut a = Sig::new(big);
+        let mut b = Sig::new(big);
+        for addr in (0..40_000).step_by(613) {
+            a.add(addr);
+        }
+        for addr in (0..40_000).step_by(917) {
+            b.add(addr);
+        }
+        assert_mask_exact(&a);
+        assert_mask_exact(&b);
+        let dense_hit = a
+            .words()
+            .iter()
+            .zip(b.words())
+            .any(|(&x, &y)| x & y != 0);
+        assert_eq!(a.intersects(&b), dense_hit);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_mask_exact(&u);
+        u.subtract(&b);
+        assert_mask_exact(&u);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        for (i, (&x, &y)) in a.words().iter().zip(b.words()).enumerate() {
+            assert_eq!(diff.words()[i], x & !y);
+        }
     }
 }

@@ -1,11 +1,32 @@
-//! Property-based tests of the signature algebra and the ring's validation window.
+//! Property-based tests of the signature algebra, the ring's validation window,
+//! the segment journal (vs the clone-based reference) and the summary fast path
+//! (vs ground truth, under real multithreaded interleavings).
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use proptest::prelude::*;
-use tm_sig::{Ring, Sig, SigSpec};
+use std::sync::Mutex;
+use tm_sig::{CloneSaved, Ring, RingSummary, Sig, SigJournal, SigSlot, SigSpec};
 
 fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..100_000, 0..64)
+}
+
+/// The executor's journaled-add pattern (see `SigPair::add_journaled`).
+fn journaled_add(j: &mut SigJournal, sig: &mut Sig, slot: SigSlot, addr: u32) {
+    let (w, m) = sig.spec().slot_of(addr);
+    let old = sig.word(w);
+    if old & m == 0 {
+        j.note(slot, w, old);
+        sig.add_slot(w, m);
+    }
+}
+
+/// splitmix64: cheap deterministic address derivation for the threaded test.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 proptest! {
@@ -110,5 +131,159 @@ proptest! {
                 prop_assert!(overflowed, "spurious rollover report");
             }
         }
+    }
+
+    /// Differential test of the zero-clone retry machinery: a sequence of
+    /// segments, each a mix of read- and write-signature adds ending in commit or
+    /// failure, run once through the journal (note/rollback/discard) and once
+    /// through the clone-based save/restore it replaced. The signatures must
+    /// agree after every segment, on both the exact-mask (2048-bit) and the
+    /// folded-mask (8192-bit) geometry.
+    #[test]
+    fn journal_matches_clone_reference(
+        pre in arb_addrs(),
+        segs in proptest::collection::vec((arb_addrs(), arb_addrs(), 0u8..2), 1..8),
+        bits in prop_oneof![Just(2048u32), Just(8192)],
+    ) {
+        let spec = SigSpec::new(bits);
+        let mut r_j = Sig::new(spec);
+        let mut w_j = Sig::new(spec);
+        for &a in &pre {
+            r_j.add(a);
+            w_j.add(a ^ 0x5555);
+        }
+        let mut r_c = r_j.clone();
+        let mut w_c = w_j.clone();
+        let mut j = SigJournal::new();
+
+        for (reads, writes, commits) in &segs {
+            let saved = CloneSaved::save(&r_c, &w_c);
+            j.begin(spec);
+            for &a in reads {
+                journaled_add(&mut j, &mut r_j, SigSlot::Read, a);
+                r_c.add(a);
+            }
+            for &a in writes {
+                journaled_add(&mut j, &mut w_j, SigSlot::Write, a);
+                w_c.add(a);
+            }
+            if *commits == 1 {
+                j.discard();
+            } else {
+                j.rollback(&mut r_j, &mut w_j);
+                saved.restore(&mut r_c, &mut w_c);
+            }
+            prop_assert_eq!(&r_j, &r_c);
+            prop_assert_eq!(&w_j, &w_c);
+        }
+    }
+
+    /// Multithreaded ground-truth test of the summary fast path: hardware and
+    /// software publishers interleave with a validator under real concurrency.
+    /// Every publish deposits its exact signature in a shadow table indexed by
+    /// commit timestamp; whenever the validator's *fast path* admits a window
+    /// `(start, ts]`, every signature published in that window must be disjoint
+    /// from the validator's read signature. False positives (falling back to the
+    /// precise walk) are allowed; a false negative fails the test.
+    #[test]
+    fn summary_fast_path_never_admits_a_conflict(seed in 0u64..(1 << 48)) {
+        const SW_PUBS: u64 = 60;   // per software publisher (x2)
+        const HW_PUBS: u64 = 30;
+        const MAX_TS: usize = (2 * SW_PUBS + HW_PUBS) as usize;
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 18);
+        let mut b = HeapBuilder::new(1 << 18);
+        let ring = Ring::alloc(&mut b, 4096, SigSpec::PAPER); // no rollover
+        let summary = RingSummary::new(SigSpec::PAPER);
+        let shadow: Vec<Mutex<Option<Sig>>> = (0..=MAX_TS).map(|_| Mutex::new(None)).collect();
+
+        let make_sig = |stream: u64, i: u64| {
+            let mut s = Sig::new(SigSpec::PAPER);
+            for k in 0..3 {
+                s.add((mix(seed ^ (stream << 56) ^ (i << 8) ^ k) % 100_000) as u32);
+            }
+            s
+        };
+        // The validator reads a fixed small set derived from the same seed.
+        let rsig = make_sig(9, 0);
+
+        std::thread::scope(|s| {
+            let (ring, summary, shadow, rsig) = (&ring, &summary, &shadow, &rsig);
+            for p in 0..2u64 {
+                let sys = &sys;
+                s.spawn(move || {
+                    let th = sys.thread(p as usize);
+                    for i in 0..SW_PUBS {
+                        let sig = make_sig(p, i);
+                        let ts = ring.publish_software_summarized(&th, &sig, summary);
+                        *shadow[ts as usize].lock().unwrap() = Some(sig);
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                s.spawn(move || {
+                    let mut th = sys.thread(2);
+                    for i in 0..HW_PUBS {
+                        let sig = make_sig(7, i);
+                        loop {
+                            let mut announced = false;
+                            let res = th.attempt(|tx| {
+                                announced = false;
+                                let ts = ring.publish_tx_summarized(tx, &sig, summary)?;
+                                announced = true;
+                                Ok(ts)
+                            });
+                            match res {
+                                Ok(ts) => {
+                                    summary.complete_publish(&sig);
+                                    *shadow[ts as usize].lock().unwrap() = Some(sig.clone());
+                                    break;
+                                }
+                                Err(_) => {
+                                    if announced {
+                                        summary.cancel_publish();
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                s.spawn(move || {
+                    let th = sys.thread(3);
+                    let mut start = 0u64;
+                    for _ in 0..400 {
+                        let (res, fast) =
+                            ring.validate_summarized_nt(&th, summary, rsig, start);
+                        if let Ok(ts) = res {
+                            if fast {
+                                // The fast path claimed (start, ts] is clean:
+                                // check against the exact published signatures.
+                                for m in start + 1..=ts {
+                                    let mut spins = 0u64;
+                                    loop {
+                                        if let Some(sig) = shadow[m as usize].lock().unwrap().as_ref() {
+                                            assert!(
+                                                !sig.intersects(rsig),
+                                                "fast path admitted a conflicting publish at ts {m}"
+                                            );
+                                            break;
+                                        }
+                                        spins += 1;
+                                        assert!(spins < 10_000_000, "publisher never filled shadow[{m}]");
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                            start = ts;
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
     }
 }

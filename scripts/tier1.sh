@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, workspace tests, clippy on the simulator core.
-# Add --smoke to also run the conflict-table microbenchmark (reduced iterations).
+# Tier-1 gate: release build, workspace tests, clippy -D warnings on every
+# workspace crate.
+#
+# Flags:
+#   --smoke  also run both microbenchmarks at reduced iterations (CI sanity)
+#   --bench  full microbenchmark run: linebench + pathbench, writing fresh
+#            numbers to target/BENCH_2.json and gating the end-to-end
+#            partitioned throughput against the committed ./BENCH_2.json
+#            (a >10% regression fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -12,12 +19,24 @@ cargo build --release
 echo "== tier1: cargo test -q (workspace) =="
 cargo test -q --workspace
 
-echo "== tier1: clippy -D warnings (htm-sim) =="
-cargo clippy -q -p htm-sim --all-targets -- -D warnings
+echo "== tier1: clippy -D warnings (workspace) =="
+cargo clippy -q --workspace --all-targets -- -D warnings
 
-if [[ "${1:-}" == "--smoke" ]]; then
+case "${1:-}" in
+--smoke)
     echo "== tier1: linebench --smoke =="
     cargo run -q --release -p tm-harness --bin linebench -- --smoke
-fi
+    echo "== tier1: pathbench --smoke =="
+    cargo run -q --release -p tm-harness --bin pathbench -- --smoke
+    ;;
+--bench)
+    echo "== tier1: linebench (full) =="
+    cargo run -q --release -p tm-harness --bin linebench
+    echo "== tier1: pathbench (full, regression gate vs BENCH_2.json) =="
+    cargo run -q --release -p tm-harness --bin pathbench -- \
+        --json target/BENCH_2.json --baseline BENCH_2.json
+    echo "   fresh numbers in target/BENCH_2.json; copy over ./BENCH_2.json to rebaseline"
+    ;;
+esac
 
 echo "== tier1: OK =="
