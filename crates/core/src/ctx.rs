@@ -82,7 +82,8 @@ pub struct FastCtx<'c, 'a, 's> {
     /// Local write-set signature.
     pub wsig: SigPair<'c>,
     /// Set when the transaction performs any write (read-only transactions skip the
-    /// ring publish, Fig. 1 line 9).
+    /// ring publish, Fig. 1 line 9; writers publish per touched shard of the
+    /// sharded ring — `docs/ring-sharding.md` §3).
     pub wrote: &'c mut bool,
 }
 

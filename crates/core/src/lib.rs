@@ -21,6 +21,8 @@
 //! baselines: [`Workload`], [`TxCtx`], [`TmExecutor`], [`TmRuntime`] and
 //! [`TmThread`].
 
+#![deny(missing_docs)]
+
 pub mod api;
 pub mod ctx;
 pub mod opaque;

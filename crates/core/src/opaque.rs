@@ -34,7 +34,7 @@ use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::util::FastSet;
 use htm_sim::{AbortCode, Addr, HtmTx};
-use tm_sig::{Sig, SigJournal, SigSlot};
+use tm_sig::{ShardTimes, Sig, SigJournal, SigSlot};
 
 /// The set of addresses this global transaction holds embedded locks on, with
 /// mark/rollback for failed sub-HTM attempts. Stands in for the paper's
@@ -204,7 +204,9 @@ pub struct PartHtmO<'r> {
     /// Per-segment signature undo journal (zero-clone sub-HTM retries; see the base
     /// executor).
     journal: SigJournal,
-    start_time: u64,
+    /// Per-shard validation window (doubles as the sub-HTM subscription vector:
+    /// every sub-transaction re-checks all shard timestamps against it).
+    times: ShardTimes,
     /// Consecutive transactions whose fast attempt died of a resource failure
     /// (adaptive profiler stand-in; see the base executor).
     resource_streak: u32,
@@ -267,7 +269,9 @@ impl<'r> PartHtmO<'r> {
         let mut wrote = false;
 
         let mut tx = self.th.hw.begin();
-        let body: TxResult<()> = 'b: {
+        // Body result: the announced publish's shard mask and per-shard commit
+        // timestamps (mask 0 = nothing announced).
+        let body: TxResult<(u32, ShardTimes)> = 'b: {
             match tx.read(rt.glock()) {
                 Ok(0) => {}
                 Ok(_) => break 'b Err(tx.xabort(XABORT_GLOCK)),
@@ -291,15 +295,19 @@ impl<'r> PartHtmO<'r> {
             // No pre-commit signature validation: encounter-time lock checks already
             // guarantee no non-visible location was touched (Fig. 2 lines 8–11).
             if wrote {
-                if let Err(e) = rt.ring().publish_tx_summarized(&mut tx, &self.wmir, rt.summary()) {
-                    break 'b Err(e);
+                match rt
+                    .sharded_ring()
+                    .publish_tx_summarized(&mut tx, &self.wmir, rt.summaries())
+                {
+                    Ok(announced) => break 'b Ok(announced),
+                    Err(e) => break 'b Err(e),
                 }
             }
-            Ok(())
+            Ok((0, ShardTimes::new()))
         };
-        let published = body.is_ok() && wrote;
+        let (pub_mask, pub_times) = *body.as_ref().unwrap_or(&(0, ShardTimes::new()));
         let res = match body {
-            Ok(()) => tx.commit(),
+            Ok(_) => tx.commit(),
             Err(code) => {
                 drop(tx);
                 Err(code)
@@ -307,15 +315,21 @@ impl<'r> PartHtmO<'r> {
         };
         match res {
             Ok(()) => {
-                if published {
-                    rt.summary().complete_publish(&self.wmir);
+                if pub_mask != 0 {
+                    rt.sharded_ring().complete_publish(
+                        &self.wmir,
+                        pub_mask,
+                        &pub_times,
+                        rt.summaries(),
+                    );
+                    self.th.stats.record_shard_publish(pub_mask);
                 }
                 self.wmir.clear();
                 Ok(())
             }
             Err(code) => {
-                if published {
-                    rt.summary().cancel_publish();
+                if pub_mask != 0 {
+                    rt.sharded_ring().cancel_publish(pub_mask, rt.summaries());
                 }
                 self.th.stats.fast_aborts += 1;
                 Err(code)
@@ -347,28 +361,22 @@ impl<'r> PartHtmO<'r> {
         self.cleanup_partitioned();
     }
 
-    /// In-flight validation against the ring (summary fast path first); advances
-    /// `start_time` on success.
+    /// In-flight validation against every ring shard (per-shard summary fast path
+    /// first); advances the per-shard window `times` on success.
     fn validate(&mut self) -> bool {
         let rt = self.th.rt;
-        let (res, fast) = rt.ring().validate_summarized_nt(
+        let v = rt.sharded_ring().validate_summarized_nt(
             &self.th.hw,
-            rt.summary(),
+            rt.summaries(),
             &self.rmir,
-            self.start_time,
+            &mut self.times,
         );
-        if fast {
-            self.th.stats.val_fast_hits += 1;
-        } else {
-            self.th.stats.val_fast_misses += 1;
-        }
-        match res {
-            Ok(ts) => {
-                self.start_time = ts;
-                true
-            }
-            Err(_) => false,
-        }
+        self.th.stats.val_fast_hits += v.fast_shards.count_ones() as u64;
+        self.th.stats.val_fast_misses += v.walked_shards.count_ones() as u64;
+        self.th
+            .stats
+            .record_shard_validation(v.fast_shards | v.walked_shards);
+        v.result.is_ok()
     }
 
     fn run_sub<W: Workload>(&mut self, w: &mut W, seg: usize, wrote: &mut bool) -> bool {
@@ -383,12 +391,13 @@ impl<'r> PartHtmO<'r> {
             self.journal.begin(self.rmir.spec());
             let mut tx = self.th.hw.begin();
             let body: TxResult<()> = 'b: {
-                // Timestamp subscription (Fig. 2 lines 23–24): any global commit
-                // during this sub-transaction dooms it; one that already happened is
-                // caught here explicitly.
-                match rt.ring().timestamp_tx(&mut tx) {
-                    Ok(ts) if ts == self.start_time => {}
-                    Ok(_) => break 'b Err(tx.xabort(XABORT_TS_CHANGED)),
+                // Timestamp subscription (Fig. 2 lines 23–24), per shard: reading
+                // every shard's timestamp subscribes their lines, so any global
+                // commit in any shard during this sub-transaction dooms it; one
+                // that already happened is caught here explicitly.
+                match rt.sharded_ring().timestamps_match_tx(&mut tx, &self.times) {
+                    Ok(true) => {}
+                    Ok(false) => break 'b Err(tx.xabort(XABORT_TS_CHANGED)),
                     Err(e) => break 'b Err(e),
                 }
                 {
@@ -467,7 +476,7 @@ impl<'r> PartHtmO<'r> {
             }
             self.dec_active();
         }
-        self.start_time = rt.ring().timestamp_nt(&self.th.hw);
+        rt.sharded_ring().timestamps_nt(&self.th.hw, &mut self.times);
         self.rmir.clear();
         self.wmir.clear();
         self.undo.clear();
@@ -498,12 +507,16 @@ impl<'r> PartHtmO<'r> {
                 self.global_abort();
                 return Err(());
             }
-            rt.ring()
-                .publish_software_summarized(&self.th.hw, &self.wmir, rt.summary());
+            let (pub_mask, _) = rt.sharded_ring().publish_software_summarized(
+                &self.th.hw,
+                &self.wmir,
+                rt.summaries(),
+            );
+            self.th.stats.record_shard_publish(pub_mask);
             self.undo.unlock_all_nt(&self.th.hw);
-            if rt.ring().maybe_reset_summary(&self.th.hw, rt.summary()) {
-                self.th.stats.summary_resets += 1;
-            }
+            self.th.stats.summary_resets += rt
+                .sharded_ring()
+                .maybe_reset_summaries(&self.th.hw, rt.summaries());
         }
         self.cleanup_partitioned();
         Ok(())
@@ -592,7 +605,7 @@ impl<'r> TmExecutor<'r> for PartHtmO<'r> {
             rmir: Sig::new(spec),
             wmir: Sig::new(spec),
             journal: SigJournal::new(),
-            start_time: 0,
+            times: ShardTimes::new(),
             resource_streak: 0,
             tx_count: 0,
             th,

@@ -12,7 +12,7 @@ use crate::runtime::{ThreadArena, TmRuntime, TmThread};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::AbortCode;
-use tm_sig::{Sig, SigJournal};
+use tm_sig::{ShardTimes, Sig, SigJournal};
 
 /// Run a transaction under the global lock (the slow path, Fig. 1 lines 61–65):
 /// acquire `GLock`, wait for every partitioned-path transaction to drain
@@ -64,7 +64,9 @@ pub struct PartHtm<'r> {
     /// storage is reused across segments and transactions — no allocation after
     /// warm-up.
     journal: SigJournal,
-    start_time: u64,
+    /// Per-shard validation window: slot `s` holds the newest commit of ring
+    /// shard `s` this transaction's reads are known consistent against.
+    times: ShardTimes,
     /// Consecutive transactions whose fast attempt died of a resource failure.
     /// Stands in for the paper's static profiler (§4: transactions that "likely (or
     /// certainly) fail in HTM" go straight to the partitioned path): after a few
@@ -137,7 +139,9 @@ impl<'r> PartHtm<'r> {
         let mut wrote = false;
 
         let mut tx = self.th.hw.begin();
-        let body: TxResult<()> = 'b: {
+        // Body result: the announced publish's shard mask and per-shard commit
+        // timestamps (mask 0 = nothing announced).
+        let body: TxResult<(u32, ShardTimes)> = 'b: {
             // Begin: subscribe the global lock (Fig. 1 lines 1–2).
             match tx.read(rt.glock()) {
                 Ok(0) => {}
@@ -170,20 +174,25 @@ impl<'r> PartHtm<'r> {
                 Ok(true) => break 'b Err(tx.xabort(XABORT_LOCKED)),
                 Err(e) => break 'b Err(e),
             }
-            // Writers publish their write signature to the ring (Fig. 1 lines 9–11),
-            // announcing the publish to the ring summary as the last body step.
+            // Writers publish their write signature to the shards it touches
+            // (Fig. 1 lines 9–11), announcing the publish to the touched shard
+            // summaries as the last body step.
             if wrote {
-                if let Err(e) = rt.ring().publish_tx_summarized(&mut tx, &self.wmir, rt.summary()) {
-                    break 'b Err(e);
+                match rt
+                    .sharded_ring()
+                    .publish_tx_summarized(&mut tx, &self.wmir, rt.summaries())
+                {
+                    Ok(announced) => break 'b Ok(announced),
+                    Err(e) => break 'b Err(e),
                 }
             }
-            Ok(())
+            Ok((0, ShardTimes::new()))
         };
-        // An announced publish (body reached Ok with `wrote`) must be completed or
-        // cancelled depending on how the hardware commit resolves.
-        let published = body.is_ok() && wrote;
+        // An announced publish (body reached Ok with a non-empty shard mask) must
+        // be completed or cancelled depending on how the hardware commit resolves.
+        let (pub_mask, pub_times) = *body.as_ref().unwrap_or(&(0, ShardTimes::new()));
         let res = match body {
-            Ok(()) => tx.commit(),
+            Ok(_) => tx.commit(),
             Err(code) => {
                 drop(tx);
                 Err(code)
@@ -191,8 +200,14 @@ impl<'r> PartHtm<'r> {
         };
         match res {
             Ok(()) => {
-                if published {
-                    rt.summary().complete_publish(&self.wmir);
+                if pub_mask != 0 {
+                    rt.sharded_ring().complete_publish(
+                        &self.wmir,
+                        pub_mask,
+                        &pub_times,
+                        rt.summaries(),
+                    );
+                    self.th.stats.record_shard_publish(pub_mask);
                 }
                 // Post-commit software: clear local signatures (Fig. 1 lines 14–15).
                 // The mirrors are the authoritative copies; the heap copies are
@@ -202,8 +217,8 @@ impl<'r> PartHtm<'r> {
                 Ok(())
             }
             Err(code) => {
-                if published {
-                    rt.summary().cancel_publish();
+                if pub_mask != 0 {
+                    rt.sharded_ring().cancel_publish(pub_mask, rt.summaries());
                 }
                 self.th.stats.fast_aborts += 1;
                 Err(code)
@@ -340,7 +355,11 @@ impl<'r> PartHtm<'r> {
             }
             self.dec_active();
         }
-        self.start_time = rt.ring().timestamp_nt(&self.th.hw);
+        // Begin windows from the fold watermarks: host atomics only, no
+        // simulated timestamp reads. Part-HTM never compares these against the
+        // live shard timestamps (unlike Part-HTM-O's subscription), so a
+        // lagging watermark just means a slightly wider validation window.
+        rt.summaries().watermark_times(&mut self.times);
         self.rmir.clear();
         self.wmir.clear();
         self.amir.clear();
@@ -368,26 +387,26 @@ impl<'r> PartHtm<'r> {
                 return Err(());
             }
             // In-flight validation after each sub-HTM commit (§5.3.6); always before
-            // the global commit. The summary fast path decides the common
-            // no-conflict case in O(live words); anything doubtful walks the ring.
+            // the global commit. Part-HTM keeps begin-time windows and never
+            // subscribes shard timestamps, so the cheap non-advancing validator
+            // applies: a clean probe of each touched shard's summary decides the
+            // common no-conflict case without touching simulated memory, and only
+            // a doubtful shard is walked precisely (advancing its window).
             if rt.config().validate_every_sub || Some(seg) == last_htm_seg {
-                let (res, fast) = rt.ring().validate_summarized_nt(
+                let v = rt.sharded_ring().validate_touched_nt(
                     &self.th.hw,
-                    rt.summary(),
+                    rt.summaries(),
                     &self.rmir,
-                    self.start_time,
+                    &mut self.times,
                 );
-                if fast {
-                    self.th.stats.val_fast_hits += 1;
-                } else {
-                    self.th.stats.val_fast_misses += 1;
-                }
-                match res {
-                    Ok(ts) => self.start_time = ts,
-                    Err(_) => {
-                        self.global_abort();
-                        return Err(());
-                    }
+                self.th.stats.val_fast_hits += v.fast_shards.count_ones() as u64;
+                self.th.stats.val_fast_misses += v.walked_shards.count_ones() as u64;
+                self.th
+                    .stats
+                    .record_shard_validation(v.fast_shards | v.walked_shards);
+                if v.result.is_err() {
+                    self.global_abort();
+                    return Err(());
                 }
             }
             // Fold this sub-transaction's writes into the aggregate and clear the
@@ -399,14 +418,18 @@ impl<'r> PartHtm<'r> {
 
         // Global commit (Fig. 1 lines 42–52). Read-only transactions just leave.
         if wrote {
-            rt.ring()
-                .publish_software_summarized(&self.th.hw, &self.amir, rt.summary());
+            let (pub_mask, _) = rt.sharded_ring().publish_software_summarized(
+                &self.th.hw,
+                &self.amir,
+                rt.summaries(),
+            );
+            self.th.stats.record_shard_publish(pub_mask);
             rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
             // Software commits are the cheap place to police summary density: no
             // hardware transaction is in flight here.
-            if rt.ring().maybe_reset_summary(&self.th.hw, rt.summary()) {
-                self.th.stats.summary_resets += 1;
-            }
+            self.th.stats.summary_resets += rt
+                .sharded_ring()
+                .maybe_reset_summaries(&self.th.hw, rt.summaries());
         }
         self.cleanup_partitioned();
         Ok(())
@@ -510,7 +533,7 @@ impl<'r> PartHtm<'r> {
             wmir: Sig::new(spec),
             amir: Sig::new(spec),
             journal: SigJournal::new(),
-            start_time: 0,
+            times: ShardTimes::new(),
             resource_streak: 0,
             tx_count: 0,
             th,

@@ -5,7 +5,7 @@ use crate::stats::TmStats;
 use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tm_sig::{HeapSig, Ring, RingSummary, SigSpec};
+use tm_sig::{HeapSig, Ring, RingSummary, ShardedRing, ShardedSummary, SigSpec};
 
 /// Protocol configuration (paper defaults).
 #[derive(Clone, Debug)]
@@ -13,8 +13,14 @@ pub struct TmConfig {
     /// Signature geometry (paper: 2048 bits = 4 cache lines, §5.1).
     pub sig_spec: SigSpec,
     /// Global ring entries (power of two). RingSTM and Part-HTM share the same ring
-    /// size and signature, as in the evaluation setup (§7).
+    /// size and signature, as in the evaluation setup (§7). With sharding, this is
+    /// the entry count *per shard*.
     pub ring_entries: usize,
+    /// Ring shards (power of two, clamped to the signature word count and
+    /// [`tm_sig::MAX_RING_SHARDS`]). 1 recovers the single global ring; the
+    /// default of 8 gives disjoint-region commits independent serialisation
+    /// points (see `docs/ring-sharding.md`).
+    pub ring_shards: usize,
     /// Hardware attempts on the fast path before concluding the failure mode
     /// (§7: competitors "retry a transaction 5 times as HTM before falling back").
     pub fast_retries: u32,
@@ -41,6 +47,7 @@ impl Default for TmConfig {
         Self {
             sig_spec: SigSpec::PAPER,
             ring_entries: 1024,
+            ring_shards: 8,
             fast_retries: 5,
             sub_retries: 5,
             part_retries: 5,
@@ -93,12 +100,15 @@ pub struct TmRuntime {
     /// NOrec's global sequence lock (global metadata so every baseline shares the
     /// same runtime).
     seqlock: Addr,
-    ring: Ring,
-    /// Host-side summary signature of everything published to the ring since its
-    /// last reset (the validation fast path). Deliberately *not* in the simulated
-    /// heap: validators probe it non-transactionally on every in-flight validation,
-    /// and heap reads there would doom concurrent hardware publishers.
-    summary: RingSummary,
+    /// The global ring, sharded by signature word range (shard 0 doubles as the
+    /// single-ring view the baselines use).
+    ring: ShardedRing,
+    /// Host-side summary signatures of everything published to each ring shard
+    /// since its last reset (the validation fast path). Deliberately *not* in the
+    /// simulated heap: validators probe them non-transactionally on every
+    /// in-flight validation, and heap reads there would doom concurrent hardware
+    /// publishers.
+    summaries: ShardedSummary,
     write_locks: HeapSig,
     arenas: Vec<ThreadArena>,
     app_base: Addr,
@@ -118,7 +128,7 @@ impl TmRuntime {
         let glock = b.alloc_lines(1);
         let active_tx = b.alloc_lines(1);
         let seqlock = b.alloc_lines(1);
-        let ring = Ring::alloc(&mut b, cfg.ring_entries, spec);
+        let ring = ShardedRing::alloc(&mut b, cfg.ring_shards, cfg.ring_entries, spec);
         let write_locks = HeapSig::alloc(&mut b, spec);
         let arenas: Vec<ThreadArena> = (0..threads)
             .map(|_| ThreadArena {
@@ -133,6 +143,7 @@ impl TmRuntime {
         let total = b.used();
 
         let sys = HtmSystem::new(htm_cfg, total);
+        let summaries = ring.new_summary();
         Self {
             sys,
             cfg,
@@ -141,7 +152,7 @@ impl TmRuntime {
             active_tx,
             seqlock,
             ring,
-            summary: RingSummary::new(spec),
+            summaries,
             write_locks,
             arenas,
             app_base,
@@ -189,14 +200,26 @@ impl TmRuntime {
         self.seqlock
     }
 
-    /// The global ring.
-    pub fn ring(&self) -> &Ring {
+    /// The sharded global ring.
+    pub fn sharded_ring(&self) -> &ShardedRing {
         &self.ring
     }
 
-    /// The ring's host-side summary signature (validation fast path).
+    /// The per-shard host-side summary signatures (validation fast path).
+    pub fn summaries(&self) -> &ShardedSummary {
+        &self.summaries
+    }
+
+    /// The single-ring view: shard 0, which is a complete [`Ring`]. The RingSTM
+    /// baseline publishes full signatures through it, so with `ring_shards: 1`
+    /// the pre-sharding behaviour is recovered exactly.
+    pub fn ring(&self) -> &Ring {
+        self.ring.shard(0)
+    }
+
+    /// Shard 0's host-side summary (single-ring view; see [`TmRuntime::ring`]).
     pub fn summary(&self) -> &RingSummary {
-        &self.summary
+        self.summaries.shard(0)
     }
 
     /// The global write-locks signature.

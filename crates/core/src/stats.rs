@@ -4,6 +4,7 @@
 //! [`htm_sim::HtmStats`]; together they regenerate the paper's Table 1.
 
 use crate::api::CommitPath;
+use tm_sig::MAX_RING_SHARDS;
 
 /// Per-thread protocol counters; merged across threads by the harness.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -38,6 +39,12 @@ pub struct TmStats {
     pub summary_resets: u64,
     /// Sub-HTM segment failures rolled back through the signature journal.
     pub journal_rollbacks: u64,
+    /// Ring publishes (hardware or software) that touched each shard; a
+    /// cross-shard commit counts once per shard it touched.
+    pub shard_publishes: [u64; MAX_RING_SHARDS],
+    /// Per-shard validation decisions (summary fast pass or precise walk); one
+    /// sharded validation counts once per shard its read signature touched.
+    pub shard_validations: [u64; MAX_RING_SHARDS],
 }
 
 impl TmStats {
@@ -72,6 +79,26 @@ impl TmStats {
         n as f64 * 100.0 / total as f64
     }
 
+    /// Credit one publish to every shard set in `shard_mask`.
+    #[inline]
+    pub fn record_shard_publish(&mut self, shard_mask: u32) {
+        Self::bump_shards(&mut self.shard_publishes, shard_mask);
+    }
+
+    /// Credit one validation decision to every shard set in `shard_mask`.
+    #[inline]
+    pub fn record_shard_validation(&mut self, shard_mask: u32) {
+        Self::bump_shards(&mut self.shard_validations, shard_mask);
+    }
+
+    fn bump_shards(arr: &mut [u64; MAX_RING_SHARDS], mut mask: u32) {
+        while mask != 0 {
+            let s = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            arr[s] += 1;
+        }
+    }
+
     /// Merge another thread's counters.
     pub fn merge(&mut self, o: &TmStats) {
         self.commits_htm += o.commits_htm;
@@ -88,6 +115,10 @@ impl TmStats {
         self.val_fast_misses += o.val_fast_misses;
         self.summary_resets += o.summary_resets;
         self.journal_rollbacks += o.journal_rollbacks;
+        for s in 0..MAX_RING_SHARDS {
+            self.shard_publishes[s] += o.shard_publishes[s];
+            self.shard_validations[s] += o.shard_validations[s];
+        }
     }
 }
 

@@ -54,7 +54,7 @@
 //!   heap load.
 //!
 //! The 56-bit reader bitmap caps the machine at
-//! [`MAX_THREADS`](crate::registry::MAX_THREADS) = 56 simulated hardware
+//! [`crate::registry::MAX_THREADS`] = 56 simulated hardware
 //! threads, asserted at construction here, in [`crate::registry::TxRegistry`],
 //! and in [`crate::HtmConfig::validate`]. See `docs/line-table.md`.
 //!

@@ -138,6 +138,31 @@ impl HtmSystem {
         })
     }
 
+    /// Strongly atomic non-transactional multi-word store by thread `t`. Every
+    /// `(addr, value)` pair must fall in a single cache line; all stores are
+    /// performed under one conflict resolution, so the whole group costs one
+    /// simulated memory access — exactly how a masked cache-line store behaves
+    /// on real hardware, which claims the line once rather than once per word.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that the addresses share a line.
+    pub fn nt_write_line_by(&self, t: ThreadId, writes: &[(Addr, u64)]) {
+        let Some(&(first, _)) = writes.first() else {
+            return;
+        };
+        let line = crate::line_of(first);
+        debug_assert!(
+            writes.iter().all(|&(a, _)| crate::line_of(a) == line),
+            "nt_write_line_by: stores span cache lines"
+        );
+        self.nt_op(line, true, Requester::Thread(t), || {
+            for &(a, v) in writes {
+                self.heap.store(a, v);
+            }
+        });
+    }
+
     /// Strongly atomic non-transactional compare-and-swap by thread `t`.
     pub fn nt_cas_by(&self, t: ThreadId, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
         self.nt_op(crate::line_of(addr), true, Requester::Thread(t), || {
@@ -247,6 +272,12 @@ impl<'s> HtmThread<'s> {
     /// Convenience: strongly atomic CAS by this thread.
     pub fn nt_cas(&self, addr: Addr, current: u64, new: u64) -> Result<u64, u64> {
         self.sys.nt_cas_by(self.id, addr, current, new)
+    }
+
+    /// Convenience: strongly atomic single-line multi-word store by this
+    /// thread (see [`HtmSystem::nt_write_line_by`]).
+    pub fn nt_write_line(&self, writes: &[(Addr, u64)]) {
+        self.sys.nt_write_line_by(self.id, writes)
     }
 
     /// Convenience: strongly atomic fetch-add by this thread.

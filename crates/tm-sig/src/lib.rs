@@ -17,17 +17,25 @@
 //!   in-flight validation, with both a hardware (in-HTM) and a software publish path,
 //!   plus [`RingSummary`] — the host-side summary signature backing the validation
 //!   fast path;
+//! * [`ShardedRing`] — the ring split into N address-region shards (keyed by
+//!   signature word range), each with its own lock, timestamp and summary, so
+//!   disjoint-region commits stop serialising on one global word (see
+//!   `docs/ring-sharding.md`);
 //! * [`SigJournal`] — the word-level undo journal that makes sub-HTM segment retries
 //!   allocation- and clone-free.
+
+#![deny(missing_docs)]
 
 pub mod heap_sig;
 pub mod journal;
 pub mod ring;
+pub mod sharded;
 pub mod sig;
 pub mod spec;
 
 pub use heap_sig::HeapSig;
 pub use journal::{CloneSaved, SigJournal, SigSlot};
 pub use ring::{Ring, RingSummary, RingValidationError};
+pub use sharded::{ShardTimes, ShardedRing, ShardedSummary, ShardedValidation, MAX_RING_SHARDS};
 pub use sig::Sig;
 pub use spec::SigSpec;

@@ -37,10 +37,19 @@ use crate::heap_sig::HeapSig;
 use crate::sig::Sig;
 use crate::spec::SigSpec;
 use htm_sim::abort::TxResult;
-use htm_sim::{Addr, HeapBuilder, HtmThread, HtmTx};
+use htm_sim::{Addr, HeapBuilder, HtmThread, HtmTx, WORDS_PER_LINE};
 
 /// Explicit-abort payload used when a hardware publisher finds the ring lock held.
 pub const XABORT_RING_LOCKED: u8 = 0xA1;
+
+/// Flag bit in an entry's mask word marking the *compact* layout: the entry's
+/// signature words live in the spare words of the mask's own cache line (slots
+/// `+1..+7`, in ascending word-index order) instead of the full-geometry array
+/// at `+8..`. Word-range-restricted publishes (the sharded ring's per-shard
+/// entries) use it so the whole entry is a single cache-line store. Only ever
+/// set when the geometry has fewer than 64 words, so the bit cannot collide
+/// with a real word index.
+const ENTRY_COMPACT: u64 = 1 << 63;
 
 /// Validation failure against the ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,9 +125,24 @@ impl Ring {
         self.entries + idx * Self::entry_words(self.spec)
     }
 
-    /// The signature words of the entry for the commit with timestamp `ts`.
+    /// The signature words of the entry for the commit with timestamp `ts`
+    /// (full layout only — compact entries keep their words next to the mask;
+    /// see the `ENTRY_COMPACT` flag bit).
     pub fn entry(&self, ts: u64) -> HeapSig {
         HeapSig::at(self.entry_mask_addr(ts) + 8, self.spec)
+    }
+
+    /// Whether a publish restricted to `word_mask` with live words `stored_mask`
+    /// can use the compact single-line entry layout: the restriction must be
+    /// real (full-geometry entries stay in the full layout so
+    /// [`Ring::entry`] snapshots keep working), the flag bit must be free
+    /// (geometry under 64 words), the entry base must be line-aligned, and the
+    /// words must fit the line's spare slots.
+    fn entry_is_compact(&self, word_mask: u64, stored_mask: u64) -> bool {
+        word_mask != u64::MAX
+            && self.spec.words() < 64
+            && Self::entry_words(self.spec).is_multiple_of(WORDS_PER_LINE as u32)
+            && (stored_mask.count_ones() as usize) < WORDS_PER_LINE
     }
 
     /// Non-transactional intersection of ring entry `ts` with `sig`, honouring the
@@ -126,13 +150,30 @@ impl Ring {
     /// earlier lap and are never read) and `sig`'s own mask (only its live words can
     /// intersect anything).
     pub fn entry_intersects_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) -> bool {
-        let mask = th.nt_read(self.entry_mask_addr(ts));
-        if mask & sig.nonzero_mask() == 0 {
+        let base = self.entry_mask_addr(ts);
+        let mword = th.nt_read(base);
+        if self.spec.words() < 64 && mword & ENTRY_COMPACT != 0 {
+            // Compact layout: word `i` sits at slot `rank of i in the stored
+            // mask` right after the mask word (writers store in ascending
+            // word-index order).
+            let stored = mword & !ENTRY_COMPACT;
+            let mut overlap = stored & sig.nonzero_mask();
+            while overlap != 0 {
+                let i = overlap.trailing_zeros();
+                let slot = (stored & ((1u64 << i) - 1)).count_ones();
+                if th.nt_read(base + 1 + slot) & sig.word(i) != 0 {
+                    return true;
+                }
+                overlap &= overlap - 1;
+            }
+            return false;
+        }
+        if mword & sig.nonzero_mask() == 0 {
             return false;
         }
         let entry = self.entry(ts);
         for (i, w) in sig.nonzero_words() {
-            if mask & (1 << i) != 0 && th.nt_read(entry.word_addr(i)) & w != 0 {
+            if mword & (1 << i) != 0 && th.nt_read(entry.word_addr(i)) & w != 0 {
                 return true;
             }
         }
@@ -160,15 +201,46 @@ impl Ring {
     /// publish is write-only and visits only the live words. Returns the new
     /// timestamp.
     pub fn publish_tx(&self, tx: &mut HtmTx<'_, '_>, write_sig: &Sig) -> TxResult<u64> {
+        self.publish_tx_masked(tx, write_sig, u64::MAX)
+    }
+
+    /// [`Ring::publish_tx`] restricted to the words selected by `word_mask` (bit
+    /// `i` set ⇔ word `i` is stored): only `write_sig`'s non-zero words inside the
+    /// mask are written and the entry mask records exactly that subset. The
+    /// sharded ring ([`crate::ShardedRing`]) uses this so each shard's entries
+    /// carry only the words of the shard's own word range.
+    pub fn publish_tx_masked(
+        &self,
+        tx: &mut HtmTx<'_, '_>,
+        write_sig: &Sig,
+        word_mask: u64,
+    ) -> TxResult<u64> {
         if tx.read(self.lock)? != 0 {
             return Err(tx.xabort(XABORT_RING_LOCKED));
         }
         let ts = tx.read(self.timestamp)? + 1;
-        let entry = self.entry(ts);
-        for (i, w) in write_sig.nonzero_words() {
-            tx.write(entry.word_addr(i), w)?;
+        let base = self.entry_mask_addr(ts);
+        let mask = write_sig.nonzero_mask() & word_mask;
+        if self.entry_is_compact(word_mask, mask) {
+            // Compact layout: the whole entry fits the mask word's line, so the
+            // transaction's entry footprint is a single cache line.
+            let mut slot = 1;
+            for (i, w) in write_sig.nonzero_words() {
+                if word_mask & (1 << i) != 0 {
+                    tx.write(base + slot, w)?;
+                    slot += 1;
+                }
+            }
+            tx.write(base, mask | ENTRY_COMPACT)?;
+        } else {
+            let entry = self.entry(ts);
+            for (i, w) in write_sig.nonzero_words() {
+                if word_mask & (1 << i) != 0 {
+                    tx.write(entry.word_addr(i), w)?;
+                }
+            }
+            tx.write(base, mask)?;
         }
-        tx.write(self.entry_mask_addr(ts), write_sig.nonzero_mask())?;
         tx.write(self.timestamp, ts)?;
         Ok(ts)
     }
@@ -234,11 +306,39 @@ impl Ring {
     /// committers that manage the ring lock and timestamp themselves (RingSTM's
     /// writer commit). The caller must hold the ring lock.
     pub fn write_entry_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) {
+        self.write_entry_masked_nt(th, ts, sig, u64::MAX)
+    }
+
+    /// [`Ring::write_entry_nt`] restricted to the words selected by `word_mask`:
+    /// the entry stores only `sig`'s non-zero words inside the mask and its mask
+    /// word records exactly that subset. Used by the sharded ring's software
+    /// publish, where each shard's entry carries only the shard's own word range.
+    /// The caller must hold the ring lock.
+    pub fn write_entry_masked_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig, word_mask: u64) {
+        let base = self.entry_mask_addr(ts);
+        let mask = sig.nonzero_mask() & word_mask;
+        if self.entry_is_compact(word_mask, mask) {
+            // Compact layout: mask and words share one line, published as a
+            // single strongly-atomic cache-line store.
+            let mut writes = [(0 as Addr, 0u64); WORDS_PER_LINE];
+            writes[0] = (base, mask | ENTRY_COMPACT);
+            let mut n = 1;
+            for (i, w) in sig.nonzero_words() {
+                if word_mask & (1 << i) != 0 {
+                    writes[n] = (base + n as Addr, w);
+                    n += 1;
+                }
+            }
+            th.nt_write_line(&writes[..n]);
+            return;
+        }
         let entry = self.entry(ts);
         for (i, w) in sig.nonzero_words() {
-            th.nt_write(entry.word_addr(i), w);
+            if word_mask & (1 << i) != 0 {
+                th.nt_write(entry.word_addr(i), w);
+            }
         }
-        th.nt_write(self.entry_mask_addr(ts), sig.nonzero_mask());
+        th.nt_write(base, mask);
     }
 
     /// Validate `read_sig` against every commit later than `start_time` (Fig. 1
@@ -364,12 +464,38 @@ pub struct RingSummary {
     since_reset: AtomicU64,
     /// CAS guard: at most one resetter at a time.
     resetting: AtomicU64,
+    /// Highest commit timestamp whose publish has *completed its fold* into
+    /// `words` (recorded by [`RingSummary::complete_publish_masked`] just
+    /// before it bumps `completed`; monotone). A validator whose clean probe
+    /// passes may advance its window here without reading the ring timestamp:
+    /// every publish at or below this value has its bits in the words the
+    /// probe just read. May lag the ring timestamp while folds are in flight —
+    /// lagging is safe, it only advances windows less.
+    folded_ts: AtomicU64,
+    /// Bits the density check measures against: the full geometry for a whole-ring
+    /// summary, or 64 × the covered word count for a shard-masked summary.
+    live_bits: u32,
     spec: SigSpec,
 }
 
 impl RingSummary {
     /// An empty summary for signatures of geometry `spec`.
     pub fn new(spec: SigSpec) -> Self {
+        Self::with_live_bits(spec, spec.bits())
+    }
+
+    /// An empty summary whose density accounting covers only the words selected by
+    /// `word_mask` (a shard of the sharded ring only ever folds in its own word
+    /// range, so measuring density against the full geometry would make
+    /// [`RingSummary::wants_reset`] unreachable).
+    pub fn new_masked(spec: SigSpec, word_mask: u64) -> Self {
+        let covered = (0..spec.words().min(64))
+            .filter(|i| word_mask & (1 << i) != 0)
+            .count() as u32;
+        Self::with_live_bits(spec, covered * 64)
+    }
+
+    fn with_live_bits(spec: SigSpec, live_bits: u32) -> Self {
         Self {
             words: (0..spec.words()).map(|_| AtomicU64::new(0)).collect(),
             gen: AtomicU64::new(0),
@@ -378,9 +504,12 @@ impl RingSummary {
             completed: AtomicU64::new(0),
             since_reset: AtomicU64::new(0),
             resetting: AtomicU64::new(0),
+            folded_ts: AtomicU64::new(0),
+            live_bits,
             spec,
         }
     }
+
 
     /// Geometry.
     pub fn spec(&self) -> SigSpec {
@@ -399,6 +528,20 @@ impl RingSummary {
     /// re-check makes the OR effectively atomic against resets: if a reset clears
     /// words mid-OR, the loop runs again and re-ORs into the fresh summary.
     pub fn complete_publish(&self, sig: &Sig) {
+        self.complete_publish_masked(sig, u64::MAX, 0)
+    }
+
+    /// [`RingSummary::complete_publish`] restricted to the words selected by
+    /// `word_mask`: only `sig`'s non-zero words inside the mask are folded in. A
+    /// shard summary of the sharded ring folds in only its own word range, keeping
+    /// each shard's density (and therefore its reset cadence) independent.
+    ///
+    /// `folded_ts` is the publish's commit timestamp (0 when the caller does not
+    /// know it, e.g. the unmasked single-ring paths, which never consult the
+    /// watermark). It is recorded strictly *before* `completed` is bumped: the
+    /// [`RingSummary::clean_since`] early-out relies on "counters balanced ⇒
+    /// the watermark covers every folded publish".
+    pub fn complete_publish_masked(&self, sig: &Sig, word_mask: u64, folded_ts: u64) {
         loop {
             let g1 = self.gen.load(SeqCst);
             if g1 & 1 != 0 {
@@ -406,12 +549,16 @@ impl RingSummary {
                 continue;
             }
             for (i, w) in sig.nonzero_words() {
+                if i < 64 && word_mask & (1 << i) == 0 {
+                    continue;
+                }
                 self.words[i as usize].fetch_or(w, SeqCst);
             }
             if self.gen.load(SeqCst) == g1 {
                 break;
             }
         }
+        self.folded_ts.fetch_max(folded_ts, SeqCst);
         self.since_reset.fetch_add(1, SeqCst);
         self.completed.fetch_add(1, SeqCst);
     }
@@ -464,14 +611,86 @@ impl RingSummary {
         Some(ts)
     }
 
-    /// True when the summary is due for a density check and more than
-    /// [`SUMMARY_DENSITY_NUM`]/[`SUMMARY_DENSITY_DEN`] of its bits are set.
+    /// The fold watermark: the highest commit timestamp whose publish has
+    /// completed its fold into the summary words.
+    ///
+    /// Safe to use as a begin-time validation window without reading the ring
+    /// timestamp: every publish with a commit timestamp at or below the
+    /// watermark became visible *before* the watermark reached that value (a
+    /// fold runs strictly after the commit that produced its timestamp, and
+    /// timestamps are handed out in commit order per shard), so a reader whose
+    /// window starts here has already observed all of those publishes' writes.
+    /// The watermark may lag the ring timestamp while folds are in flight;
+    /// lag only widens the window, which is conservative, never unsound.
+    #[inline]
+    pub fn folded_ts(&self) -> u64 {
+        self.folded_ts.load(SeqCst)
+    }
+
+    /// Timestamp-free variant of [`RingSummary::try_fast_pass`]: `Some(adv)`
+    /// when `read_sig` provably collides with no entry published after
+    /// `start_time`, with `adv` a timestamp the caller may advance its window
+    /// to (possibly below `start_time`; take the max).
+    ///
+    /// Because the ring timestamp is never read, the probe touches only the
+    /// host-side summary atomics — no simulated-heap access at all. Two ways
+    /// to pass, mirroring the two exits of the fast pass:
+    ///
+    /// * **Nothing-new early-out** (the common case of a freshly advanced
+    ///   window): the fold watermark is `<= start_time` and the counters
+    ///   balance. Every *folded* publish then has a timestamp `<= start_time`
+    ///   (the watermark is bumped before `completed`, so "balanced counters"
+    ///   means the watermark covers all of them — this is why every masked
+    ///   completer must pass its timestamp), every announced-but-unfolded one
+    ///   trips the counter mismatch, and anything announced after the final
+    ///   load is outside the window this probe vouches for. The signature
+    ///   words are never read.
+    /// * **Bloom probe**: `read_sig` intersects none of the summary words.
+    ///   The watermark is loaded *before* the words, so every publish at or
+    ///   below it folded its bits into what the probe then read — advancing
+    ///   to it is strictly weaker than the advance
+    ///   [`RingSummary::try_fast_pass`] proves sound from the real timestamp.
+    ///
+    /// In both cases a reset inside the window is rejected by the
+    /// `start_time >= reset_ts` check, exactly as in the fast pass.
+    pub fn clean_since(&self, read_sig: &Sig, start_time: u64) -> Option<u64> {
+        let c1 = self.completed.load(SeqCst);
+        let g1 = self.gen.load(SeqCst);
+        if g1 & 1 != 0 {
+            return None;
+        }
+        if start_time < self.reset_ts.load(SeqCst) {
+            return None;
+        }
+        let adv = self.folded_ts.load(SeqCst);
+        if adv <= start_time {
+            if self.started.load(SeqCst) == c1 && self.gen.load(SeqCst) == g1 {
+                return Some(start_time);
+            }
+            return None;
+        }
+        for (i, w) in read_sig.nonzero_words() {
+            if self.words[i as usize].load(SeqCst) & w != 0 {
+                return None;
+            }
+        }
+        if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
+            return None;
+        }
+        Some(adv)
+    }
+
+    /// True when the summary is due for a density check and more than a third of
+    /// its live bits are set (the full geometry, or the shard's word range for a
+    /// summary built with [`RingSummary::new_masked`]). A summary that dense
+    /// intersects almost every read signature, so the fast path stops paying for
+    /// itself.
     pub fn wants_reset(&self) -> bool {
         if self.since_reset.load(SeqCst) < SUMMARY_CHECK_INTERVAL {
             return false;
         }
         let pop: u32 = self.words.iter().map(|w| w.load(SeqCst).count_ones()).sum();
-        pop > self.spec.bits() * SUMMARY_DENSITY_NUM / SUMMARY_DENSITY_DEN
+        pop > self.live_bits * SUMMARY_DENSITY_NUM / SUMMARY_DENSITY_DEN
     }
 
     /// Snapshot of the summary bits (diagnostics and tests).

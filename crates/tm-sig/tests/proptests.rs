@@ -1,11 +1,15 @@
 //! Property-based tests of the signature algebra, the ring's validation window,
-//! the segment journal (vs the clone-based reference) and the summary fast path
-//! (vs ground truth, under real multithreaded interleavings).
+//! the segment journal (vs the clone-based reference), the summary fast path
+//! (vs ground truth, under real multithreaded interleavings), and the sharded
+//! ring (vs per-shard ground truth, plus a shard-count=1 differential oracle
+//! against the single ring).
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use proptest::prelude::*;
 use std::sync::Mutex;
-use tm_sig::{CloneSaved, Ring, RingSummary, Sig, SigJournal, SigSlot, SigSpec};
+use tm_sig::{
+    CloneSaved, Ring, RingSummary, ShardTimes, ShardedRing, Sig, SigJournal, SigSlot, SigSpec,
+};
 
 fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..100_000, 0..64)
@@ -279,6 +283,190 @@ proptest! {
                                 }
                             }
                             start = ts;
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Shard-count=1 differential oracle: a 1-shard [`ShardedRing`] must agree
+    /// exactly with a plain [`Ring`] of the same size fed the same commit
+    /// sequence — same verdict, same advanced timestamp — including across ring
+    /// rollover (both rings use 8 entries so overflow is exercised).
+    #[test]
+    fn single_shard_matches_plain_ring_oracle(
+        commits in proptest::collection::vec(arb_addrs(), 1..12),
+        probe in 0u32..100_000,
+        start_after in 0usize..12,
+    ) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 16);
+        let mut b = HeapBuilder::new(1 << 16);
+        let sharded = ShardedRing::alloc(&mut b, 1, 8, SigSpec::PAPER);
+        let oracle = Ring::alloc(&mut b, 8, SigSpec::PAPER);
+        let summaries = sharded.new_summary();
+        let oracle_summary = RingSummary::new(SigSpec::PAPER);
+        let th = sys.thread(0);
+
+        // Empty signatures diverge by design (the sharded ring skips them; the
+        // plain ring burns a timestamp) — that case has its own unit test. Keep
+        // the two timestamp streams aligned by publishing only non-empty commits.
+        let commits: Vec<_> = commits.into_iter().filter(|a| !a.is_empty()).collect();
+        for addrs in &commits {
+            let mut w = Sig::new(SigSpec::PAPER);
+            for &a in addrs {
+                w.add(a);
+            }
+            let (mask, times) = sharded.publish_software_summarized(&th, &w, &summaries);
+            let ots = oracle.publish_software_summarized(&th, &w, &oracle_summary);
+            prop_assert_eq!((mask, times.get(0)), (1, ots));
+        }
+
+        let start_after = start_after.min(commits.len()) as u64;
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(probe);
+        let mut times = ShardTimes::new();
+        times.set(0, start_after);
+        let v = sharded.validate_summarized_nt(&th, &summaries, &rsig, &mut times);
+        let (ores, _) =
+            oracle.validate_summarized_nt(&th, &oracle_summary, &rsig, start_after);
+        match (v.result, ores) {
+            (Ok(()), Ok(ots)) => prop_assert_eq!(times.get(0), ots),
+            (Err(e), Err(oe)) => prop_assert_eq!(e, oe),
+            (a, b) => prop_assert!(false, "sharded {a:?} vs oracle {b:?}"),
+        }
+    }
+
+    /// Multithreaded ground-truth test of the sharded ring: cross-shard software
+    /// and hardware publishers interleave with a validator. Every publish
+    /// deposits its signature in per-shard shadow tables keyed by that shard's
+    /// commit timestamp (the [`ShardTimes`] the publish returns). Whenever the
+    /// validator's per-shard fast pass admits a window in a shard, every
+    /// signature published in that shard's window must be disjoint from the
+    /// validator's read signature *restricted to the shard's word range* —
+    /// conflicts on a word must always be caught in the shard owning it.
+    #[test]
+    fn sharded_fast_path_never_admits_a_conflict(seed in 0u64..(1 << 48)) {
+        const SW_PUBS: u64 = 60; // per software publisher (x2)
+        const HW_PUBS: u64 = 30;
+        const MAX_TS: usize = (2 * SW_PUBS + HW_PUBS) as usize;
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 20);
+        let mut b = HeapBuilder::new(1 << 20);
+        let ring = ShardedRing::alloc(&mut b, 8, 1024, SigSpec::PAPER); // no rollover
+        let summaries = ring.new_summary();
+        let nsh = ring.shard_count();
+        let shadow: Vec<Vec<Mutex<Option<Sig>>>> = (0..nsh)
+            .map(|_| (0..=MAX_TS).map(|_| Mutex::new(None)).collect())
+            .collect();
+
+        let make_sig = |stream: u64, i: u64| {
+            let mut s = Sig::new(SigSpec::PAPER);
+            for k in 0..3 {
+                s.add((mix(seed ^ (stream << 56) ^ (i << 8) ^ k) % 100_000) as u32);
+            }
+            s
+        };
+        let rsig = make_sig(9, 0);
+        // a ∩ b restricted to shard s's word range.
+        let intersects_in_shard = |ring: &ShardedRing, s: usize, a: &Sig, b: &Sig| {
+            let m = ring.shard_word_mask(s);
+            a.words()
+                .iter()
+                .zip(b.words())
+                .enumerate()
+                .any(|(i, (&x, &y))| i < 64 && m & (1 << i) != 0 && x & y != 0)
+        };
+        let deposit = |mask: u32, times: &ShardTimes, sig: &Sig| {
+            for s in 0..nsh {
+                if mask & (1 << s) != 0 {
+                    *shadow[s][times.get(s) as usize].lock().unwrap() = Some(sig.clone());
+                }
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let (ring, summaries, shadow, rsig) = (&ring, &summaries, &shadow, &rsig);
+            let (intersects_in_shard, deposit) = (&intersects_in_shard, &deposit);
+            for p in 0..2u64 {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let th = sys.thread(p as usize);
+                    for i in 0..SW_PUBS {
+                        let sig = make_sig(p, i);
+                        let (mask, times) =
+                            ring.publish_software_summarized(&th, &sig, summaries);
+                        deposit(mask, &times, &sig);
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let mut th = sys.thread(2);
+                    for i in 0..HW_PUBS {
+                        let sig = make_sig(7, i);
+                        loop {
+                            let mut announced = 0u32;
+                            let res = th.attempt(|tx| {
+                                announced = 0;
+                                let (mask, times) =
+                                    ring.publish_tx_summarized(tx, &sig, summaries)?;
+                                announced = mask;
+                                Ok((mask, times))
+                            });
+                            match res {
+                                Ok((mask, times)) => {
+                                    ring.complete_publish(&sig, mask, &times, summaries);
+                                    deposit(mask, &times, &sig);
+                                    break;
+                                }
+                                Err(_) => {
+                                    if announced != 0 {
+                                        ring.cancel_publish(announced, summaries);
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let th = sys.thread(3);
+                    let mut times = ShardTimes::new();
+                    for _ in 0..400 {
+                        let prev = times;
+                        let v = ring.validate_summarized_nt(&th, summaries, rsig, &mut times);
+                        // Check every shard the fast pass admitted, whether or not
+                        // a later shard ultimately failed the validation.
+                        for (s, shard_shadow) in shadow.iter().enumerate().take(nsh) {
+                            if v.fast_shards & (1 << s) == 0 {
+                                continue;
+                            }
+                            for m in prev.get(s) + 1..=times.get(s) {
+                                let mut spins = 0u64;
+                                loop {
+                                    if let Some(sig) =
+                                        shard_shadow[m as usize].lock().unwrap().as_ref()
+                                    {
+                                        assert!(
+                                            !intersects_in_shard(ring, s, sig, rsig),
+                                            "shard {s} fast pass admitted a conflicting \
+                                             publish at shard-ts {m}"
+                                        );
+                                        break;
+                                    }
+                                    spins += 1;
+                                    assert!(
+                                        spins < 10_000_000,
+                                        "publisher never filled shadow[{s}][{m}]"
+                                    );
+                                    std::thread::yield_now();
+                                }
+                            }
                         }
                         std::hint::spin_loop();
                     }

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, workspace tests, clippy -D warnings on every
-# workspace crate.
+# workspace crate, and rustdoc with warnings denied (broken intra-doc links
+# or malformed doc comments fail the gate).
 #
 # Flags:
-#   --smoke  also run both microbenchmarks at reduced iterations (CI sanity)
-#   --bench  full microbenchmark run: linebench + pathbench, writing fresh
-#            numbers to target/BENCH_2.json and gating the end-to-end
-#            partitioned throughput against the committed ./BENCH_2.json
-#            (a >10% regression fails the gate)
+#   --smoke  also run the microbenchmarks at reduced iterations (CI sanity)
+#   --bench  full microbenchmark run: linebench + pathbench + ringbench,
+#            writing fresh numbers to target/BENCH_2.json / target/BENCH_3.json
+#            and gating against the committed ./BENCH_2.json and ./BENCH_3.json
+#            (a >10% regression on either end-to-end partitioned throughput or
+#            sharded mixed publish throughput fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -22,12 +24,17 @@ cargo test -q --workspace
 echo "== tier1: clippy -D warnings (workspace) =="
 cargo clippy -q --workspace --all-targets -- -D warnings
 
+echo "== tier1: cargo doc -D warnings (workspace) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
 case "${1:-}" in
 --smoke)
     echo "== tier1: linebench --smoke =="
     cargo run -q --release -p tm-harness --bin linebench -- --smoke
     echo "== tier1: pathbench --smoke =="
     cargo run -q --release -p tm-harness --bin pathbench -- --smoke
+    echo "== tier1: ringbench --smoke =="
+    cargo run -q --release -p tm-harness --bin ringbench -- --smoke
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
@@ -35,7 +42,11 @@ case "${1:-}" in
     echo "== tier1: pathbench (full, regression gate vs BENCH_2.json) =="
     cargo run -q --release -p tm-harness --bin pathbench -- \
         --json target/BENCH_2.json --baseline BENCH_2.json
-    echo "   fresh numbers in target/BENCH_2.json; copy over ./BENCH_2.json to rebaseline"
+    echo "== tier1: ringbench (full, regression gate vs BENCH_3.json) =="
+    cargo run -q --release -p tm-harness --bin ringbench -- \
+        --json target/BENCH_3.json --baseline BENCH_3.json
+    echo "   fresh numbers in target/BENCH_{2,3}.json; copy over ./BENCH_2.json" \
+         "or ./BENCH_3.json to rebaseline"
     ;;
 esac
 
