@@ -371,11 +371,7 @@ impl<'r> PartHtmO<'r> {
             &self.rmir,
             &mut self.times,
         );
-        self.th.stats.val_fast_hits += v.fast_shards.count_ones() as u64;
-        self.th.stats.val_fast_misses += v.walked_shards.count_ones() as u64;
-        self.th
-            .stats
-            .record_shard_validation(v.fast_shards | v.walked_shards);
+        self.th.stats.record_sharded_validation(&v);
         v.result.is_ok()
     }
 
@@ -514,9 +510,10 @@ impl<'r> PartHtmO<'r> {
             );
             self.th.stats.record_shard_publish(pub_mask);
             self.undo.unlock_all_nt(&self.th.hw);
-            self.th.stats.summary_resets += rt
+            let resets = rt
                 .sharded_ring()
                 .maybe_reset_summaries(&self.th.hw, rt.summaries());
+            self.th.stats.record_summary_resets(&resets);
         }
         self.cleanup_partitioned();
         Ok(())

@@ -399,11 +399,7 @@ impl<'r> PartHtm<'r> {
                     &self.rmir,
                     &mut self.times,
                 );
-                self.th.stats.val_fast_hits += v.fast_shards.count_ones() as u64;
-                self.th.stats.val_fast_misses += v.walked_shards.count_ones() as u64;
-                self.th
-                    .stats
-                    .record_shard_validation(v.fast_shards | v.walked_shards);
+                self.th.stats.record_sharded_validation(&v);
                 if v.result.is_err() {
                     self.global_abort();
                     return Err(());
@@ -427,9 +423,10 @@ impl<'r> PartHtm<'r> {
             rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
             // Software commits are the cheap place to police summary density: no
             // hardware transaction is in flight here.
-            self.th.stats.summary_resets += rt
+            let resets = rt
                 .sharded_ring()
                 .maybe_reset_summaries(&self.th.hw, rt.summaries());
+            self.th.stats.record_summary_resets(&resets);
         }
         self.cleanup_partitioned();
         Ok(())

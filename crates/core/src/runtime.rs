@@ -5,7 +5,9 @@ use crate::stats::TmStats;
 use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tm_sig::{HeapSig, Ring, RingSummary, ShardedRing, ShardedSummary, SigSpec};
+use tm_sig::{
+    HeapSig, ResetMode, Ring, RingSummary, ShardedRing, ShardedSummary, SigSpec, SummaryTuning,
+};
 
 /// Protocol configuration (paper defaults).
 #[derive(Clone, Debug)]
@@ -40,6 +42,20 @@ pub struct TmConfig {
     pub undo_words: usize,
     /// Base of the exponential backoff after a global abort, in spin-work units.
     pub backoff_units: u64,
+    /// Run the ring summaries under the epoch-bank reset protocol (stall-free
+    /// resets, adaptive density controller; `docs/ring-sharding.md`,
+    /// "Epoch-based resets"). `false` pins PR 3's generation-seqlock protocol
+    /// with the fixed legacy threshold — the `ring_shards: 1` differential
+    /// oracles set this to keep the pre-epoch behaviour exact.
+    pub summary_epochs: bool,
+    /// Density threshold numerator: a shard summary wants a reset once more
+    /// than `num/den` of its live bits are set. Initial value of the adaptive
+    /// controller (which only moves it when `summary_epochs` is on).
+    pub summary_density_num: u32,
+    /// Density threshold denominator.
+    pub summary_density_den: u32,
+    /// Publishes between summary density checks (controller initial value).
+    pub summary_check_interval: u64,
 }
 
 impl Default for TmConfig {
@@ -55,6 +71,27 @@ impl Default for TmConfig {
             validate_every_sub: true,
             undo_words: 16 * 1024,
             backoff_units: 64,
+            summary_epochs: true,
+            summary_density_num: 1,
+            summary_density_den: 3,
+            summary_check_interval: 256,
+        }
+    }
+}
+
+impl TmConfig {
+    /// The [`SummaryTuning`] this configuration selects for every shard
+    /// summary.
+    pub fn summary_tuning(&self) -> SummaryTuning {
+        SummaryTuning {
+            mode: if self.summary_epochs {
+                ResetMode::Epoch
+            } else {
+                ResetMode::Seqlock
+            },
+            density_num: self.summary_density_num,
+            density_den: self.summary_density_den,
+            check_interval: self.summary_check_interval,
         }
     }
 }
@@ -143,7 +180,7 @@ impl TmRuntime {
         let total = b.used();
 
         let sys = HtmSystem::new(htm_cfg, total);
-        let summaries = ring.new_summary();
+        let summaries = ring.new_summary_tuned(cfg.summary_tuning());
         Self {
             sys,
             cfg,

@@ -4,7 +4,7 @@
 //! [`htm_sim::HtmStats`]; together they regenerate the paper's Table 1.
 
 use crate::api::CommitPath;
-use tm_sig::MAX_RING_SHARDS;
+use tm_sig::{ShardedValidation, SummaryResetStats, MAX_RING_SHARDS};
 
 /// Per-thread protocol counters; merged across threads by the harness.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -37,6 +37,18 @@ pub struct TmStats {
     pub val_fast_misses: u64,
     /// Ring-summary generation resets performed by this thread.
     pub summary_resets: u64,
+    /// Summary fast-pass misses caused by a dirty summary (the read signature
+    /// intersected the summary words; eager resets cure these).
+    pub summary_miss_dirty: u64,
+    /// Summary fast-pass misses caused by transient instability (in-flight
+    /// publisher, generation/epoch movement, window predating the last reset;
+    /// eager resets only create more of these).
+    pub summary_miss_inflight: u64,
+    /// Epoch-mode summary resets that retired a bank (`<= summary_resets`).
+    pub epoch_retires: u64,
+    /// Due epoch resets deferred because a validator held an older epoch pin
+    /// (the grace-period rule).
+    pub epoch_pinned_stalls: u64,
     /// Sub-HTM segment failures rolled back through the signature journal.
     pub journal_rollbacks: u64,
     /// Ring publishes (hardware or software) that touched each shard; a
@@ -91,6 +103,28 @@ impl TmStats {
         Self::bump_shards(&mut self.shard_validations, shard_mask);
     }
 
+    /// Credit a sharded validation outcome: the fast/walked split, the
+    /// per-shard decision counts and the fast-pass miss causes.
+    #[inline]
+    pub fn record_sharded_validation(&mut self, v: &ShardedValidation) {
+        self.val_fast_hits += v.fast_shards.count_ones() as u64;
+        self.val_fast_misses += v.walked_shards.count_ones() as u64;
+        self.summary_miss_dirty += v.dirty_shards.count_ones() as u64;
+        self.summary_miss_inflight += v.inflight_shards.count_ones() as u64;
+        Self::bump_shards(
+            &mut self.shard_validations,
+            v.fast_shards | v.walked_shards,
+        );
+    }
+
+    /// Credit one summary reset sweep's outcome.
+    #[inline]
+    pub fn record_summary_resets(&mut self, r: &SummaryResetStats) {
+        self.summary_resets += r.resets;
+        self.epoch_retires += r.epoch_retires;
+        self.epoch_pinned_stalls += r.pinned_stalls;
+    }
+
     fn bump_shards(arr: &mut [u64; MAX_RING_SHARDS], mut mask: u32) {
         while mask != 0 {
             let s = mask.trailing_zeros() as usize;
@@ -114,6 +148,10 @@ impl TmStats {
         self.val_fast_hits += o.val_fast_hits;
         self.val_fast_misses += o.val_fast_misses;
         self.summary_resets += o.summary_resets;
+        self.summary_miss_dirty += o.summary_miss_dirty;
+        self.summary_miss_inflight += o.summary_miss_inflight;
+        self.epoch_retires += o.epoch_retires;
+        self.epoch_pinned_stalls += o.epoch_pinned_stalls;
         self.journal_rollbacks += o.journal_rollbacks;
         for s in 0..MAX_RING_SHARDS {
             self.shard_publishes[s] += o.shard_publishes[s];

@@ -19,7 +19,8 @@
 //!   fast path disabled (every transaction runs sub-HTM commit cycles,
 //!   validation and a global commit), on the N-Reads-M-Writes workload.
 //!
-//! Usage: `pathbench [--smoke] [--json PATH] [--baseline FILE] [--shards N]`
+//! Usage: `pathbench [--smoke] [--json PATH] [--baseline FILE] [--shards N]
+//!                    [--epochs on|off]`
 //!   --smoke      ~20x fewer iterations (CI sanity run)
 //!   --json P     write machine-readable results to P ("-" for stdout)
 //!   --baseline F compare the end-to-end 4-thread ops/sec against a previously
@@ -28,6 +29,9 @@
 //!                runtime default, 8; `--shards 1` recovers the single-ring
 //!                commit protocol, which is how the committed baseline is
 //!                re-recorded when the host machine's performance drifts)
+//!   --epochs M   summary reset protocol for the end-to-end stage: `on`
+//!                (default; epoch banks + adaptive density controller) or
+//!                `off` (PR 3's generation seqlock, the differential oracle)
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use part_htm_core::{PartHtm, TmConfig, TmRuntime};
@@ -306,7 +310,12 @@ fn bench_publish(scale: &Scale) -> (f64, f64) {
 /// runs (the stage is scheduler-noise-bound on an oversubscribed host);
 /// returns the fastest run's result (ops/sec = committed transactions per
 /// second).
-fn bench_end_to_end(scale: &Scale, threads: usize, shards: Option<usize>) -> tm_harness::RunResult {
+fn bench_end_to_end(
+    scale: &Scale,
+    threads: usize,
+    shards: Option<usize>,
+    epochs: Option<bool>,
+) -> tm_harness::RunResult {
     let p = micro::NrmwParams::fig3a();
     let mut cfg = TmConfig {
         skip_fast: true,
@@ -314,6 +323,9 @@ fn bench_end_to_end(scale: &Scale, threads: usize, shards: Option<usize>) -> tm_
     };
     if let Some(s) = shards {
         cfg.ring_shards = s;
+    }
+    if let Some(e) = epochs {
+        cfg.summary_epochs = e;
     }
     (0..3)
         .map(|_| {
@@ -355,6 +367,13 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .expect("--shards requires a shard count")
     });
+    let epochs: Option<bool> = args.iter().position(|a| a == "--epochs").map(|i| {
+        match args.get(i + 1).map(String::as_str) {
+            Some("on") => true,
+            Some("off") => false,
+            _ => panic!("--epochs requires on|off"),
+        }
+    });
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
     eprintln!("pathbench: {} run", if smoke { "smoke" } else { "full" });
@@ -379,9 +398,9 @@ fn main() {
     let publish_overhead_pct = (pub_sum_ns / pub_plain_ns - 1.0) * 100.0;
 
     eprintln!("  [e2e] partitioned path, 1 thread...");
-    let e2e_1t = bench_end_to_end(&scale, 1, shards);
+    let e2e_1t = bench_end_to_end(&scale, 1, shards, epochs);
     eprintln!("  [e2e] partitioned path, {E2E_THREADS} threads...");
-    let e2e_mt = bench_end_to_end(&scale, E2E_THREADS, shards);
+    let e2e_mt = bench_end_to_end(&scale, E2E_THREADS, shards, epochs);
 
     println!("pathbench results ({} run)", if smoke { "smoke" } else { "full" });
     println!(

@@ -30,17 +30,29 @@
 //!   validation path, reported so regressions are visible next to the publish
 //!   win.
 //!
-//! Usage: `ringbench [--smoke] [--json PATH] [--baseline FILE]`
+//! Usage: `ringbench [--smoke] [--mode seqlock|epoch] [--density N/D]
+//!                    [--interval K] [--json PATH] [--baseline FILE]`
 //!   --smoke      ~20x fewer iterations (CI sanity run)
+//!   --mode M     summary reset protocol: `seqlock` (default; PR 3's
+//!                generation seqlock, reproduces BENCH_3 semantics) or
+//!                `epoch` (epoch banks + adaptive density controller; the
+//!                validation stage then measures the grouped
+//!                `validate_touched_nt` fast pass both fixtures would run in
+//!                production, writing the BENCH_4 numbers)
+//!   --density N/D  initial density threshold of the summary controller
+//!                  (default 1/3 — the legacy constant)
+//!   --interval K initial publishes-between-density-checks (default 256)
 //!   --json P     write machine-readable results to P ("-" for stdout)
-//!   --baseline F compare the sharded 4-thread mixed publish ops/sec against a
-//!                previously committed ringbench JSON; exit 1 on a >10%
-//!                regression
+//!   --baseline F compare the sharded 4-thread mixed publish ops/sec (and, if
+//!                the baseline records it, the no-conflict validation
+//!                overhead) against a previously committed ringbench JSON;
+//!                exit 1 on a >10% publish regression or a >2x validation-
+//!                overhead blow-up
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
-use tm_sig::{ShardTimes, ShardedRing, ShardedSummary, Sig, SigSpec};
+use tm_sig::{ResetMode, ShardTimes, ShardedRing, ShardedSummary, Sig, SigSpec, SummaryTuning};
 
 /// Shard count of the sharded configuration (the `TmConfig::ring_shards`
 /// default).
@@ -90,7 +102,7 @@ struct Fixture {
     sharded_sum: ShardedSummary,
 }
 
-fn fixture() -> Fixture {
+fn fixture(tuning: SummaryTuning) -> Fixture {
     let cfg = HtmConfig {
         max_threads: *PUB_THREADS.iter().max().unwrap(),
         ..HtmConfig::default()
@@ -99,8 +111,8 @@ fn fixture() -> Fixture {
     let mut b = HeapBuilder::new(HEAP);
     let single = ShardedRing::alloc(&mut b, 1, 1024, SigSpec::PAPER);
     let sharded = ShardedRing::alloc(&mut b, SHARDS, 1024, SigSpec::PAPER);
-    let single_sum = single.new_summary();
-    let sharded_sum = sharded.new_summary();
+    let single_sum = single.new_summary_tuned(tuning);
+    let sharded_sum = sharded.new_summary_tuned(tuning);
     Fixture {
         sys,
         single,
@@ -219,12 +231,18 @@ fn bench_publish(
 }
 
 /// No-conflict validation cost (ns/validation, single validator, best of 3)
-/// after `VALIDATION_LAG` publishes landed in `ring`.
+/// after `VALIDATION_LAG` publishes landed in `ring`. With `touched`, the
+/// measured path is the non-advancing `validate_touched_nt` (the grouped
+/// epoch-mode fast pass the partitioned path runs in production: zero
+/// simulated-heap reads, window restarting from 0 every iteration so the
+/// Bloom/group probe actually decides each call); otherwise the
+/// timestamp-advancing `validate_summarized_nt` measured by BENCH_3.
 fn bench_validation(
     f: &Fixture,
     ring: &ShardedRing,
     summaries: &ShardedSummary,
     iters: u64,
+    touched: bool,
 ) -> f64 {
     let th = f.sys.thread(0);
     // Lag publishes spread across the whole geometry so every shard of the
@@ -257,7 +275,11 @@ fn bench_validation(
     // Sanity: the summary fast path must decide this workload on every shard.
     {
         let mut times = ShardTimes::new();
-        let v = ring.validate_summarized_nt(&th, summaries, &rsig, &mut times);
+        let v = if touched {
+            ring.validate_touched_nt(&th, summaries, &rsig, &mut times)
+        } else {
+            ring.validate_summarized_nt(&th, summaries, &rsig, &mut times)
+        };
         assert!(v.result.is_ok());
         assert_eq!(v.walked_shards, 0, "summary fast path missed");
     }
@@ -265,10 +287,18 @@ fn bench_validation(
     let mut best = u64::MAX;
     for _ in 0..3 {
         let t0 = Instant::now();
-        for _ in 0..iters {
-            let mut times = ShardTimes::new();
-            let v = ring.validate_summarized_nt(&th, summaries, &rsig, &mut times);
-            assert!(std::hint::black_box(v).result.is_ok());
+        if touched {
+            for _ in 0..iters {
+                let mut times = ShardTimes::new();
+                let v = ring.validate_touched_nt(&th, summaries, &rsig, &mut times);
+                assert!(std::hint::black_box(v).result.is_ok());
+            }
+        } else {
+            for _ in 0..iters {
+                let mut times = ShardTimes::new();
+                let v = ring.validate_summarized_nt(&th, summaries, &rsig, &mut times);
+                assert!(std::hint::black_box(v).result.is_ok());
+            }
         }
         best = best.min(t0.elapsed().as_nanos() as u64);
     }
@@ -298,11 +328,48 @@ fn main() {
         .iter()
         .position(|a| a == "--baseline")
         .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .map(|i| args.get(i + 1).expect("--mode requires seqlock|epoch").as_str())
+        .map(|m| match m {
+            "seqlock" => ResetMode::Seqlock,
+            "epoch" => ResetMode::Epoch,
+            other => panic!("--mode {other}: expected seqlock or epoch"),
+        })
+        .unwrap_or(ResetMode::Seqlock);
+    let mut tuning = SummaryTuning {
+        mode,
+        ..SummaryTuning::default()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--density") {
+        let spec = args.get(i + 1).expect("--density requires N/D");
+        let (n, d) = spec
+            .split_once('/')
+            .unwrap_or_else(|| panic!("--density {spec}: expected N/D"));
+        tuning.density_num = n.parse().expect("--density numerator");
+        tuning.density_den = d.parse().expect("--density denominator");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--interval") {
+        tuning.check_interval = args
+            .get(i + 1)
+            .expect("--interval requires a count")
+            .parse()
+            .expect("--interval count");
+    }
+    let epochs = mode == ResetMode::Epoch;
+    let mode_name = if epochs { "epoch" } else { "seqlock" };
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
-    eprintln!("ringbench: {} run", if smoke { "smoke" } else { "full" });
+    eprintln!(
+        "ringbench: {} run, {mode_name} summaries (density {}/{}, interval {})",
+        if smoke { "smoke" } else { "full" },
+        tuning.density_num,
+        tuning.density_den,
+        tuning.check_interval
+    );
 
-    let f = fixture();
+    let f = fixture(tuning);
     let max_threads = *PUB_THREADS.iter().max().unwrap();
     let sigs = disjoint_sigs(&f.sharded, max_threads);
 
@@ -347,10 +414,10 @@ fn main() {
     let mixed = run_sweep(true);
     let sw_only = run_sweep(false);
 
-    eprintln!("  [validate] no-conflict, single vs sharded...");
-    let vf = fixture();
-    let val_single = bench_validation(&vf, &vf.single, &vf.single_sum, scale.val_iters);
-    let val_sharded = bench_validation(&vf, &vf.sharded, &vf.sharded_sum, scale.val_iters);
+    eprintln!("  [validate] no-conflict ({mode_name}), single vs sharded...");
+    let vf = fixture(tuning);
+    let val_single = bench_validation(&vf, &vf.single, &vf.single_sum, scale.val_iters, epochs);
+    let val_sharded = bench_validation(&vf, &vf.sharded, &vf.sharded_sum, scale.val_iters, epochs);
 
     println!("ringbench results ({} run)", if smoke { "smoke" } else { "full" });
     for &(t, single, sharded) in &mixed {
@@ -397,7 +464,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"ringbench\",\n",
-            "  \"config\": {{\"smoke\": {}, \"sig_bits\": {}, \"shards\": {}, ",
+            "  \"config\": {{\"smoke\": {}, \"mode\": \"{}\", \"sig_bits\": {}, \"shards\": {}, ",
             "\"addrs_per_sig\": {}, \"sigs_per_thread\": {}, \"validation_lag\": {}}},\n",
             "  \"publish_mixed_disjoint\": [\n{}\n  ],\n",
             "  \"publish_software_disjoint\": [\n{}\n  ],\n",
@@ -407,6 +474,7 @@ fn main() {
             "}}\n"
         ),
         smoke,
+        mode_name,
         SigSpec::PAPER.bits(),
         SHARDS,
         ADDRS_PER_SIG,
@@ -443,6 +511,24 @@ fn main() {
         if ratio < 0.90 {
             eprintln!("FAIL: sharded publish throughput regressed more than 10% vs {path}");
             std::process::exit(1);
+        }
+        // Validation-overhead gate: only when the baseline recorded the same
+        // stage (older BENCH files predate it at this key granularity).
+        if let (Some(base_single), Some(base_sharded)) = (
+            json_number(&blob, "single_ns_per_val"),
+            json_number(&blob, "sharded_ns_per_val"),
+        ) {
+            let base_ratio = base_sharded / base_single;
+            let now_ratio = val_sharded / val_single;
+            println!(
+                "regression gate: sharded/single validation {now_ratio:.2}x vs baseline {base_ratio:.2}x"
+            );
+            if now_ratio > base_ratio * 2.0 {
+                eprintln!(
+                    "FAIL: sharded validation overhead blew up more than 2x vs {path}"
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -155,8 +155,17 @@ pub struct StatsReport {
     pub val_fast_hits: u64,
     /// In-flight validations that fell back to the precise per-entry walk.
     pub val_fast_misses: u64,
+    /// Fast-pass misses caused by a dirty summary (eager resets cure these).
+    pub summary_miss_dirty: u64,
+    /// Fast-pass misses caused by transient instability (in-flight publisher,
+    /// reset churn; eager resets only create more).
+    pub summary_miss_inflight: u64,
     /// Ring-summary resets performed.
     pub summary_resets: u64,
+    /// Epoch-mode resets that retired a summary bank.
+    pub epoch_retires: u64,
+    /// Due epoch resets deferred behind a pinned validator.
+    pub epoch_pinned_stalls: u64,
     /// Sub-HTM segment failures rolled back through the signature journal.
     pub journal_rollbacks: u64,
 }
@@ -183,7 +192,11 @@ impl StatsReport {
             total_commits: r.tm.commits_total(),
             val_fast_hits: r.tm.val_fast_hits,
             val_fast_misses: r.tm.val_fast_misses,
+            summary_miss_dirty: r.tm.summary_miss_dirty,
+            summary_miss_inflight: r.tm.summary_miss_inflight,
             summary_resets: r.tm.summary_resets,
+            epoch_retires: r.tm.epoch_retires,
+            epoch_pinned_stalls: r.tm.epoch_pinned_stalls,
             journal_rollbacks: r.tm.journal_rollbacks,
         }
     }
@@ -201,16 +214,25 @@ impl StatsReport {
         } else {
             self.val_fast_hits as f64 * 100.0 / validations as f64
         };
-        Some(format!(
-            "{:<18} | ring-val fast path {:>5.1}% of {} ({} hits, {} misses) | summary resets {} | journal rollbacks {}",
+        let mut line = format!(
+            "{:<18} | ring-val fast path {:>5.1}% of {} ({} hits, {} misses: {} dirty / {} in-flight) | summary resets {} | journal rollbacks {}",
             self.label,
             hit_pct,
             validations,
             self.val_fast_hits,
             self.val_fast_misses,
+            self.summary_miss_dirty,
+            self.summary_miss_inflight,
             self.summary_resets,
             self.journal_rollbacks,
-        ))
+        );
+        if self.epoch_retires != 0 || self.epoch_pinned_stalls != 0 {
+            line.push_str(&format!(
+                " | epoch retires {} (deferred {})",
+                self.epoch_retires, self.epoch_pinned_stalls
+            ));
+        }
+        Some(line)
     }
 
     /// Render one row in Table 1's layout.
@@ -277,7 +299,11 @@ mod tests {
             total_commits: 0,
             val_fast_hits: 0,
             val_fast_misses: 0,
+            summary_miss_dirty: 0,
+            summary_miss_inflight: 0,
             summary_resets: 0,
+            epoch_retires: 0,
+            epoch_pinned_stalls: 0,
             journal_rollbacks: 0,
         };
         assert!(r.render_hot_path().is_none());

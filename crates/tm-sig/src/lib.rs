@@ -22,10 +22,14 @@
 //!   disjoint-region commits stop serialising on one global word (see
 //!   `docs/ring-sharding.md`);
 //! * [`SigJournal`] — the word-level undo journal that makes sub-HTM segment retries
-//!   allocation- and clone-free.
+//!   allocation- and clone-free;
+//! * [`EpochRegistry`] — the per-thread epoch pin registry behind the summary's
+//!   stall-free epoch-bank reset protocol ([`ResetMode::Epoch`], see
+//!   `docs/ring-sharding.md`, "Epoch-based resets").
 
 #![deny(missing_docs)]
 
+pub mod epoch;
 pub mod heap_sig;
 pub mod journal;
 pub mod ring;
@@ -33,9 +37,14 @@ pub mod sharded;
 pub mod sig;
 pub mod spec;
 
+pub use epoch::{EpochRegistry, MAX_EPOCH_THREADS};
 pub use heap_sig::HeapSig;
 pub use journal::{CloneSaved, SigJournal, SigSlot};
-pub use ring::{Ring, RingSummary, RingValidationError};
-pub use sharded::{ShardTimes, ShardedRing, ShardedSummary, ShardedValidation, MAX_RING_SHARDS};
+pub use ring::{
+    FastMiss, ResetAttempt, ResetMode, Ring, RingSummary, RingValidationError, SummaryTuning,
+};
+pub use sharded::{
+    ShardTimes, ShardedRing, ShardedSummary, ShardedValidation, SummaryResetStats, MAX_RING_SHARDS,
+};
 pub use sig::Sig;
 pub use spec::SigSpec;

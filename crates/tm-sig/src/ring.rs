@@ -31,8 +31,9 @@
 //! A summary pass is valid even across ring rollover: the OR covers every publish
 //! since the reset, whether or not its slot has been overwritten.
 
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
 
+use crate::epoch::EpochRegistry;
 use crate::heap_sig::HeapSig;
 use crate::sig::Sig;
 use crate::spec::SigSpec;
@@ -390,43 +391,125 @@ impl Ring {
 
     /// Reset the summary when it has grown dense enough to stop filtering (see
     /// [`RingSummary::wants_reset`]). At most one resetter runs at a time; the
-    /// generation seqlock keeps concurrent publishers and validators correct (the
-    /// interleaving argument is spelled out in `docs/hot-path.md`). Returns true
-    /// when a reset was performed.
+    /// summary's reset protocol — generation seqlock or epoch banks, per its
+    /// [`SummaryTuning`] — keeps concurrent publishers and validators correct
+    /// (the interleaving arguments are spelled out in `docs/hot-path.md` and
+    /// `docs/ring-sharding.md`). Returns true when a reset was performed.
     pub fn maybe_reset_summary(&self, th: &HtmThread<'_>, summary: &RingSummary) -> bool {
-        if !summary.wants_reset() {
-            return false;
-        }
-        if summary
-            .resetting
-            .compare_exchange(0, 1, SeqCst, SeqCst)
-            .is_err()
-        {
-            return false;
-        }
-        summary.gen.fetch_add(1, SeqCst); // odd: publishers re-OR, validators fall back
-        for w in summary.words.iter() {
-            w.store(0, SeqCst);
-        }
-        // Read the timestamp only *after* the clear: any publish whose bits the
-        // clear dropped and whose OR completed beforehand had made its timestamp
-        // visible before this read, so `reset_ts` covers it and validators that
-        // started earlier are sent to the precise walk.
-        summary.reset_ts.store(self.timestamp_nt(th), SeqCst);
-        summary.since_reset.store(0, SeqCst);
-        summary.gen.fetch_add(1, SeqCst); // even: fast path re-opens
-        summary.resetting.store(0, SeqCst);
-        true
+        summary.maybe_reset_with(|| self.timestamp_nt(th), || {}, |_| {}) == ResetAttempt::Done
     }
 }
 
-/// Density threshold: reset once more than a third of the summary's bits are set
-/// (a summary this dense intersects almost every read signature, so the fast path
-/// stops paying for itself).
+/// Legacy density threshold: reset once more than a third of the summary's bits
+/// are set (a summary this dense intersects almost every read signature, so the
+/// fast path stops paying for itself). [`SummaryTuning::default`] starts here.
 const SUMMARY_DENSITY_NUM: u32 = 1;
 const SUMMARY_DENSITY_DEN: u32 = 3;
-/// Publishes between density checks (keeps `wants_reset` off the common path).
+/// Legacy publishes between density checks (keeps the density popcount off the
+/// common path). [`SummaryTuning::default`] starts here.
 const SUMMARY_CHECK_INTERVAL: u64 = 256;
+
+/// Controller resolution: the adaptive density threshold moves in steps of
+/// 1/16 of full density (the initial num/den ratio is represented exactly on
+/// this grid, so an untouched controller reproduces the configured threshold
+/// bit-for-bit).
+const CTRL_SCALE: u32 = 16;
+/// Misses a cause must accumulate within one check interval before the
+/// controller reacts to it at all (noise floor).
+const CTRL_MIN_EVIDENCE: u64 = 16;
+/// How dominant one miss cause must be over the other (×) before the
+/// controller moves.
+const CTRL_DOMINANCE: u64 = 4;
+/// Clamp on the adaptive check interval: never below (popcount every 32
+/// publishes is already aggressive) and never above (a summary must not go
+/// un-checked forever).
+const CTRL_MIN_INTERVAL: u64 = 32;
+const CTRL_MAX_INTERVAL: u64 = 4096;
+
+/// Which reset protocol a [`RingSummary`] runs (see `docs/ring-sharding.md`,
+/// "Epoch-based resets").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResetMode {
+    /// PR 2's generation seqlock: one bank of words, cleared in place while the
+    /// generation is odd; every validator and publisher stalls or falls back
+    /// for the duration of the clear. Kept as the differential oracle.
+    Seqlock,
+    /// Epoch banks: two banks of words; a reset clears the *retired* bank off
+    /// to the side and then flips the epoch, so validators keep fast-passing on
+    /// the current bank throughout and publishers never spin. Resets defer
+    /// (rather than block) while a validator is pinned to an older epoch.
+    Epoch,
+}
+
+/// Construction-time tuning of a [`RingSummary`]: reset protocol plus the
+/// *initial* values of the adaptive density controller. The legacy constants
+/// (`1/3` density, 256-publish check interval) are the defaults, so
+/// `SummaryTuning::default()` with [`ResetMode::Seqlock`] pins PR 2/3
+/// behaviour exactly — the `ring_shards: 1` oracle configuration relies on
+/// this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SummaryTuning {
+    /// Reset protocol.
+    pub mode: ResetMode,
+    /// Density threshold numerator: reset when more than `num/den` of the live
+    /// bits are set. Controller initial value (the controller only moves it in
+    /// [`ResetMode::Epoch`]).
+    pub density_num: u32,
+    /// Density threshold denominator.
+    pub density_den: u32,
+    /// Publishes between density checks. Controller initial value.
+    pub check_interval: u64,
+}
+
+impl Default for SummaryTuning {
+    fn default() -> Self {
+        Self {
+            mode: ResetMode::Seqlock,
+            density_num: SUMMARY_DENSITY_NUM,
+            density_den: SUMMARY_DENSITY_DEN,
+            check_interval: SUMMARY_CHECK_INTERVAL,
+        }
+    }
+}
+
+impl SummaryTuning {
+    /// The default tuning running the epoch-bank protocol.
+    pub fn epochs() -> Self {
+        Self {
+            mode: ResetMode::Epoch,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a summary fast pass declined to decide a validation (the precise walk
+/// runs instead). The adaptive density controller keys off the split: dirty
+/// misses are cured by resetting more eagerly, in-flight misses are not —
+/// resetting *more* only produces more of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FastMiss {
+    /// The read signature intersected the summary words: the summary is too
+    /// dense (or a genuine conflict exists — the walk decides which).
+    Dirty,
+    /// Transient instability a denser-summary reset would not have prevented:
+    /// a publisher was announced but not yet folded, the generation/epoch moved
+    /// mid-probe, or the validator's window predates the last reset.
+    Inflight,
+}
+
+/// Outcome of a [`RingSummary::maybe_reset_with`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResetAttempt {
+    /// No reset due: pacing interval not elapsed, density below threshold, or
+    /// another resetter holds the guard.
+    Idle,
+    /// Epoch mode only: the summary is due for a reset but a validator is still
+    /// pinned to an older epoch; the reset is deferred to a later committer
+    /// instead of invalidating the reader mid-probe (grace-period rule).
+    Deferred,
+    /// A reset was performed.
+    Done,
+}
 
 /// The global summary signature: host-side companion to a [`Ring`] (the ring itself
 /// is a plain-old-data heap handle; the summary holds atomics and therefore lives
@@ -440,22 +523,37 @@ const SUMMARY_CHECK_INTERVAL: u64 = 256;
 ///    `completed` first and `started` last and requires them equal — any publish it
 ///    could be missing bits from is then provably either fully summarised or not
 ///    yet visible in the timestamp it validated against.
-/// 2. **Generation seqlock around resets**: publishers OR their bits under a
-///    generation re-check (retrying if a reset overlapped), and validators require
-///    the generation stable and even across their whole read sequence.
-/// 3. **Reset timestamp read after the clear**: bits the clear may have dropped
-///    belong to publishes whose timestamps were visible before `reset_ts` was read,
-///    so requiring `start_time >= reset_ts` on the fast path makes the dropped bits
-///    irrelevant (those publishes are before the validator's window).
+/// 2. **Stability across the probe**: publishers OR their bits under a
+///    generation/epoch re-check (retrying into the current bank if a reset
+///    overlapped), and validators require the generation (seqlock mode: stable
+///    and even; epoch mode: stable) across their whole read sequence. In epoch
+///    mode the final re-check additionally catches publishers that folded into
+///    the *new* bank after a flip the validator did not see.
+/// 3. **Reset timestamp read after the clear**: bits a clear may have dropped
+///    belong to publishes whose timestamps were visible before `reset_ts` was
+///    read, so requiring `start_time >= reset_ts` (of the bank being probed) on
+///    the fast path makes the dropped bits irrelevant (those publishes are
+///    before the validator's window).
+///
+/// In [`ResetMode::Epoch`] the summary additionally keeps an [`EpochRegistry`]:
+/// validators entering through the `*_at` probes pin the epoch they read, and
+/// [`RingSummary::maybe_reset_with`] defers (never blocks) while any pin is
+/// older than the current epoch — see `docs/ring-sharding.md` for the
+/// grace-period argument.
 #[derive(Debug)]
 pub struct RingSummary {
-    /// OR of every signature published since the last reset.
+    /// OR of every signature published since the last reset. Seqlock mode: one
+    /// bank of `spec.words()` atomics, cleared in place. Epoch mode: two banks
+    /// back to back (bank `b` word `i` at `b * spec.words() + i`); publishers
+    /// fold into bank `gen & 1`, resets clear the retired bank off to the side.
     words: Box<[AtomicU64]>,
-    /// Generation seqlock: odd while a reset is clearing the words.
+    /// Seqlock mode: generation, odd while a reset is clearing the words.
+    /// Epoch mode: the epoch counter; the current bank is `gen & 1`.
     gen: AtomicU64,
-    /// Ring timestamp observed just after the last clear; fast-path validators
-    /// must have `start_time >= reset_ts`.
-    reset_ts: AtomicU64,
+    /// Ring timestamp observed just after the last clear of each bank;
+    /// fast-path validators must have `start_time >= reset_ts[bank]` for the
+    /// bank they probe. Seqlock mode uses slot 0 only.
+    reset_ts: [AtomicU64; 2],
     /// Publishes announced (monotone; never decremented).
     started: AtomicU64,
     /// Publishes completed or cancelled (monotone; never decremented).
@@ -464,6 +562,23 @@ pub struct RingSummary {
     since_reset: AtomicU64,
     /// CAS guard: at most one resetter at a time.
     resetting: AtomicU64,
+    /// Adaptive density threshold numerator on the `ctrl_den` grid (initially
+    /// `density_num * CTRL_SCALE`, i.e. exactly the configured ratio).
+    ctrl_num: AtomicU32,
+    /// Fixed denominator of the adaptive threshold: `density_den * CTRL_SCALE`.
+    ctrl_den: u32,
+    /// Adaptive publishes-between-density-checks.
+    ctrl_interval: AtomicU64,
+    /// Fast-pass misses since the last controller step whose cause a denser
+    /// reset would cure ([`FastMiss::Dirty`]).
+    miss_dirty: AtomicU64,
+    /// Fast-pass misses a reset would not have prevented
+    /// ([`FastMiss::Inflight`]).
+    miss_inflight: AtomicU64,
+    /// Per-thread epoch pins (consulted in epoch mode only).
+    pins: EpochRegistry,
+    /// Reset protocol.
+    mode: ResetMode,
     /// Highest commit timestamp whose publish has *completed its fold* into
     /// `words` (recorded by [`RingSummary::complete_publish_masked`] just
     /// before it bumps `completed`; monotone). A validator whose clean probe
@@ -479,41 +594,131 @@ pub struct RingSummary {
 }
 
 impl RingSummary {
-    /// An empty summary for signatures of geometry `spec`.
+    /// An empty summary for signatures of geometry `spec` (legacy seqlock
+    /// tuning).
     pub fn new(spec: SigSpec) -> Self {
-        Self::with_live_bits(spec, spec.bits())
+        Self::with_tuning(spec, SummaryTuning::default())
+    }
+
+    /// An empty summary with explicit [`SummaryTuning`].
+    pub fn with_tuning(spec: SigSpec, tuning: SummaryTuning) -> Self {
+        Self::build(spec, spec.bits(), tuning)
     }
 
     /// An empty summary whose density accounting covers only the words selected by
     /// `word_mask` (a shard of the sharded ring only ever folds in its own word
     /// range, so measuring density against the full geometry would make
-    /// [`RingSummary::wants_reset`] unreachable).
+    /// [`RingSummary::wants_reset`] unreachable). Legacy seqlock tuning.
     pub fn new_masked(spec: SigSpec, word_mask: u64) -> Self {
+        Self::new_masked_tuned(spec, word_mask, SummaryTuning::default())
+    }
+
+    /// [`RingSummary::new_masked`] with explicit [`SummaryTuning`].
+    pub fn new_masked_tuned(spec: SigSpec, word_mask: u64, tuning: SummaryTuning) -> Self {
         let covered = (0..spec.words().min(64))
             .filter(|i| word_mask & (1 << i) != 0)
             .count() as u32;
-        Self::with_live_bits(spec, covered * 64)
+        Self::build(spec, covered * 64, tuning)
     }
 
-    fn with_live_bits(spec: SigSpec, live_bits: u32) -> Self {
+    fn build(spec: SigSpec, live_bits: u32, tuning: SummaryTuning) -> Self {
+        assert!(tuning.density_den > 0, "density threshold needs a denominator");
+        let banks = match tuning.mode {
+            ResetMode::Seqlock => 1,
+            ResetMode::Epoch => 2,
+        };
         Self {
-            words: (0..spec.words()).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..banks * spec.words() as usize)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             gen: AtomicU64::new(0),
-            reset_ts: AtomicU64::new(0),
+            reset_ts: [AtomicU64::new(0), AtomicU64::new(0)],
             started: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             since_reset: AtomicU64::new(0),
             resetting: AtomicU64::new(0),
+            ctrl_num: AtomicU32::new(tuning.density_num * CTRL_SCALE),
+            ctrl_den: tuning.density_den * CTRL_SCALE,
+            ctrl_interval: AtomicU64::new(tuning.check_interval),
+            miss_dirty: AtomicU64::new(0),
+            miss_inflight: AtomicU64::new(0),
+            pins: EpochRegistry::new(),
+            mode: tuning.mode,
             folded_ts: AtomicU64::new(0),
             live_bits,
             spec,
         }
     }
 
-
     /// Geometry.
     pub fn spec(&self) -> SigSpec {
         self.spec
+    }
+
+    /// Reset protocol this summary runs.
+    pub fn mode(&self) -> ResetMode {
+        self.mode
+    }
+
+    /// Current publishes-between-density-checks (adaptive in epoch mode; fixed
+    /// at the configured value in seqlock mode).
+    pub fn check_interval(&self) -> u64 {
+        self.ctrl_interval.load(SeqCst)
+    }
+
+    /// Current density threshold as a `(num, den)` ratio of the live bits.
+    pub fn density_threshold(&self) -> (u32, u32) {
+        (self.ctrl_num.load(SeqCst), self.ctrl_den)
+    }
+
+    /// The bank publishers fold into / validators probe under generation or
+    /// epoch `g`.
+    #[inline]
+    fn bank_of(&self, g: u64) -> usize {
+        match self.mode {
+            ResetMode::Seqlock => 0,
+            ResetMode::Epoch => (g & 1) as usize,
+        }
+    }
+
+    /// Word `i` of bank `bank`.
+    #[inline]
+    fn word(&self, bank: usize, i: usize) -> &AtomicU64 {
+        &self.words[bank * self.spec.words() as usize + i]
+    }
+
+    /// Pin `tid` to the current epoch (hazard-pointer handshake: publish the
+    /// pin, then confirm the epoch did not move; retry if it did). Returns the
+    /// pinned epoch. Long-running readers may hold a pin across several probes
+    /// — resets defer rather than invalidate them — but MUST
+    /// [`RingSummary::unpin`] promptly or shard resets starve into
+    /// [`ResetAttempt::Deferred`] forever. No-op (plain epoch load) in seqlock
+    /// mode.
+    pub fn pin_epoch(&self, tid: usize) -> u64 {
+        loop {
+            let e = self.gen.load(SeqCst);
+            if self.mode == ResetMode::Seqlock {
+                return e;
+            }
+            self.pins.set(tid, e);
+            if self.gen.load(SeqCst) == e {
+                return e;
+            }
+        }
+    }
+
+    /// Drop `tid`'s epoch pin.
+    pub fn unpin(&self, tid: usize) {
+        if self.mode == ResetMode::Epoch {
+            self.pins.clear(tid);
+        }
+    }
+
+    /// The pin registry, exposed so crate-internal tests can plant a stale pin
+    /// (simulating a reader caught mid-probe across a flip).
+    #[cfg(test)]
+    pub(crate) fn pins_for_tests(&self) -> &EpochRegistry {
+        &self.pins
     }
 
     /// Announce a publish whose timestamp is about to become visible. Every
@@ -544,19 +749,25 @@ impl RingSummary {
     pub fn complete_publish_masked(&self, sig: &Sig, word_mask: u64, folded_ts: u64) {
         loop {
             let g1 = self.gen.load(SeqCst);
-            if g1 & 1 != 0 {
+            if self.mode == ResetMode::Seqlock && g1 & 1 != 0 {
+                // A reset is clearing the (only) bank in place: wait it out.
                 std::hint::spin_loop();
                 continue;
             }
+            let bank = self.bank_of(g1);
             for (i, w) in sig.nonzero_words() {
                 if i < 64 && word_mask & (1 << i) == 0 {
                     continue;
                 }
-                self.words[i as usize].fetch_or(w, SeqCst);
+                self.word(bank, i as usize).fetch_or(w, SeqCst);
             }
             if self.gen.load(SeqCst) == g1 {
                 break;
             }
+            // Epoch mode: the epoch flipped mid-fold — re-fold into the new
+            // current bank. Bits a straggling iteration left in the retired
+            // bank only over-approximate it (false positives, never missed
+            // conflicts) and vanish at that bank's next clear.
         }
         self.folded_ts.fetch_max(folded_ts, SeqCst);
         self.since_reset.fetch_add(1, SeqCst);
@@ -577,38 +788,135 @@ impl RingSummary {
     /// simulated heap while the summary does not.
     ///
     /// Read order is load-bearing (see the type-level docs): `completed` first,
-    /// generation + reset window, the timestamp, the summary words, then `started`
-    /// and the generation again. Equality of the two counters proves every publish
-    /// visible in `ts` had completed before the first read — and was therefore
-    /// either in the summary words read afterwards, or dropped by a reset that the
-    /// `start_time >= reset_ts` check already accounts for.
+    /// generation/epoch + reset window, the timestamp, the summary words, then
+    /// `started` and the generation/epoch again. Equality of the two counters
+    /// proves every publish visible in `ts` had completed before the first read —
+    /// and was therefore either in the bank words read afterwards, or dropped by
+    /// a reset that the `start_time >= reset_ts` check already accounts for. In
+    /// epoch mode the final epoch re-check is what catches the one hole counters
+    /// alone leave open: a publish that folded into the *new* bank after a flip
+    /// this validator did not observe would balance the counters while its bits
+    /// are absent from the old bank being probed — any such publish implies the
+    /// epoch moved, which the re-check turns into a fallback.
     pub fn try_fast_pass(
         &self,
         read_sig: &Sig,
         start_time: u64,
         read_ts: impl FnOnce() -> u64,
     ) -> Option<u64> {
+        self.fast_pass_impl(None, read_sig, start_time, read_ts).ok()
+    }
+
+    /// [`RingSummary::try_fast_pass`] with the caller's thread id, pinning the
+    /// probed epoch in the registry for the duration (epoch mode; resets defer
+    /// around the pin instead of invalidating the probe) and reporting *why* a
+    /// miss missed — the executors feed the cause into `TmStats` and the
+    /// adaptive controller consumes the same split.
+    pub fn try_fast_pass_at(
+        &self,
+        tid: usize,
+        read_sig: &Sig,
+        start_time: u64,
+        read_ts: impl FnOnce() -> u64,
+    ) -> Result<u64, FastMiss> {
+        self.fast_pass_impl(Some(tid), read_sig, start_time, read_ts)
+    }
+
+    fn fast_pass_impl(
+        &self,
+        tid: Option<usize>,
+        read_sig: &Sig,
+        start_time: u64,
+        read_ts: impl FnOnce() -> u64,
+    ) -> Result<u64, FastMiss> {
+        let res = match self.mode {
+            ResetMode::Seqlock => self.fast_pass_seqlock(read_sig, start_time, read_ts),
+            ResetMode::Epoch => {
+                let e = match tid {
+                    Some(t) => self.pin_epoch(t),
+                    None => self.gen.load(SeqCst),
+                };
+                let r = self.fast_pass_epoch(e, read_sig, start_time, read_ts);
+                if let Some(t) = tid {
+                    self.unpin(t);
+                }
+                r
+            }
+        };
+        if let Err(cause) = res {
+            self.note_miss(cause);
+        }
+        res
+    }
+
+    fn fast_pass_seqlock(
+        &self,
+        read_sig: &Sig,
+        start_time: u64,
+        read_ts: impl FnOnce() -> u64,
+    ) -> Result<u64, FastMiss> {
         let c1 = self.completed.load(SeqCst);
         let g1 = self.gen.load(SeqCst);
         if g1 & 1 != 0 {
-            return None;
+            return Err(FastMiss::Inflight);
         }
-        if start_time < self.reset_ts.load(SeqCst) {
-            return None;
+        if start_time < self.reset_ts[0].load(SeqCst) {
+            return Err(FastMiss::Inflight);
         }
         let ts = read_ts();
         if ts == start_time {
-            return Some(ts); // nothing committed since; same early-out as validate_nt
+            return Ok(ts); // nothing committed since; same early-out as validate_nt
         }
         for (i, w) in read_sig.nonzero_words() {
-            if self.words[i as usize].load(SeqCst) & w != 0 {
-                return None;
+            if self.word(0, i as usize).load(SeqCst) & w != 0 {
+                return Err(FastMiss::Dirty);
             }
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
-            return None;
+            return Err(FastMiss::Inflight);
         }
-        Some(ts)
+        Ok(ts)
+    }
+
+    /// Epoch-mode fast pass against the bank of pinned epoch `e`. Unlike the
+    /// seqlock flavour there is no "reset in progress" bail-out: a concurrent
+    /// reset clears the *retired* bank, not the one this probe reads, so
+    /// validators keep deciding at full speed for the whole clear and only a
+    /// probe that actually straddles the flip (final `gen != e`) falls back.
+    fn fast_pass_epoch(
+        &self,
+        e: u64,
+        read_sig: &Sig,
+        start_time: u64,
+        read_ts: impl FnOnce() -> u64,
+    ) -> Result<u64, FastMiss> {
+        let c1 = self.completed.load(SeqCst);
+        let bank = (e & 1) as usize;
+        if start_time < self.reset_ts[bank].load(SeqCst) {
+            return Err(FastMiss::Inflight);
+        }
+        let ts = read_ts();
+        if ts == start_time {
+            return Ok(ts);
+        }
+        for (i, w) in read_sig.nonzero_words() {
+            if self.word(bank, i as usize).load(SeqCst) & w != 0 {
+                return Err(FastMiss::Dirty);
+            }
+        }
+        if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != e {
+            return Err(FastMiss::Inflight);
+        }
+        Ok(ts)
+    }
+
+    /// Record a fast-pass miss for the adaptive controller.
+    #[inline]
+    fn note_miss(&self, cause: FastMiss) {
+        match cause {
+            FastMiss::Dirty => self.miss_dirty.fetch_add(1, SeqCst),
+            FastMiss::Inflight => self.miss_inflight.fetch_add(1, SeqCst),
+        };
     }
 
     /// The fold watermark: the highest commit timestamp whose publish has
@@ -654,50 +962,255 @@ impl RingSummary {
     /// In both cases a reset inside the window is rejected by the
     /// `start_time >= reset_ts` check, exactly as in the fast pass.
     pub fn clean_since(&self, read_sig: &Sig, start_time: u64) -> Option<u64> {
+        self.clean_since_impl(None, read_sig, start_time).ok()
+    }
+
+    /// [`RingSummary::clean_since`] with the caller's thread id (epoch pin held
+    /// across the probe) and the miss cause on failure — the timestamp-free
+    /// analogue of [`RingSummary::try_fast_pass_at`].
+    pub fn clean_since_at(
+        &self,
+        tid: usize,
+        read_sig: &Sig,
+        start_time: u64,
+    ) -> Result<u64, FastMiss> {
+        self.clean_since_impl(Some(tid), read_sig, start_time)
+    }
+
+    fn clean_since_impl(
+        &self,
+        tid: Option<usize>,
+        read_sig: &Sig,
+        start_time: u64,
+    ) -> Result<u64, FastMiss> {
+        let res = match self.mode {
+            ResetMode::Seqlock => self.clean_since_seqlock(read_sig, start_time),
+            ResetMode::Epoch => {
+                let e = match tid {
+                    Some(t) => self.pin_epoch(t),
+                    None => self.gen.load(SeqCst),
+                };
+                let r = self.clean_since_epoch(e, read_sig, start_time);
+                if let Some(t) = tid {
+                    self.unpin(t);
+                }
+                r
+            }
+        };
+        if let Err(cause) = res {
+            self.note_miss(cause);
+        }
+        res
+    }
+
+    fn clean_since_seqlock(&self, read_sig: &Sig, start_time: u64) -> Result<u64, FastMiss> {
         let c1 = self.completed.load(SeqCst);
         let g1 = self.gen.load(SeqCst);
         if g1 & 1 != 0 {
-            return None;
+            return Err(FastMiss::Inflight);
         }
-        if start_time < self.reset_ts.load(SeqCst) {
-            return None;
+        if start_time < self.reset_ts[0].load(SeqCst) {
+            return Err(FastMiss::Inflight);
         }
         let adv = self.folded_ts.load(SeqCst);
         if adv <= start_time {
             if self.started.load(SeqCst) == c1 && self.gen.load(SeqCst) == g1 {
-                return Some(start_time);
+                return Ok(start_time);
             }
-            return None;
+            return Err(FastMiss::Inflight);
         }
         for (i, w) in read_sig.nonzero_words() {
-            if self.words[i as usize].load(SeqCst) & w != 0 {
-                return None;
+            if self.word(0, i as usize).load(SeqCst) & w != 0 {
+                return Err(FastMiss::Dirty);
             }
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
-            return None;
+            return Err(FastMiss::Inflight);
         }
-        Some(adv)
+        Ok(adv)
     }
 
-    /// True when the summary is due for a density check and more than a third of
-    /// its live bits are set (the full geometry, or the shard's word range for a
-    /// summary built with [`RingSummary::new_masked`]). A summary that dense
-    /// intersects almost every read signature, so the fast path stops paying for
-    /// itself.
+    /// Epoch-mode clean probe against pinned epoch `e`'s bank; same structure
+    /// as [`RingSummary::fast_pass_epoch`] with the fold watermark in place of
+    /// the ring timestamp.
+    fn clean_since_epoch(&self, e: u64, read_sig: &Sig, start_time: u64) -> Result<u64, FastMiss> {
+        let c1 = self.completed.load(SeqCst);
+        let bank = (e & 1) as usize;
+        if start_time < self.reset_ts[bank].load(SeqCst) {
+            return Err(FastMiss::Inflight);
+        }
+        let adv = self.folded_ts.load(SeqCst);
+        if adv <= start_time {
+            if self.started.load(SeqCst) == c1 && self.gen.load(SeqCst) == e {
+                return Ok(start_time);
+            }
+            return Err(FastMiss::Inflight);
+        }
+        for (i, w) in read_sig.nonzero_words() {
+            if self.word(bank, i as usize).load(SeqCst) & w != 0 {
+                return Err(FastMiss::Dirty);
+            }
+        }
+        if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != e {
+            return Err(FastMiss::Inflight);
+        }
+        Ok(adv)
+    }
+
+    /// True when the summary is due for a density check and more than the
+    /// controller's current threshold of its live bits are set (the full
+    /// geometry, or the shard's word range for a summary built with
+    /// [`RingSummary::new_masked`]). A summary that dense intersects almost
+    /// every read signature, so the fast path stops paying for itself.
     pub fn wants_reset(&self) -> bool {
-        if self.since_reset.load(SeqCst) < SUMMARY_CHECK_INTERVAL {
-            return false;
-        }
-        let pop: u32 = self.words.iter().map(|w| w.load(SeqCst).count_ones()).sum();
-        pop > self.live_bits * SUMMARY_DENSITY_NUM / SUMMARY_DENSITY_DEN
+        self.since_reset.load(SeqCst) >= self.ctrl_interval.load(SeqCst)
+            && self.density_exceeded()
     }
 
-    /// Snapshot of the summary bits (diagnostics and tests).
+    /// Popcount of the current bank against the adaptive threshold.
+    fn density_exceeded(&self) -> bool {
+        let bank = self.bank_of(self.gen.load(SeqCst));
+        let nw = self.spec.words() as usize;
+        let pop: u64 = (0..nw)
+            .map(|i| self.word(bank, i).load(SeqCst).count_ones() as u64)
+            .sum();
+        pop > self.live_bits as u64 * self.ctrl_num.load(SeqCst) as u64 / self.ctrl_den as u64
+    }
+
+    /// One adaptive-controller step, run under the reset guard at each density
+    /// check (epoch mode only): harvest the miss-cause counters accumulated
+    /// since the last check and move the threshold/interval toward whichever
+    /// regime dominates. Dirty misses mean the filter is saturating — tighten
+    /// the threshold and check more often; in-flight misses mean resets are not
+    /// the problem (and churning resets *creates* more of them) — relax the
+    /// threshold and check less often. Mixed or sparse evidence moves nothing.
+    fn controller_step(&self) {
+        let dirty = self.miss_dirty.swap(0, SeqCst);
+        let inflight = self.miss_inflight.swap(0, SeqCst);
+        let num = self.ctrl_num.load(SeqCst);
+        let interval = self.ctrl_interval.load(SeqCst);
+        // One step = 1/CTRL_SCALE of full density, exactly representable on
+        // the ctrl_den grid. Threshold clamps to [1/8, 1/2] of the live bits.
+        let step = self.ctrl_den / CTRL_SCALE;
+        if dirty >= CTRL_MIN_EVIDENCE && dirty >= CTRL_DOMINANCE * inflight {
+            self.ctrl_num
+                .store(num.saturating_sub(step).max(self.ctrl_den / 8), SeqCst);
+            self.ctrl_interval
+                .store((interval / 2).max(CTRL_MIN_INTERVAL), SeqCst);
+        } else if inflight >= CTRL_MIN_EVIDENCE && inflight >= CTRL_DOMINANCE * dirty {
+            self.ctrl_num.store((num + step).min(self.ctrl_den / 2), SeqCst);
+            self.ctrl_interval
+                .store((interval * 2).min(CTRL_MAX_INTERVAL), SeqCst);
+        }
+    }
+
+    /// Attempt a reset: pacing-interval gate, resetter guard, adaptive
+    /// controller step (epoch mode), density check, then the mode's reset
+    /// protocol. `read_ts` reads the owning ring's timestamp (a closure because
+    /// the timestamp lives in the simulated heap while the summary does not).
+    /// `pre_clear` runs before any summary bits are dropped and `post_clear`
+    /// receives the new reset timestamp after the protocol completes — the
+    /// sharded ring threads its group-probe maintenance through them (sentinel
+    /// the floor and zero the probe word before the clear, publish the new
+    /// floor after); plain-ring callers pass no-ops.
+    ///
+    /// **Seqlock protocol** (one bank): generation goes odd, the bank clears in
+    /// place (validators bail, publishers spin), `reset_ts` is read *after* the
+    /// clear, generation goes even again.
+    ///
+    /// **Epoch protocol** (two banks): if any registry pin is older than the
+    /// current epoch the reset returns [`ResetAttempt::Deferred`] — the
+    /// grace-period rule; nobody blocks. Otherwise the *retired* bank (the one
+    /// validators are not reading) is cleared off to the side, its `reset_ts`
+    /// slot set from a timestamp read after the clear, and only then does the
+    /// epoch flip make it current — validators and publishers run at full
+    /// speed throughout, and the only ones that fall back are probes straddling
+    /// the flip itself. Why dropped bits stay safe is rule 3 of the type-level
+    /// docs, applied per bank: every publish whose bits the clear dropped had
+    /// folded into that bank before it was retired (or is a straggler that
+    /// re-folds into the current bank), so its timestamp was visible before the
+    /// post-clear `reset_ts` read, and `start_time >= reset_ts[bank]` excludes
+    /// it from every window the flipped bank will ever vouch for.
+    pub fn maybe_reset_with(
+        &self,
+        read_ts: impl FnOnce() -> u64,
+        pre_clear: impl FnOnce(),
+        post_clear: impl FnOnce(u64),
+    ) -> ResetAttempt {
+        if self.since_reset.load(SeqCst) < self.ctrl_interval.load(SeqCst) {
+            return ResetAttempt::Idle;
+        }
+        if self
+            .resetting
+            .compare_exchange(0, 1, SeqCst, SeqCst)
+            .is_err()
+        {
+            return ResetAttempt::Idle;
+        }
+        if self.mode == ResetMode::Epoch {
+            self.controller_step();
+        }
+        if !self.density_exceeded() {
+            // Below threshold: restart the pacing interval so the popcount is
+            // not repeated on every subsequent commit.
+            self.since_reset.store(0, SeqCst);
+            self.resetting.store(0, SeqCst);
+            return ResetAttempt::Idle;
+        }
+        let nw = self.spec.words() as usize;
+        match self.mode {
+            ResetMode::Seqlock => {
+                self.gen.fetch_add(1, SeqCst); // odd: publishers re-OR, validators fall back
+                pre_clear();
+                for i in 0..nw {
+                    self.word(0, i).store(0, SeqCst);
+                }
+                // Read the timestamp only *after* the clear: any publish whose
+                // bits the clear dropped and whose OR completed beforehand had
+                // made its timestamp visible before this read, so `reset_ts`
+                // covers it and validators that started earlier are sent to
+                // the precise walk.
+                let ts = read_ts();
+                self.reset_ts[0].store(ts, SeqCst);
+                self.since_reset.store(0, SeqCst);
+                self.gen.fetch_add(1, SeqCst); // even: fast path re-opens
+                self.resetting.store(0, SeqCst);
+                post_clear(ts);
+            }
+            ResetMode::Epoch => {
+                let e = self.gen.load(SeqCst);
+                if !self.pins.drained(e) {
+                    // Grace period: a reader is still pinned to the bank this
+                    // reset would clear. Defer; the next committer retries.
+                    self.resetting.store(0, SeqCst);
+                    return ResetAttempt::Deferred;
+                }
+                let retired = ((e + 1) & 1) as usize;
+                pre_clear();
+                for i in 0..nw {
+                    self.word(retired, i).store(0, SeqCst);
+                }
+                let ts = read_ts();
+                self.reset_ts[retired].store(ts, SeqCst);
+                self.since_reset.store(0, SeqCst);
+                // The flip: the freshly cleared bank becomes current. Store,
+                // not fetch_add — only the guarded resetter ever moves the
+                // epoch.
+                self.gen.store(e + 1, SeqCst);
+                self.resetting.store(0, SeqCst);
+                post_clear(ts);
+            }
+        }
+        ResetAttempt::Done
+    }
+
+    /// Snapshot of the current bank's summary bits (diagnostics and tests).
     pub fn snapshot(&self) -> Sig {
+        let bank = self.bank_of(self.gen.load(SeqCst));
+        let nw = self.spec.words() as usize;
         Sig::from_words(
             self.spec,
-            self.words.iter().map(|w| w.load(SeqCst)).collect(),
+            (0..nw).map(|i| self.word(bank, i).load(SeqCst)).collect(),
         )
     }
 }
@@ -950,7 +1463,7 @@ mod tests {
         assert!(ring.maybe_reset_summary(&th, &summary));
         assert!(summary.snapshot().is_empty());
         let rts = ring.timestamp_nt(&th);
-        assert_eq!(summary.reset_ts.load(SeqCst), rts);
+        assert_eq!(summary.reset_ts[0].load(SeqCst), rts);
         // A validator that started before the reset must not fast-pass...
         let mut rsig = Sig::new(SigSpec::PAPER);
         rsig.add(1);
@@ -959,5 +1472,173 @@ mod tests {
         assert_eq!(summary.try_fast_pass(&rsig, rts, || rts), Some(rts));
         // Second reset attempt is a no-op until the interval elapses again.
         assert!(!ring.maybe_reset_summary(&th, &summary));
+    }
+
+    // ---- epoch mode ----
+
+    fn saturate(ring: &Ring, th: &htm_sim::HtmThread<'_>, summary: &RingSummary, n: u64) {
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        for a in 0..n {
+            wsig.clear();
+            wsig.add((a * 4099) as u32);
+            wsig.add((a * 7919 + 13) as u32);
+            wsig.add((a * 104_729 + 7) as u32);
+            ring.publish_software_summarized(th, &wsig, summary);
+        }
+    }
+
+    #[test]
+    fn epoch_reset_flips_bank_and_redirects_old_windows() {
+        let (sys, ring) = setup(4096);
+        let th = sys.thread(0);
+        let summary = RingSummary::with_tuning(SigSpec::PAPER, SummaryTuning::epochs());
+        saturate(&ring, &th, &summary, SUMMARY_CHECK_INTERVAL + 10);
+        assert!(summary.wants_reset());
+        assert_eq!(summary.gen.load(SeqCst), 0);
+        assert!(ring.maybe_reset_summary(&th, &summary));
+        assert_eq!(summary.gen.load(SeqCst), 1, "reset flips the epoch");
+        assert!(summary.snapshot().is_empty(), "the new current bank is clean");
+        let rts = ring.timestamp_nt(&th);
+        assert_eq!(summary.reset_ts[1].load(SeqCst), rts);
+        // A validator that started before the flip must not fast-pass on the
+        // new bank; one at/after the reset timestamp may.
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(1);
+        assert_eq!(summary.try_fast_pass(&rsig, rts - 1, || rts), None);
+        assert_eq!(summary.try_fast_pass(&rsig, rts, || rts), Some(rts));
+        // Publishes after the flip fold into the new current bank.
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        wsig.add(31_337);
+        ring.publish_software_summarized(&th, &wsig, &summary);
+        assert!(summary.snapshot().contains(31_337));
+    }
+
+    #[test]
+    fn epoch_reset_defers_while_a_reader_is_pinned() {
+        let (sys, ring) = setup(4096);
+        let th = sys.thread(0);
+        let summary = RingSummary::with_tuning(SigSpec::PAPER, SummaryTuning::epochs());
+        saturate(&ring, &th, &summary, SUMMARY_CHECK_INTERVAL + 10);
+        // A pin at the *current* epoch never blocks: the reset clears the
+        // retired bank, which that reader is not probing.
+        let e = summary.pin_epoch(7);
+        assert_eq!(e, 0);
+        assert!(ring.maybe_reset_summary(&th, &summary));
+        assert_eq!(summary.gen.load(SeqCst), 1);
+        // Simulate a long-running reader that pinned before the flip and is
+        // still mid-probe on the old bank (pin_epoch would re-pin at 1, so
+        // plant the stale pin directly). The next reset would clear exactly
+        // that bank, so it must defer — without blocking anyone.
+        summary.pins.set(7, 0);
+        saturate(&ring, &th, &summary, SUMMARY_CHECK_INTERVAL + 10);
+        assert_eq!(
+            summary.maybe_reset_with(|| ring.timestamp_nt(&th), || {}, |_| {}),
+            ResetAttempt::Deferred
+        );
+        assert_eq!(summary.gen.load(SeqCst), 1, "no flip under a stale pin");
+        // The reader finishes and unpins: the deferred reset now proceeds.
+        summary.unpin(7);
+        assert!(ring.maybe_reset_summary(&th, &summary));
+        assert_eq!(summary.gen.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn epoch_mode_probe_with_publisher_in_flight_reports_inflight() {
+        let summary = RingSummary::with_tuning(SigSpec::PAPER, SummaryTuning::epochs());
+        summary.begin_publish();
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        rsig.add(1);
+        assert_eq!(
+            summary.try_fast_pass_at(0, &rsig, 0, || 5),
+            Err(FastMiss::Inflight)
+        );
+        assert_eq!(summary.pins.pinned(0), None, "probe unpins on exit");
+        summary.cancel_publish();
+        assert_eq!(summary.try_fast_pass_at(0, &rsig, 0, || 5), Ok(5));
+    }
+
+    #[test]
+    fn dirty_probe_reports_dirty_and_feeds_the_controller() {
+        let summary = RingSummary::with_tuning(SigSpec::PAPER, SummaryTuning::epochs());
+        let mut wsig = Sig::new(SigSpec::PAPER);
+        wsig.add(1000);
+        summary.begin_publish();
+        summary.complete_publish_masked(&wsig, u64::MAX, 1);
+        let mut rbad = Sig::new(SigSpec::PAPER);
+        rbad.add(1000);
+        assert_eq!(
+            summary.try_fast_pass_at(0, &rbad, 0, || 1),
+            Err(FastMiss::Dirty)
+        );
+        assert_eq!(summary.miss_dirty.load(SeqCst), 1);
+        assert_eq!(
+            summary.clean_since_at(0, &rbad, 0),
+            Err(FastMiss::Dirty),
+            "the timestamp-free probe classifies the same way"
+        );
+        assert_eq!(summary.miss_dirty.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn controller_tightens_on_dirty_and_relaxes_on_inflight() {
+        let tuning = SummaryTuning {
+            mode: ResetMode::Epoch,
+            check_interval: 4,
+            ..SummaryTuning::epochs()
+        };
+        let summary = RingSummary::with_tuning(SigSpec::PAPER, tuning);
+        let (num0, den) = summary.density_threshold();
+        assert_eq!((num0, den), (16, 48), "1/3 exactly on the controller grid");
+
+        // Dominant dirty evidence: threshold tightens, interval halves (to the
+        // floor).
+        for _ in 0..32 {
+            summary.note_miss(FastMiss::Dirty);
+        }
+        summary.controller_step();
+        let (num1, _) = summary.density_threshold();
+        assert_eq!(num1, num0 - den / CTRL_SCALE);
+        assert_eq!(summary.check_interval(), CTRL_MIN_INTERVAL);
+
+        // Dominant in-flight evidence: both relax again.
+        for _ in 0..32 {
+            summary.note_miss(FastMiss::Inflight);
+        }
+        summary.controller_step();
+        assert_eq!(summary.density_threshold().0, num0);
+        assert_eq!(summary.check_interval(), CTRL_MIN_INTERVAL * 2);
+
+        // Mixed evidence moves nothing, and the counters were harvested.
+        summary.note_miss(FastMiss::Dirty);
+        summary.note_miss(FastMiss::Inflight);
+        summary.controller_step();
+        assert_eq!(summary.density_threshold().0, num0);
+        assert_eq!(summary.check_interval(), CTRL_MIN_INTERVAL * 2);
+
+        // Clamps: drive hard both ways and check the bounds.
+        for _ in 0..64 {
+            for _ in 0..32 {
+                summary.note_miss(FastMiss::Dirty);
+            }
+            summary.controller_step();
+        }
+        assert_eq!(summary.density_threshold().0, den / 8, "floor: 1/8");
+        assert_eq!(summary.check_interval(), CTRL_MIN_INTERVAL);
+        for _ in 0..64 {
+            for _ in 0..32 {
+                summary.note_miss(FastMiss::Inflight);
+            }
+            summary.controller_step();
+        }
+        assert_eq!(summary.density_threshold().0, den / 2, "ceiling: 1/2");
+        assert_eq!(summary.check_interval(), CTRL_MAX_INTERVAL);
+    }
+
+    #[test]
+    fn seqlock_summary_keeps_legacy_threshold_fixed() {
+        let summary = RingSummary::new(SigSpec::PAPER);
+        assert_eq!(summary.mode(), ResetMode::Seqlock);
+        assert_eq!(summary.density_threshold(), (16, 48));
+        assert_eq!(summary.check_interval(), SUMMARY_CHECK_INTERVAL);
     }
 }

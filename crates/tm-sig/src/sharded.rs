@@ -24,10 +24,14 @@
 //! spelled out in `docs/ring-sharding.md` and summarised on
 //! [`ShardedRing::validate_summarized_nt`].
 
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
 use htm_sim::abort::TxResult;
 use htm_sim::{HeapBuilder, HtmThread, HtmTx};
 
-use crate::ring::{Ring, RingSummary, RingValidationError};
+use crate::ring::{
+    FastMiss, ResetAttempt, ResetMode, Ring, RingSummary, RingValidationError, SummaryTuning,
+};
 use crate::sig::Sig;
 use crate::spec::SigSpec;
 
@@ -75,6 +79,26 @@ pub struct ShardedValidation {
     pub fast_shards: u32,
     /// Touched shards that ran the precise entry walk (bit `s` ⇔ shard `s`).
     pub walked_shards: u32,
+    /// Walked shards whose fast-pass miss was [`FastMiss::Dirty`] (summary too
+    /// dense / real conflict — the walk decided which).
+    pub dirty_shards: u32,
+    /// Walked shards whose fast-pass miss was [`FastMiss::Inflight`]
+    /// (publisher mid-flight or reset churn; a denser-reset policy would not
+    /// have prevented the walk).
+    pub inflight_shards: u32,
+}
+
+/// Totals of one [`ShardedRing::maybe_reset_summaries`] sweep, split the way
+/// the executors' statistics want them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SummaryResetStats {
+    /// Shards whose summary was reset (either protocol).
+    pub resets: u64,
+    /// Resets that retired an epoch bank (epoch mode only; `<= resets`).
+    pub epoch_retires: u64,
+    /// Due resets deferred because a validator was pinned to an older epoch
+    /// (the grace-period rule; epoch mode only).
+    pub pinned_stalls: u64,
 }
 
 /// Iterate the set bit positions of a shard mask, ascending.
@@ -240,7 +264,7 @@ impl ShardedRing {
         // Announce *before* any timestamp store can become visible (they publish
         // at commit, which is after this body step by construction).
         for s in bits(smask) {
-            summaries.shards[s].begin_publish();
+            summaries.begin_shard(s);
         }
         Ok((smask, times))
     }
@@ -257,11 +281,7 @@ impl ShardedRing {
         summaries: &ShardedSummary,
     ) {
         for s in bits(shard_mask) {
-            summaries.shards[s].complete_publish_masked(
-                write_sig,
-                self.shard_word_mask(s),
-                times.t[s],
-            );
+            summaries.complete_shard(s, write_sig, self.shard_word_mask(s), times.t[s]);
         }
     }
 
@@ -269,7 +289,7 @@ impl ShardedRing {
     /// summary in `shard_mask` (no timestamps became visible, nothing to fold).
     pub fn cancel_publish(&self, shard_mask: u32, summaries: &ShardedSummary) {
         for s in bits(shard_mask) {
-            summaries.shards[s].cancel_publish();
+            summaries.cancel_shard(s);
         }
     }
 
@@ -280,15 +300,26 @@ impl ShardedRing {
     ///    the one global lock order, so multi-shard committers cannot deadlock
     ///    (and each CAS dooms hardware publishers subscribed to that shard);
     /// 2. per touched shard, ascending: reserve the next timestamp, write the
-    ///    word-range-restricted entry, announce to the shard summary, then bump
-    ///    the shard timestamp (entry-before-bump per shard, exactly as in
-    ///    [`Ring::publish_software`]);
-    /// 3. release all locks, then complete the summary hand-shakes.
+    ///    word-range-restricted entry, announce to the shard summary, bump the
+    ///    shard timestamp (entry-before-bump per shard, exactly as in
+    ///    [`Ring::publish_software`]) — then release **that shard's lock
+    ///    immediately**, before moving to the next shard;
+    /// 3. with no locks held, complete the summary hand-shakes.
     ///
-    /// Ascending reservation keeps a global serialisation order: if two commits
-    /// share any shard, the shard's lock orders them identically in *every*
-    /// shard they share. Returns the touched-shard mask and per-shard commit
-    /// timestamps.
+    /// Untouched shards (those outside the write signature's non-zero-word mask)
+    /// are never locked, bumped or walked at all.
+    ///
+    /// **Why the early per-shard release keeps the serialisation order:** all
+    /// touched locks are still acquired *up front* in phase 1. If commits `A`
+    /// and `B` share shards, `B`'s ascending phase 1 blocks at the first shared
+    /// shard `A` still holds, and `B` publishes nowhere until phase 1 finishes —
+    /// which requires `A` to have bumped-and-released every shared shard,
+    /// including the highest one. So at every shared shard `A`'s bump precedes
+    /// `B`'s: the same pairwise order as the hold-everything protocol, but each
+    /// lock is now held only for its own shard's reserve/write/bump instead of
+    /// for the whole multi-shard sweep (the `publish_software_disjoint`
+    /// regression in BENCH_3 was exactly this over-long hold). Returns the
+    /// touched-shard mask and per-shard commit timestamps.
     pub fn publish_software_summarized(
         &self,
         th: &HtmThread<'_>,
@@ -307,15 +338,13 @@ impl ShardedRing {
             let ring = &self.shards[s];
             let ts = ring.timestamp_nt(th) + 1;
             ring.write_entry_masked_nt(th, ts, sig, self.shard_word_mask(s));
-            summaries.shards[s].begin_publish();
+            summaries.begin_shard(s);
             th.nt_write(ring.timestamp_addr(), ts);
+            th.nt_write(ring.lock_addr(), 0);
             times.t[s] = ts;
         }
         for s in bits(smask) {
-            th.nt_write(self.shards[s].lock_addr(), 0);
-        }
-        for s in bits(smask) {
-            summaries.shards[s].complete_publish_masked(sig, self.shard_word_mask(s), times.t[s]);
+            summaries.complete_shard(s, sig, self.shard_word_mask(s), times.t[s]);
         }
         (smask, times)
     }
@@ -349,41 +378,42 @@ impl ShardedRing {
         times: &mut ShardTimes,
     ) -> ShardedValidation {
         let smask = self.shard_mask(read_sig);
-        let mut fast_shards = 0u32;
-        let mut walked_shards = 0u32;
+        let tid = th.id() as usize;
+        let mut v = ShardedValidation {
+            result: Ok(()),
+            fast_shards: 0,
+            walked_shards: 0,
+            dirty_shards: 0,
+            inflight_shards: 0,
+        };
         for (s, ring) in self.shards.iter().enumerate() {
             if smask & (1 << s) == 0 {
                 times.t[s] = ring.timestamp_nt(th);
                 continue;
             }
-            let (res, fast) =
-                ring.validate_summarized_nt(th, &summaries.shards[s], read_sig, times.t[s]);
-            match res {
+            match summaries.shards[s].try_fast_pass_at(tid, read_sig, times.t[s], || {
+                ring.timestamp_nt(th)
+            }) {
                 Ok(ts) => {
                     times.t[s] = ts;
-                    if fast {
-                        fast_shards |= 1 << s;
-                    } else {
-                        walked_shards |= 1 << s;
-                    }
+                    v.fast_shards |= 1 << s;
+                    continue;
                 }
+                Err(FastMiss::Dirty) => v.dirty_shards |= 1 << s,
+                Err(FastMiss::Inflight) => v.inflight_shards |= 1 << s,
+            }
+            // A failing validation is always decided by the walk (the fast pass
+            // only ever says "definitely clean").
+            v.walked_shards |= 1 << s;
+            match ring.validate_nt(th, read_sig, times.t[s]) {
+                Ok(ts) => times.t[s] = ts,
                 Err(e) => {
-                    // A failing validation is always decided by the walk (the
-                    // fast pass only ever says "definitely clean").
-                    walked_shards |= 1 << s;
-                    return ShardedValidation {
-                        result: Err(e),
-                        fast_shards,
-                        walked_shards,
-                    };
+                    v.result = Err(e);
+                    return v;
                 }
             }
         }
-        ShardedValidation {
-            result: Ok(()),
-            fast_shards,
-            walked_shards,
-        }
+        v
     }
 
     /// Cheap validation for executors that re-validate from a begin-time
@@ -393,15 +423,20 @@ impl ShardedRing {
     ///
     /// Only touched shards are probed, untouched shards are skipped outright —
     /// their `times` slot keeps the begin-time value, which is exactly the
-    /// window start validation needs if `read_sig` later grows a bit there —
-    /// and a clean probe ([`RingSummary::clean_since`]) never reads the shard
-    /// timestamp: the summary alone proves no entry published after `times[s]`
-    /// collides, and the window advances to the shard's fold-completion
-    /// watermark (a host-side atomic), keeping later windows short without a
-    /// simulated-memory access. The common no-conflict case therefore touches
-    /// no simulated memory at all. Only a failed probe walks the shard
-    /// precisely (advancing its window to the shard timestamp, so repeated
-    /// fallbacks stay short).
+    /// window start validation needs if `read_sig` later grows a bit there.
+    ///
+    /// In epoch mode the touched shards first run the **combined group fast
+    /// pass** (`ShardedSummary::group_pass`): every per-shard decision reads
+    /// only the `GroupProbe` block — five small arrays packed into a handful
+    /// of cache lines shared by *all* shards — so a no-conflict validation
+    /// costs O(1) cache lines however many shards it touches, instead of
+    /// walking each shard's own (padded, line-spread) summary atomics. Shards
+    /// the group pass cannot decide fall back per shard to
+    /// [`RingSummary::clean_since_at`] (which pins the probed epoch and
+    /// reports the miss cause) and then to the precise entry walk. A clean
+    /// probe never reads the shard timestamp — the window advances to the
+    /// fold-completion watermark (a host-side atomic) — so the common
+    /// no-conflict case touches no simulated memory at all.
     pub fn validate_touched_nt(
         &self,
         th: &HtmThread<'_>,
@@ -410,62 +445,146 @@ impl ShardedRing {
         times: &mut ShardTimes,
     ) -> ShardedValidation {
         let smask = self.shard_mask(read_sig);
-        let mut fast_shards = 0u32;
-        let mut walked_shards = 0u32;
-        for s in bits(smask) {
-            if let Some(adv) = summaries.shards[s].clean_since(read_sig, times.t[s]) {
-                times.t[s] = times.t[s].max(adv);
-                fast_shards |= 1 << s;
-                continue;
-            }
-            walked_shards |= 1 << s;
-            match self.shards[s].validate_nt(th, read_sig, times.t[s]) {
-                Ok(ts) => times.t[s] = ts,
-                Err(e) => {
-                    return ShardedValidation {
-                        result: Err(e),
-                        fast_shards,
-                        walked_shards,
-                    }
+        let tid = th.id() as usize;
+        let mut v = ShardedValidation {
+            result: Ok(()),
+            fast_shards: 0,
+            walked_shards: 0,
+            dirty_shards: 0,
+            inflight_shards: 0,
+        };
+        let mut pending = smask;
+        if summaries.epoch_mode() {
+            for s in bits(smask) {
+                let fold = read_sig.fold_word_masked(self.shard_word_mask(s));
+                if let Some(adv) = summaries.group_pass(s, fold, times.t[s]) {
+                    times.t[s] = times.t[s].max(adv);
+                    v.fast_shards |= 1 << s;
+                    pending &= !(1 << s);
                 }
             }
         }
-        ShardedValidation {
-            result: Ok(()),
-            fast_shards,
-            walked_shards,
-        }
-    }
-
-    /// Run the density check on every shard summary and reset those that want it
-    /// (see [`Ring::maybe_reset_summary`]). Returns how many shards were reset.
-    pub fn maybe_reset_summaries(&self, th: &HtmThread<'_>, summaries: &ShardedSummary) -> u64 {
-        let mut n = 0;
-        for (s, ring) in self.shards.iter().enumerate() {
-            if ring.maybe_reset_summary(th, &summaries.shards[s]) {
-                n += 1;
+        for s in bits(pending) {
+            match summaries.shards[s].clean_since_at(tid, read_sig, times.t[s]) {
+                Ok(adv) => {
+                    times.t[s] = times.t[s].max(adv);
+                    v.fast_shards |= 1 << s;
+                    continue;
+                }
+                Err(FastMiss::Dirty) => v.dirty_shards |= 1 << s,
+                Err(FastMiss::Inflight) => v.inflight_shards |= 1 << s,
+            }
+            v.walked_shards |= 1 << s;
+            match self.shards[s].validate_nt(th, read_sig, times.t[s]) {
+                Ok(ts) => times.t[s] = ts,
+                Err(e) => {
+                    v.result = Err(e);
+                    return v;
+                }
             }
         }
-        n
+        v
+    }
+
+    /// Run the density check on every shard summary and reset those that want
+    /// it (see [`RingSummary::maybe_reset_with`]), threading the shard's
+    /// `GroupProbe` maintenance through the reset hooks: before any bits are
+    /// dropped the shard's group floor is raised to the `u64::MAX` sentinel and
+    /// its probe word zeroed (so no group pass can vouch for a window across
+    /// the clear), and after the protocol completes the floor is published as
+    /// the new reset timestamp. Both protocols run the hooks — seqlock resets
+    /// keep the floors coherent even though only epoch mode consults them.
+    pub fn maybe_reset_summaries(
+        &self,
+        th: &HtmThread<'_>,
+        summaries: &ShardedSummary,
+    ) -> SummaryResetStats {
+        let mut stats = SummaryResetStats::default();
+        for (s, ring) in self.shards.iter().enumerate() {
+            let sum = &summaries.shards[s];
+            let group = &summaries.group;
+            match sum.maybe_reset_with(
+                || ring.timestamp_nt(th),
+                || {
+                    group.floor[s].store(u64::MAX, SeqCst);
+                    group.probe[s].store(0, SeqCst);
+                },
+                |ts| group.floor[s].store(ts, SeqCst),
+            ) {
+                ResetAttempt::Done => {
+                    stats.resets += 1;
+                    if sum.mode() == ResetMode::Epoch {
+                        stats.epoch_retires += 1;
+                    }
+                }
+                ResetAttempt::Deferred => stats.pinned_stalls += 1,
+                ResetAttempt::Idle => {}
+            }
+        }
+        stats
     }
 
     /// Build the matching host-side summary set: one word-range-masked
-    /// [`RingSummary`] per shard, geometry kept in sync with this ring.
+    /// [`RingSummary`] per shard, geometry kept in sync with this ring, in the
+    /// legacy seqlock tuning ([`SummaryTuning::default`]).
     pub fn new_summary(&self) -> ShardedSummary {
+        self.new_summary_tuned(SummaryTuning::default())
+    }
+
+    /// [`ShardedRing::new_summary`] with explicit [`SummaryTuning`] — the
+    /// runtime builds epoch-mode summaries (and controller initial values) from
+    /// `TmConfig` through this.
+    pub fn new_summary_tuned(&self, tuning: SummaryTuning) -> ShardedSummary {
         ShardedSummary {
             shards: (0..self.shards.len())
-                .map(|s| RingSummary::new_masked(self.spec, self.shard_word_mask(s)))
+                .map(|s| RingSummary::new_masked_tuned(self.spec, self.shard_word_mask(s), tuning))
                 .collect(),
+            group: GroupProbe::default(),
         }
     }
 }
 
+/// The combined multi-shard fast-pass block: five per-shard `u64` arrays packed
+/// contiguously so one no-conflict validation across *any* number of shards
+/// reads a handful of shared cache lines instead of each shard's own padded
+/// summary atomics. Slot `s` of each array mirrors shard `s`'s summary state:
+///
+/// * `started` / `completed` — the announce/complete counters
+///   (publisher-in-flight detection, exactly as on [`RingSummary`]);
+/// * `floor` — the group analogue of `reset_ts`: windows starting below it
+///   cannot be decided here (raised to the `u64::MAX` sentinel for the
+///   duration of a reset's clear, then published as the post-clear timestamp);
+/// * `watermark` — the fold-completion watermark (mirror of
+///   [`RingSummary::folded_ts`]), the timestamp a clean pass advances to;
+/// * `probe` — the shard's summary words **folded to one word** (OR across
+///   word positions). A validator folds its read signature's shard range the
+///   same way; disjoint folds imply disjoint words (per-word intersection at
+///   position `i` survives the OR), so a zero intersection is a sound clean
+///   verdict — folding only ever *adds* false positives, which fall back.
+///
+/// The probe word is not banked: a reset zeroes it in place, and the
+/// floor-sentinel protocol (sentinel before zero, re-read after probe) plays
+/// the role the epoch re-check plays for the banked words. Bits a straggling
+/// publisher ORs in after the zero are false positives, never missed
+/// conflicts — its timestamp was visible before the post-clear floor read, so
+/// every window the group will vouch for already starts above it.
+#[derive(Debug, Default)]
+struct GroupProbe {
+    started: [AtomicU64; MAX_RING_SHARDS],
+    completed: [AtomicU64; MAX_RING_SHARDS],
+    floor: [AtomicU64; MAX_RING_SHARDS],
+    watermark: [AtomicU64; MAX_RING_SHARDS],
+    probe: [AtomicU64; MAX_RING_SHARDS],
+}
+
 /// Host-side companion to a [`ShardedRing`]: one [`RingSummary`] per shard, each
-/// masked to its shard's word range. Built by [`ShardedRing::new_summary`] so
-/// the geometry can never drift from the ring's.
+/// masked to its shard's word range, plus the combined `GroupProbe` block.
+/// Built by [`ShardedRing::new_summary`] so the geometry can never drift from
+/// the ring's.
 #[derive(Debug)]
 pub struct ShardedSummary {
     shards: Vec<RingSummary>,
+    group: GroupProbe,
 }
 
 impl ShardedSummary {
@@ -477,6 +596,79 @@ impl ShardedSummary {
     /// Shard `s`'s summary.
     pub fn shard(&self, s: usize) -> &RingSummary {
         &self.shards[s]
+    }
+
+    /// True when the shard summaries run the epoch-bank protocol (the group
+    /// fast pass is consulted only then; seqlock mode keeps PR 3's exact
+    /// behaviour as the differential oracle).
+    pub fn epoch_mode(&self) -> bool {
+        self.shards
+            .first()
+            .is_some_and(|s| s.mode() == ResetMode::Epoch)
+    }
+
+    /// Announce a publish to shard `s`: the group's `started` slot first, then
+    /// the shard summary — both strictly before the shard timestamp can become
+    /// visible, so either counter imbalance covers an in-flight publisher.
+    pub fn begin_shard(&self, s: usize) {
+        self.group.started[s].fetch_add(1, SeqCst);
+        self.shards[s].begin_publish();
+    }
+
+    /// Complete a publish to shard `s`: fold into the shard summary, then
+    /// maintain the group block — probe OR first, watermark second, `completed`
+    /// last. The order is load-bearing twice over: bits are in the probe word
+    /// before the watermark can name the publish (so a validator that read
+    /// `watermark >= ts` before the probe is guaranteed to see the bits), and
+    /// the watermark covers the publish before the counters can balance (the
+    /// empty-window pass relies on it, exactly as
+    /// [`RingSummary::complete_publish_masked`] does for `folded_ts`).
+    pub fn complete_shard(&self, s: usize, sig: &Sig, word_mask: u64, ts: u64) {
+        self.shards[s].complete_publish_masked(sig, word_mask, ts);
+        self.group.probe[s].fetch_or(sig.fold_word_masked(word_mask), SeqCst);
+        self.group.watermark[s].fetch_max(ts, SeqCst);
+        self.group.completed[s].fetch_add(1, SeqCst);
+    }
+
+    /// Retire an announced publish to shard `s` whose hardware transaction
+    /// aborted (nothing became visible, nothing to fold).
+    pub fn cancel_shard(&self, s: usize) {
+        self.shards[s].cancel_publish();
+        self.group.completed[s].fetch_add(1, SeqCst);
+    }
+
+    /// One shard's leg of the combined fast pass: `Some(adv)` when `fold` (the
+    /// read signature's shard-`s` word range folded to one word) provably
+    /// collides with nothing published in shard `s` after `since`. Touches only
+    /// the [`GroupProbe`] block. Read order is load-bearing, mirroring
+    /// [`RingSummary::clean_since`]: `completed` first, the floor (reject
+    /// windows predating the last clear, including the mid-clear sentinel),
+    /// the watermark *before* the probe word (every publish at or below the
+    /// watermark OR'd its fold in before the watermark reached it), then the
+    /// probe, and finally `started` and the floor again — counter balance
+    /// proves no publisher was in flight, floor stability proves no clear
+    /// raced the probe.
+    fn group_pass(&self, s: usize, fold: u64, since: u64) -> Option<u64> {
+        let g = &self.group;
+        let c1 = g.completed[s].load(SeqCst);
+        let f1 = g.floor[s].load(SeqCst);
+        if since < f1 {
+            return None;
+        }
+        let adv = g.watermark[s].load(SeqCst);
+        if adv <= since {
+            if g.started[s].load(SeqCst) == c1 && g.floor[s].load(SeqCst) == f1 {
+                return Some(since);
+            }
+            return None;
+        }
+        if fold & g.probe[s].load(SeqCst) != 0 {
+            return None;
+        }
+        if g.started[s].load(SeqCst) != c1 || g.floor[s].load(SeqCst) != f1 {
+            return None;
+        }
+        Some(adv)
     }
 
     /// Begin-time window snapshot from the fold watermarks alone — zero
@@ -774,11 +966,151 @@ mod tests {
             sig.add(addr_in_shard(&ring, 2, i * 4099));
             ring.publish_software_summarized(&th, &sig, &summaries);
         }
-        let resets = ring.maybe_reset_summaries(&th, &summaries);
+        let stats = ring.maybe_reset_summaries(&th, &summaries);
         assert!(
-            resets >= 1,
+            stats.resets >= 1,
             "shard 2's masked summary must reach its density threshold"
         );
+        assert_eq!(stats.epoch_retires, 0, "seqlock resets retire no epoch");
         assert!(summaries.shard(2).snapshot().is_empty());
+    }
+
+    fn setup_epochs(shards: usize, entries: usize) -> (HtmSystem, ShardedRing, ShardedSummary) {
+        let sys = HtmSystem::new(HtmConfig::default(), HEAP);
+        let mut b = HeapBuilder::new(HEAP);
+        let ring = ShardedRing::alloc(&mut b, shards, entries, SigSpec::PAPER);
+        let summaries = ring.new_summary_tuned(SummaryTuning::epochs());
+        (sys, ring, summaries)
+    }
+
+    #[test]
+    fn group_pass_decides_disjoint_epoch_validation() {
+        let (sys, ring, summaries) = setup_epochs(8, 16);
+        assert!(summaries.epoch_mode());
+        let th = sys.thread(0);
+        let a = addr_in_shard(&ring, 3, 0);
+        let mut wsig = Sig::new(ring.spec());
+        wsig.add(a);
+        ring.publish_software_summarized(&th, &wsig, &summaries);
+
+        // A same-shard reader whose *folded* word is disjoint from the
+        // writer's: decided by the group probe alone (fast, no walk), window
+        // advanced to the watermark.
+        let wfold = wsig.fold_word_masked(ring.shard_word_mask(3));
+        let b = (1u32..)
+            .map(|seed| addr_in_shard(&ring, 3, seed * 10_000))
+            .find(|&b| {
+                let mut probe = Sig::new(ring.spec());
+                probe.add(b);
+                probe.fold_word_masked(ring.shard_word_mask(3)) & wfold == 0
+            })
+            .unwrap();
+        let mut rsig = Sig::new(ring.spec());
+        rsig.add(b);
+        rsig.add(addr_in_shard(&ring, 5, 0));
+        let mut times = ShardTimes::new();
+        let v = ring.validate_touched_nt(&th, &summaries, &rsig, &mut times);
+        assert_eq!(v.result, Ok(()));
+        assert_eq!(v.walked_shards, 0);
+        assert_eq!(v.fast_shards, (1 << 3) | (1 << 5));
+        assert_eq!(times.get(3), 1, "group pass advances to the watermark");
+        assert_eq!(times.get(5), 0, "empty shard 5 passes without advancing");
+
+        // The conflicting reader folds onto the writer's bits: the group probe
+        // declines, the per-shard walk rejects, and the miss is Dirty.
+        let mut rbad = Sig::new(ring.spec());
+        rbad.add(a);
+        let mut times = ShardTimes::new();
+        let v = ring.validate_touched_nt(&th, &summaries, &rbad, &mut times);
+        assert_eq!(v.result, Err(RingValidationError::Invalid));
+        assert_eq!(v.walked_shards, 1 << 3);
+        assert_eq!(v.dirty_shards, 1 << 3);
+        assert_eq!(v.inflight_shards, 0);
+    }
+
+    #[test]
+    fn group_pass_declines_while_publisher_in_flight() {
+        let (sys, ring, summaries) = setup_epochs(8, 16);
+        let th = sys.thread(0);
+        // Hand-announce without completing: an in-flight hardware publisher.
+        summaries.begin_shard(2);
+        let mut rsig = Sig::new(ring.spec());
+        rsig.add(addr_in_shard(&ring, 2, 50_000));
+        let mut times = ShardTimes::new();
+        let v = ring.validate_touched_nt(&th, &summaries, &rsig, &mut times);
+        // Counters are imbalanced: neither the group pass nor the per-shard
+        // probe may vouch; the walk decides (cleanly — nothing is published).
+        assert_eq!(v.result, Ok(()));
+        assert_eq!(v.walked_shards, 1 << 2);
+        assert_eq!(v.inflight_shards, 1 << 2);
+        summaries.cancel_shard(2);
+        let mut times = ShardTimes::new();
+        let v = ring.validate_touched_nt(&th, &summaries, &rsig, &mut times);
+        assert_eq!(v.walked_shards, 0, "balanced counters fast-pass again");
+    }
+
+    #[test]
+    fn epoch_reset_publishes_group_floor() {
+        let (sys, ring, summaries) = setup_epochs(8, 256);
+        let th = sys.thread(0);
+        let mut sig = Sig::new(ring.spec());
+        for i in 0..300u32 {
+            sig.clear();
+            sig.add(addr_in_shard(&ring, 2, i * 4099));
+            ring.publish_software_summarized(&th, &sig, &summaries);
+        }
+        let before = ring.shard(2).timestamp_nt(&th);
+        let stats = ring.maybe_reset_summaries(&th, &summaries);
+        assert!(stats.resets >= 1);
+        assert!(stats.epoch_retires >= 1, "epoch resets retire a bank");
+        assert_eq!(stats.pinned_stalls, 0);
+        assert!(summaries.shard(2).snapshot().is_empty());
+        // The reset raised shard 2's group floor to the post-clear timestamp:
+        // windows from before the reset are no longer decidable by the group…
+        let floor = summaries.group.floor[2].load(SeqCst);
+        assert_eq!(floor, before);
+        let mut rsig = Sig::new(ring.spec());
+        rsig.add(addr_in_shard(&ring, 2, 123));
+        assert_eq!(summaries.group_pass(2, 1, 0), None, "pre-reset window");
+        // …but a window at the floor is, and the probe word is clean again.
+        assert_eq!(summaries.group_pass(2, u64::MAX, floor), Some(floor));
+        let mut times = ShardTimes::new();
+        times.set(2, floor);
+        let v = ring.validate_touched_nt(&th, &summaries, &rsig, &mut times);
+        assert_eq!(v.result, Ok(()));
+        assert_eq!(v.walked_shards, 0);
+    }
+
+    #[test]
+    fn stale_pin_defers_sharded_reset_and_counts_stall() {
+        let (sys, ring, summaries) = setup_epochs(8, 256);
+        let th = sys.thread(0);
+        let mut sig = Sig::new(ring.spec());
+        // Saturate shard 2 past the density threshold.
+        for i in 0..300u32 {
+            sig.clear();
+            sig.add(addr_in_shard(&ring, 2, i * 4099));
+            ring.publish_software_summarized(&th, &sig, &summaries);
+        }
+        // First reset flips shard 2's summary to epoch 1.
+        let stats = ring.maybe_reset_summaries(&th, &summaries);
+        assert!(stats.epoch_retires >= 1);
+        assert_eq!(summaries.shard(2).pin_epoch(0), 1);
+        summaries.shard(2).unpin(0);
+        // Saturate again, then pin a reader to the *old* epoch 0 (a validator
+        // still mid-probe from before the flip): the due reset must defer.
+        for i in 0..300u32 {
+            sig.clear();
+            sig.add(addr_in_shard(&ring, 2, 7 + i * 4099));
+            ring.publish_software_summarized(&th, &sig, &summaries);
+        }
+        summaries.shard(2).pins_for_tests().set(9, 0);
+        let stats = ring.maybe_reset_summaries(&th, &summaries);
+        assert_eq!(stats.resets, 0);
+        assert!(stats.pinned_stalls >= 1, "stale pin defers the reset");
+        // Unpin: the next sweep retires the bank.
+        summaries.shard(2).pins_for_tests().clear(9);
+        let stats = ring.maybe_reset_summaries(&th, &summaries);
+        assert!(stats.epoch_retires >= 1);
     }
 }

@@ -277,6 +277,30 @@ impl Sig {
         self.nonzero_words().map(|(_, w)| w.count_ones()).sum()
     }
 
+    /// Conservative 64-bit fold of the whole signature: the OR of every word.
+    /// Two signatures whose folds are disjoint are themselves disjoint (bit `b`
+    /// of the fold is set iff *some* word has bit `b`), so a fold is a
+    /// one-word Bloom probe — false positives possible, false negatives not.
+    /// The sharded ring's combined group fast pass keys off this.
+    #[inline]
+    pub fn fold_word(&self) -> u64 {
+        self.nonzero_words().fold(0, |acc, (_, w)| acc | w)
+    }
+
+    /// [`Sig::fold_word`] restricted to the words selected by `word_mask`
+    /// (the per-shard fold a publisher contributes to its shard's group probe
+    /// word).
+    #[inline]
+    pub fn fold_word_masked(&self, word_mask: u64) -> u64 {
+        self.nonzero_words().fold(0, |acc, (i, w)| {
+            if i < 64 && word_mask & (1 << i) == 0 {
+                acc
+            } else {
+                acc | w
+            }
+        })
+    }
+
     /// Iterate the non-zero words as `(index, word)` pairs, driven by the mask.
     #[inline]
     pub fn nonzero_words(&self) -> NonzeroWords<'_> {

@@ -1,14 +1,18 @@
 //! Property-based tests of the signature algebra, the ring's validation window,
 //! the segment journal (vs the clone-based reference), the summary fast path
-//! (vs ground truth, under real multithreaded interleavings), and the sharded
+//! (vs ground truth, under real multithreaded interleavings), the sharded
 //! ring (vs per-shard ground truth, plus a shard-count=1 differential oracle
-//! against the single ring).
+//! against the single ring), and the epoch reset protocol (vs ground truth
+//! under concurrent resets, vs the seqlock protocol as a differential oracle,
+//! and the skip-untouched-shards software publish vs a publish-everything
+//! oracle).
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use proptest::prelude::*;
 use std::sync::Mutex;
 use tm_sig::{
-    CloneSaved, Ring, RingSummary, ShardTimes, ShardedRing, Sig, SigJournal, SigSlot, SigSpec,
+    CloneSaved, ResetMode, Ring, RingSummary, ShardTimes, ShardedRing, Sig, SigJournal, SigSlot,
+    SigSpec, SummaryTuning,
 };
 
 fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
@@ -473,5 +477,340 @@ proptest! {
                 });
             }
         });
+    }
+
+    /// Multithreaded ground-truth test of the **epoch** protocol's grouped fast
+    /// pass ([`ShardedRing::validate_touched_nt`]): cross-shard software and
+    /// hardware publishers interleave with a validator *and a dedicated
+    /// resetter* hammering [`ShardedRing::maybe_reset_summaries`] under an
+    /// aggressively low density threshold and check interval, so bank flips,
+    /// floor sentinels and probe clears all fire mid-validation. Whenever the
+    /// validator's fast pass (group probe or per-shard epoch probe) admits a
+    /// window in a shard, every signature published in that shard's window must
+    /// be disjoint from the read signature restricted to the shard's word
+    /// range. False positives (walking) are allowed; a false negative fails.
+    #[test]
+    fn epoch_fast_pass_never_admits_a_conflict(seed in 0u64..(1 << 48)) {
+        const SW_PUBS: u64 = 60; // per software publisher (x2)
+        const HW_PUBS: u64 = 30;
+        const MAX_TS: usize = (2 * SW_PUBS + HW_PUBS) as usize;
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 20);
+        let mut b = HeapBuilder::new(1 << 20);
+        let ring = ShardedRing::alloc(&mut b, 8, 1024, SigSpec::PAPER); // no rollover
+        let summaries = ring.new_summary_tuned(SummaryTuning {
+            mode: ResetMode::Epoch,
+            density_num: 1,
+            density_den: 64,
+            check_interval: 4,
+        });
+        let nsh = ring.shard_count();
+        let shadow: Vec<Vec<Mutex<Option<Sig>>>> = (0..nsh)
+            .map(|_| (0..=MAX_TS).map(|_| Mutex::new(None)).collect())
+            .collect();
+
+        let make_sig = |stream: u64, i: u64| {
+            let mut s = Sig::new(SigSpec::PAPER);
+            for k in 0..3 {
+                s.add((mix(seed ^ (stream << 56) ^ (i << 8) ^ k) % 100_000) as u32);
+            }
+            s
+        };
+        let rsig = make_sig(9, 0);
+        let intersects_in_shard = |ring: &ShardedRing, s: usize, a: &Sig, b: &Sig| {
+            let m = ring.shard_word_mask(s);
+            a.words()
+                .iter()
+                .zip(b.words())
+                .enumerate()
+                .any(|(i, (&x, &y))| i < 64 && m & (1 << i) != 0 && x & y != 0)
+        };
+        let deposit = |mask: u32, times: &ShardTimes, sig: &Sig| {
+            for s in 0..nsh {
+                if mask & (1 << s) != 0 {
+                    *shadow[s][times.get(s) as usize].lock().unwrap() = Some(sig.clone());
+                }
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let (ring, summaries, shadow, rsig) = (&ring, &summaries, &shadow, &rsig);
+            let (intersects_in_shard, deposit) = (&intersects_in_shard, &deposit);
+            for p in 0..2u64 {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let th = sys.thread(p as usize);
+                    for i in 0..SW_PUBS {
+                        let sig = make_sig(p, i);
+                        let (mask, times) =
+                            ring.publish_software_summarized(&th, &sig, summaries);
+                        deposit(mask, &times, &sig);
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let mut th = sys.thread(2);
+                    for i in 0..HW_PUBS {
+                        let sig = make_sig(7, i);
+                        loop {
+                            let mut announced = 0u32;
+                            let res = th.attempt(|tx| {
+                                announced = 0;
+                                let (mask, times) =
+                                    ring.publish_tx_summarized(tx, &sig, summaries)?;
+                                announced = mask;
+                                Ok((mask, times))
+                            });
+                            match res {
+                                Ok((mask, times)) => {
+                                    ring.complete_publish(&sig, mask, &times, summaries);
+                                    deposit(mask, &times, &sig);
+                                    break;
+                                }
+                                Err(_) => {
+                                    if announced != 0 {
+                                        ring.cancel_publish(announced, summaries);
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            {
+                // The resetter: with density 1/64 and interval 4 nearly every
+                // sweep retires a bank somewhere, racing the validator's pins.
+                let sys = &sys;
+                scope.spawn(move || {
+                    let th = sys.thread(4);
+                    for _ in 0..2_000 {
+                        ring.maybe_reset_summaries(&th, summaries);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            {
+                let sys = &sys;
+                scope.spawn(move || {
+                    let th = sys.thread(3);
+                    let mut times = ShardTimes::new();
+                    for _ in 0..400 {
+                        let prev = times;
+                        let v = ring.validate_touched_nt(&th, summaries, rsig, &mut times);
+                        for (s, shard_shadow) in shadow.iter().enumerate().take(nsh) {
+                            if v.fast_shards & (1 << s) == 0 {
+                                continue;
+                            }
+                            for m in prev.get(s) + 1..=times.get(s) {
+                                let mut spins = 0u64;
+                                loop {
+                                    if let Some(sig) =
+                                        shard_shadow[m as usize].lock().unwrap().as_ref()
+                                    {
+                                        assert!(
+                                            !intersects_in_shard(ring, s, sig, rsig),
+                                            "shard {s} epoch fast pass admitted a \
+                                             conflicting publish at shard-ts {m}"
+                                        );
+                                        break;
+                                    }
+                                    spins += 1;
+                                    assert!(
+                                        spins < 10_000_000,
+                                        "publisher never filled shadow[{s}][{m}]"
+                                    );
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+    }
+
+    /// Epoch-vs-seqlock differential oracle on the plain [`Ring`], at both the
+    /// compact-entry (2048-bit, 32-word) geometry and the full-entry-layout
+    /// boundary (4096-bit, 64-word — the widest a ring entry's single mask
+    /// word supports): the same commit sequence is fed to two identical rings,
+    /// one summarized under the epoch protocol (aggressive tuning, so resets
+    /// actually fire) and one under the legacy seqlock. The two summaries may
+    /// disagree about *how* a validation was decided (fast pass vs precise
+    /// walk), but never about the verdict or the advanced timestamp — the fast
+    /// pass only ever says "definitely clean", and both sides share the precise
+    /// walk as their fallback. The >64-word folded geometry has no ring; its
+    /// differential is [`epoch_matches_seqlock_on_folded_geometry`] below.
+    #[test]
+    fn epoch_matches_seqlock_oracle(
+        commits in proptest::collection::vec(arb_addrs(), 1..14),
+        probe in 0u32..100_000,
+        bits in prop_oneof![Just(2048u32), Just(4096)],
+        reset_every in 1usize..5,
+    ) {
+        let spec = SigSpec::new(bits);
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 18);
+        let mut b = HeapBuilder::new(1 << 18);
+        let ring_e = Ring::alloc(&mut b, 64, spec); // no rollover
+        let ring_s = Ring::alloc(&mut b, 64, spec);
+        let sum_e = RingSummary::with_tuning(spec, SummaryTuning {
+            mode: ResetMode::Epoch,
+            density_num: 1,
+            density_den: 64,
+            check_interval: 1,
+        });
+        let sum_s = RingSummary::with_tuning(spec, SummaryTuning {
+            mode: ResetMode::Seqlock,
+            density_num: 1,
+            density_den: 64,
+            check_interval: 1,
+        });
+        let th = sys.thread(0);
+
+        let mut rsig = Sig::new(spec);
+        rsig.add(probe);
+        let mut start = 0u64;
+        for (i, addrs) in commits.iter().enumerate() {
+            let mut w = Sig::new(spec);
+            for &a in addrs {
+                w.add(a);
+            }
+            let ts_e = ring_e.publish_software_summarized(&th, &w, &sum_e);
+            let ts_s = ring_s.publish_software_summarized(&th, &w, &sum_s);
+            prop_assert_eq!(ts_e, ts_s);
+            if i % reset_every == 0 {
+                ring_e.maybe_reset_summary(&th, &sum_e);
+                ring_s.maybe_reset_summary(&th, &sum_s);
+            }
+            let (res_e, _fast_e) = ring_e.validate_summarized_nt(&th, &sum_e, &rsig, start);
+            let (res_s, _fast_s) = ring_s.validate_summarized_nt(&th, &sum_s, &rsig, start);
+            prop_assert_eq!(res_e, res_s, "protocols disagreed at commit {}", i);
+            if let Ok(ts) = res_e {
+                start = ts;
+            }
+        }
+    }
+
+    /// Epoch-vs-seqlock differential on the **folded** signature geometry
+    /// (8192 bits, 128 words — word `i` and `i + 64` share a non-zero-word
+    /// mask bit, and no ring exists at this width), driven at the
+    /// [`RingSummary`] level with synthetic timestamps: identical publish and
+    /// reset sequences go to one summary per protocol. Each protocol's fast
+    /// pass is checked for soundness against the exact published signatures
+    /// (an admitted window must contain no conflicting publish), and whenever
+    /// both protocols pass they must agree on the advanced timestamp.
+    #[test]
+    fn epoch_matches_seqlock_on_folded_geometry(
+        commits in proptest::collection::vec(arb_addrs(), 1..20),
+        probe in 0u32..100_000,
+        reset_every in 1usize..5,
+    ) {
+        let spec = SigSpec::new(8192);
+        let mk = |mode| RingSummary::with_tuning(spec, SummaryTuning {
+            mode,
+            density_num: 1,
+            density_den: 64,
+            check_interval: 1,
+        });
+        let sum_e = mk(ResetMode::Epoch);
+        let sum_s = mk(ResetMode::Seqlock);
+
+        let mut rsig = Sig::new(spec);
+        rsig.add(probe);
+        let mut published: Vec<Sig> = Vec::new(); // index = ts - 1
+        let mut start = 0u64;
+        for (i, addrs) in commits.iter().enumerate() {
+            let mut w = Sig::new(spec);
+            for &a in addrs {
+                w.add(a);
+            }
+            let ts = (i + 1) as u64;
+            for sum in [&sum_e, &sum_s] {
+                sum.begin_publish();
+                sum.complete_publish_masked(&w, u64::MAX, ts);
+            }
+            published.push(w);
+            if i % reset_every == 0 {
+                for sum in [&sum_e, &sum_s] {
+                    sum.maybe_reset_with(|| ts, || {}, |_| {});
+                }
+            }
+            let pass_e = sum_e.try_fast_pass(&rsig, start, || ts);
+            let pass_s = sum_s.try_fast_pass(&rsig, start, || ts);
+            for (name, pass) in [("epoch", pass_e), ("seqlock", pass_s)] {
+                if let Some(adv) = pass {
+                    prop_assert!(adv <= ts);
+                    // The admitted window is (start, adv]; publish at ts m+1
+                    // sits at index m.
+                    for m in start..adv {
+                        prop_assert!(
+                            !published[m as usize].intersects(&rsig),
+                            "{name} fast pass admitted a conflicting publish at ts {}",
+                            m + 1
+                        );
+                    }
+                }
+            }
+            if let (Some(a), Some(b)) = (pass_e, pass_s) {
+                prop_assert_eq!(a, b, "protocols advanced differently at commit {}", i);
+                start = a;
+            }
+        }
+    }
+
+    /// The skip-untouched-shards software publish against a publish-everything
+    /// oracle: the same commit sequence goes through an 8-shard ring (whose
+    /// software publish acquires, writes and releases only the shards the
+    /// signature's word mask touches) and through a plain single ring (which
+    /// "publishes through every shard" by construction — every entry carries
+    /// the full signature). For any reader, the admitted-conflict set must be
+    /// identical: a conflict on word `w` is caught by `w`'s owning shard alone,
+    /// and the skipped shards hold no bits of the signature, so skipping them
+    /// can neither hide a conflict nor invent one.
+    #[test]
+    fn software_publish_skip_matches_all_shards_oracle(
+        commits in proptest::collection::vec(arb_addrs(), 1..14),
+        reads in arb_addrs(),
+        epochs in prop_oneof![Just(true), Just(false)],
+    ) {
+        let sys = HtmSystem::new(HtmConfig::default(), 1 << 20);
+        let mut b = HeapBuilder::new(1 << 20);
+        let sharded = ShardedRing::alloc(&mut b, 8, 1024, SigSpec::PAPER); // no rollover
+        let oracle = Ring::alloc(&mut b, 1024, SigSpec::PAPER);
+        let tuning = SummaryTuning {
+            mode: if epochs { ResetMode::Epoch } else { ResetMode::Seqlock },
+            ..SummaryTuning::default()
+        };
+        let summaries = sharded.new_summary_tuned(tuning);
+        let oracle_summary = RingSummary::with_tuning(SigSpec::PAPER, tuning);
+        let th = sys.thread(0);
+
+        let mut rsig = Sig::new(SigSpec::PAPER);
+        for &a in &reads {
+            rsig.add(a);
+        }
+        for addrs in &commits {
+            let mut w = Sig::new(SigSpec::PAPER);
+            for &a in addrs {
+                w.add(a);
+            }
+            let (mask, _times) = sharded.publish_software_summarized(&th, &w, &summaries);
+            oracle.publish_software_summarized(&th, &w, &oracle_summary);
+            // The skip is real: only shards the signature's words touch are
+            // published (empty signatures touch none).
+            prop_assert_eq!(mask, sharded.shard_mask(&w));
+
+            // Full-window verdicts must agree after every commit, through both
+            // validation entry points.
+            let oracle_verdict = oracle.validate_nt(&th, &rsig, 0).map(|_| ());
+            let mut t1 = ShardTimes::new();
+            let v1 = sharded.validate_summarized_nt(&th, &summaries, &rsig, &mut t1);
+            prop_assert_eq!(v1.result, oracle_verdict, "validate_summarized_nt diverged");
+            let mut t2 = ShardTimes::new();
+            let v2 = sharded.validate_touched_nt(&th, &summaries, &rsig, &mut t2);
+            prop_assert_eq!(v2.result, oracle_verdict, "validate_touched_nt diverged");
+        }
     }
 }

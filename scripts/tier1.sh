@@ -4,12 +4,15 @@
 # or malformed doc comments fail the gate).
 #
 # Flags:
-#   --smoke  also run the microbenchmarks at reduced iterations (CI sanity)
-#   --bench  full microbenchmark run: linebench + pathbench + ringbench,
-#            writing fresh numbers to target/BENCH_2.json / target/BENCH_3.json
-#            and gating against the committed ./BENCH_2.json and ./BENCH_3.json
-#            (a >10% regression on either end-to-end partitioned throughput or
-#            sharded mixed publish throughput fails the gate)
+#   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
+#            including a ringbench --mode epoch pass
+#   --bench  full microbenchmark run: linebench + pathbench + ringbench (the
+#            latter in both summary-reset protocols), writing fresh numbers to
+#            target/BENCH_{2,3,4}.json and gating against the committed
+#            ./BENCH_2.json, ./BENCH_3.json and ./BENCH_4.json (a >10%
+#            regression on end-to-end partitioned throughput or sharded mixed
+#            publish throughput, or a >2x blow-up of the epoch-mode sharded
+#            validation overhead, fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -35,6 +38,8 @@ case "${1:-}" in
     cargo run -q --release -p tm-harness --bin pathbench -- --smoke
     echo "== tier1: ringbench --smoke =="
     cargo run -q --release -p tm-harness --bin ringbench -- --smoke
+    echo "== tier1: ringbench --smoke --mode epoch =="
+    cargo run -q --release -p tm-harness --bin ringbench -- --smoke --mode epoch
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
@@ -45,8 +50,11 @@ case "${1:-}" in
     echo "== tier1: ringbench (full, regression gate vs BENCH_3.json) =="
     cargo run -q --release -p tm-harness --bin ringbench -- \
         --json target/BENCH_3.json --baseline BENCH_3.json
-    echo "   fresh numbers in target/BENCH_{2,3}.json; copy over ./BENCH_2.json" \
-         "or ./BENCH_3.json to rebaseline"
+    echo "== tier1: ringbench --mode epoch (full, regression gate vs BENCH_4.json) =="
+    cargo run -q --release -p tm-harness --bin ringbench -- --mode epoch \
+        --json target/BENCH_4.json --baseline BENCH_4.json
+    echo "   fresh numbers in target/BENCH_{2,3,4}.json; copy over the" \
+         "matching ./BENCH_N.json to rebaseline"
     ;;
 esac
 
