@@ -25,6 +25,7 @@ use htm_sim::line_table_ref::MutexLineTable;
 use htm_sim::registry::{Requester, ThreadId, TxRegistry};
 use htm_sim::{HtmConfig, HtmSystem};
 use std::time::Instant;
+use tm_bench::{emit_json, BenchArgs};
 
 /// Common surface of the two table implementations.
 trait Table: Sync {
@@ -299,15 +300,11 @@ fn run_table<T: Table>(table: &T, scale: &Scale) -> TableResults {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
-    eprintln!("linebench: {} run", if smoke { "smoke" } else { "full" });
+    eprintln!("linebench: {} run", args.run_kind());
     let mutex_table = MutexLineTable::new(LINES);
     let packed_table = LineTable::new(LINES);
     let before = run_table(&mutex_table, &scale);
@@ -351,7 +348,7 @@ fn main() {
     println!("end-to-end 1t: {e2e_1t:.2e} ops/s (abort rate {ab_1t:.4})");
     println!("end-to-end {THREADS}t: {e2e_mt:.2e} ops/s (abort rate {ab_mt:.4})");
 
-    if let Some(path) = json_path {
+    if let Some(path) = &args.json {
         let fmt_table = |r: &TableResults| {
             format!(
                 concat!(
@@ -397,11 +394,6 @@ fn main() {
             THREADS,
             ab_mt,
         );
-        if path == "-" {
-            print!("{json}");
-        } else {
-            std::fs::write(&path, json).expect("write json");
-            eprintln!("wrote {path}");
-        }
+        emit_json(path, &json);
     }
 }

@@ -36,6 +36,7 @@
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use part_htm_core::{PartHtm, TmConfig, TmRuntime};
 use std::time::Instant;
+use tm_bench::{baseline_number, emit_json, BenchArgs};
 use tm_harness::{run_threads, StatsReport};
 use tm_sig::{CloneSaved, Ring, RingSummary, Sig, SigJournal, SigSlot, SigSpec};
 use tm_workloads::micro;
@@ -339,44 +340,18 @@ fn bench_end_to_end(
         .expect("three runs")
 }
 
-/// Pull `"key": <number>` out of a pathbench JSON blob without a JSON parser
-/// (the workspace is offline; this mirrors how tier1.sh consumes the file).
-fn json_number(blob: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let at = blob.find(&pat)? + pat.len();
-    let rest = &blob[at..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
-    let baseline_path = args
-        .iter()
-        .position(|a| a == "--baseline")
-        .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
-    let shards: Option<usize> = args.iter().position(|a| a == "--shards").map(|i| {
-        args.get(i + 1)
-            .and_then(|s| s.parse().ok())
-            .expect("--shards requires a shard count")
-    });
-    let epochs: Option<bool> = args.iter().position(|a| a == "--epochs").map(|i| {
-        match args.get(i + 1).map(String::as_str) {
-            Some("on") => true,
-            Some("off") => false,
-            _ => panic!("--epochs requires on|off"),
-        }
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let shards: Option<usize> = args.parsed("--shards");
+    let epochs: Option<bool> = args.value("--epochs").map(|m| match m {
+        "on" => true,
+        "off" => false,
+        _ => panic!("--epochs requires on|off"),
     });
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
 
-    eprintln!("pathbench: {} run", if smoke { "smoke" } else { "full" });
+    eprintln!("pathbench: {} run", args.run_kind());
 
     eprintln!("  [retry] clone vs journal segment rollback...");
     let (clone_ns, journal_ns) = bench_segment_retry(&scale);
@@ -483,21 +458,13 @@ fn main() {
         e2e_mt.tm.journal_rollbacks,
     );
 
-    if let Some(path) = &json_path {
-        if path == "-" {
-            print!("{json}");
-        } else {
-            std::fs::write(path, &json).expect("write json");
-            eprintln!("wrote {path}");
-        }
+    if let Some(path) = &args.json {
+        emit_json(path, &json);
     }
 
-    if let Some(path) = baseline_path {
-        let blob = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    if let Some(path) = &args.baseline {
         let key = format!("ops_per_sec_{E2E_THREADS}t");
-        let base = json_number(&blob, &key)
-            .unwrap_or_else(|| panic!("--baseline {path}: no \"{key}\" field"));
+        let base = baseline_number(path, &key);
         let now = e2e_mt.throughput();
         let ratio = now / base;
         println!("regression gate: end-to-end {E2E_THREADS}t {now:.0} vs baseline {base:.0} ({ratio:.2}x)");

@@ -52,6 +52,7 @@
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
+use tm_bench::{emit_json, json_number, BenchArgs};
 use tm_sig::{ResetMode, ShardTimes, ShardedRing, ShardedSummary, Sig, SigSpec, SummaryTuning};
 
 /// Shard count of the sharded configuration (the `TmConfig::ring_shards`
@@ -305,33 +306,11 @@ fn bench_validation(
     best as f64 / iters as f64
 }
 
-/// Pull `"key": <number>` out of a ringbench JSON blob without a JSON parser
-/// (the workspace is offline; this mirrors how tier1.sh consumes the file).
-fn json_number(blob: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let at = blob.find(&pat)? + pat.len();
-    let rest = &blob[at..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
-    let baseline_path = args
-        .iter()
-        .position(|a| a == "--baseline")
-        .map(|i| args.get(i + 1).expect("--baseline requires a path").clone());
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
     let mode = args
-        .iter()
-        .position(|a| a == "--mode")
-        .map(|i| args.get(i + 1).expect("--mode requires seqlock|epoch").as_str())
+        .value("--mode")
         .map(|m| match m {
             "seqlock" => ResetMode::Seqlock,
             "epoch" => ResetMode::Epoch,
@@ -342,20 +321,15 @@ fn main() {
         mode,
         ..SummaryTuning::default()
     };
-    if let Some(i) = args.iter().position(|a| a == "--density") {
-        let spec = args.get(i + 1).expect("--density requires N/D");
+    if let Some(spec) = args.value("--density") {
         let (n, d) = spec
             .split_once('/')
             .unwrap_or_else(|| panic!("--density {spec}: expected N/D"));
         tuning.density_num = n.parse().expect("--density numerator");
         tuning.density_den = d.parse().expect("--density denominator");
     }
-    if let Some(i) = args.iter().position(|a| a == "--interval") {
-        tuning.check_interval = args
-            .get(i + 1)
-            .expect("--interval requires a count")
-            .parse()
-            .expect("--interval count");
+    if let Some(interval) = args.parsed("--interval") {
+        tuning.check_interval = interval;
     }
     let epochs = mode == ResetMode::Epoch;
     let mode_name = if epochs { "epoch" } else { "seqlock" };
@@ -363,7 +337,7 @@ fn main() {
 
     eprintln!(
         "ringbench: {} run, {mode_name} summaries (density {}/{}, interval {})",
-        if smoke { "smoke" } else { "full" },
+        args.run_kind(),
         tuning.density_num,
         tuning.density_den,
         tuning.check_interval
@@ -489,18 +463,13 @@ fn main() {
         sharded_4t,
     );
 
-    if let Some(path) = &json_path {
-        if path == "-" {
-            print!("{json}");
-        } else {
-            std::fs::write(path, &json).expect("write json");
-            eprintln!("wrote {path}");
-        }
+    if let Some(path) = &args.json {
+        emit_json(path, &json);
     }
 
-    if let Some(path) = baseline_path {
+    if let Some(path) = &args.baseline {
         let blob =
-            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
         let key = format!("sharded_{max_threads}t_ops_per_sec");
         let base = json_number(&blob, &key)
             .unwrap_or_else(|| panic!("--baseline {path}: no \"{key}\" field"));

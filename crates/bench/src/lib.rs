@@ -15,7 +15,14 @@
 //! that workload. The full thread sweeps (the figures' series) come from the `repro`
 //! binary; see EXPERIMENTS.md.
 //!
-//! This crate's library part only hosts shared helpers for the benches.
+//! This crate's library part hosts shared helpers for the benches and the
+//! standalone microbench binaries (`linebench`, `pathbench`, `ringbench`,
+//! `membench` under `src/bin/`), whose common CLI/JSON plumbing lives in
+//! [`cli`].
+
+pub mod cli;
+
+pub use cli::{baseline_number, emit_json, json_number, BenchArgs};
 
 use part_htm_core::{TmConfig, Workload};
 use tm_harness::{run_cell, Algo};

@@ -24,7 +24,7 @@ use crate::api::{spin_work, TxCtx, VALUE_MASK};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::{Addr, HtmThread, HtmTx};
-use tm_sig::{HeapSig, Sig, SigJournal, SigSlot};
+use tm_sig::{kernels, HeapSig, Sig, SigJournal, SigSlot};
 
 /// A heap-resident signature paired with its software mirror; both are updated on
 /// every add.
@@ -313,7 +313,7 @@ pub fn fast_validation(
             let mine = rmir.word(i) | wmir.word(i);
             if mine != 0 {
                 let l = tx.read(locks.word_addr(i))?;
-                if l & mine != 0 {
+                if kernels::conflict_word(l, 0, mine) {
                     return Ok(true);
                 }
             }
@@ -343,7 +343,7 @@ pub fn sub_validation(
             let mine = rmir.word(i) | wmir.word(i);
             if mine != 0 {
                 let l = tx.read(locks.word_addr(i))?;
-                if (l & !amir.word(i)) & mine != 0 {
+                if kernels::conflict_word(l, amir.word(i), mine) {
                     return Ok(true);
                 }
             }

@@ -34,7 +34,7 @@ use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::util::FastSet;
 use htm_sim::{AbortCode, Addr, HtmTx};
-use tm_sig::{ShardTimes, Sig, SigJournal, SigSlot};
+use tm_sig::{ShardTimes, Sig, SigArena, SigJournal, SigSlot, SigSpec};
 
 /// The set of addresses this global transaction holds embedded locks on, with
 /// mark/rollback for failed sub-HTM attempts. Stands in for the paper's
@@ -588,6 +588,22 @@ impl<'r> PartHtmO<'r> {
     }
 }
 
+impl Drop for PartHtmO<'_> {
+    /// Return the signature mirrors and the journal to this thread's
+    /// [`SigArena`] (see the base executor's `Drop`).
+    fn drop(&mut self) {
+        let empty = Sig::new(SigSpec::new(64));
+        let rmir = std::mem::replace(&mut self.rmir, empty.clone());
+        let wmir = std::mem::replace(&mut self.wmir, empty);
+        let journal = std::mem::take(&mut self.journal);
+        SigArena::with(|a| {
+            a.recycle_sig(rmir);
+            a.recycle_sig(wmir);
+            a.recycle_journal(journal);
+        });
+    }
+}
+
 impl<'r> TmExecutor<'r> for PartHtmO<'r> {
     const NAME: &'static str = "Part-HTM-O";
 
@@ -595,13 +611,15 @@ impl<'r> TmExecutor<'r> for PartHtmO<'r> {
         let th = TmThread::new(rt, thread_id);
         let arena = rt.arena(thread_id);
         let spec = rt.config().sig_spec;
+        let (rmir, wmir, journal) =
+            SigArena::with(|a| (a.take_sig(spec), a.take_sig(spec), a.take_journal()));
         Self {
             undo: UndoLog::new(arena.undo_base, arena.undo_words),
             locked: LockedSet::default(),
             arena,
-            rmir: Sig::new(spec),
-            wmir: Sig::new(spec),
-            journal: SigJournal::new(),
+            rmir,
+            wmir,
+            journal,
             times: ShardTimes::new(),
             resource_streak: 0,
             tx_count: 0,

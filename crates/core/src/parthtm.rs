@@ -12,7 +12,7 @@ use crate::runtime::{ThreadArena, TmRuntime, TmThread};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
 use htm_sim::AbortCode;
-use tm_sig::{ShardTimes, Sig, SigJournal};
+use tm_sig::{ShardTimes, Sig, SigArena, SigJournal, SigSpec};
 
 /// Run a transaction under the global lock (the slow path, Fig. 1 lines 61–65):
 /// acquire `GLock`, wait for every partitioned-path transaction to drain
@@ -249,6 +249,13 @@ impl<'r> PartHtm<'r> {
     fn global_abort(&mut self) {
         self.th.stats.global_aborts += 1;
         self.undo.undo_nt(&self.th.hw);
+        // An in-flight validation failure arrives here after the offending
+        // sub-transaction committed (and acquired locks for its writes) but
+        // before its write signature was folded into the aggregate; fold it
+        // now so the release also covers the last sub's locks. On the
+        // sub-failure path the journal already rolled `wmir` back to its
+        // (empty) segment-entry state, so the fold is a no-op there.
+        self.amir.union_with(&self.wmir);
         self.th.rt.write_locks().and_not_nt(&self.th.hw, &self.amir);
         self.cleanup_partitioned();
     }
@@ -523,18 +530,45 @@ impl<'r> PartHtm<'r> {
         let th = TmThread::new(rt, id);
         let arena = rt.arena(id);
         let spec = rt.config().sig_spec;
+        let (rmir, wmir, amir, journal) = SigArena::with(|a| {
+            (
+                a.take_sig(spec),
+                a.take_sig(spec),
+                a.take_sig(spec),
+                a.take_journal(),
+            )
+        });
         Self {
             undo: UndoLog::new(arena.undo_base, arena.undo_words),
             arena,
-            rmir: Sig::new(spec),
-            wmir: Sig::new(spec),
-            amir: Sig::new(spec),
-            journal: SigJournal::new(),
+            rmir,
+            wmir,
+            amir,
+            journal,
             times: ShardTimes::new(),
             resource_streak: 0,
             tx_count: 0,
             th,
         }
+    }
+}
+
+impl Drop for PartHtm<'_> {
+    /// Return the signature mirrors and the journal to this thread's
+    /// [`SigArena`] so the next executor on the thread starts warm. The
+    /// placeholders are single-word inline signatures — allocation-free.
+    fn drop(&mut self) {
+        let empty = Sig::new(SigSpec::new(64));
+        let rmir = std::mem::replace(&mut self.rmir, empty.clone());
+        let wmir = std::mem::replace(&mut self.wmir, empty.clone());
+        let amir = std::mem::replace(&mut self.amir, empty);
+        let journal = std::mem::take(&mut self.journal);
+        SigArena::with(|a| {
+            a.recycle_sig(rmir);
+            a.recycle_sig(wmir);
+            a.recycle_sig(amir);
+            a.recycle_journal(journal);
+        });
     }
 }
 

@@ -6,7 +6,8 @@ use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use tm_sig::{
-    HeapSig, ResetMode, Ring, RingSummary, ShardedRing, ShardedSummary, SigSpec, SummaryTuning,
+    CacheAligned, HeapSig, ResetMode, Ring, RingSummary, ShardedRing, ShardedSummary, SigArena,
+    SigSpec, SummaryTuning,
 };
 
 /// Protocol configuration (paper defaults).
@@ -56,6 +57,12 @@ pub struct TmConfig {
     pub summary_density_den: u32,
     /// Publishes between summary density checks (controller initial value).
     pub summary_check_interval: u64,
+    /// Route the signature hot loops through the original scalar word loops
+    /// instead of the 4-wide-unrolled kernels ([`tm_sig::kernels`]): the
+    /// differential oracle and the `membench` baseline. Process-wide (the
+    /// kernels dispatch off one flag), applied by [`TmRuntime::new`]; every
+    /// scalar dispatch is counted into [`TmStats::scalar_kernel_falls`].
+    pub scalar_kernels: bool,
 }
 
 impl Default for TmConfig {
@@ -75,6 +82,7 @@ impl Default for TmConfig {
             summary_density_num: 1,
             summary_density_den: 3,
             summary_check_interval: 256,
+            scalar_kernels: false,
         }
     }
 }
@@ -181,6 +189,7 @@ impl TmRuntime {
 
         let sys = HtmSystem::new(htm_cfg, total);
         let summaries = ring.new_summary_tuned(cfg.summary_tuning());
+        tm_sig::kernels::set_scalar(cfg.scalar_kernels);
         Self {
             sys,
             cfg,
@@ -316,8 +325,11 @@ pub struct TmThread<'r> {
     pub hw: HtmThread<'r>,
     /// Deterministic per-thread RNG (seeded by thread id).
     pub rng: SmallRng,
-    /// Protocol statistics.
-    pub stats: TmStats,
+    /// Protocol statistics, padded to a cache line: worker threads bump their
+    /// counters on every transaction, and without the padding two contexts
+    /// allocated back to back would false-share (`Deref` keeps every
+    /// `stats.field` call site unchanged).
+    pub stats: CacheAligned<TmStats>,
     id: usize,
 }
 
@@ -328,7 +340,7 @@ impl<'r> TmThread<'r> {
             rt,
             hw: rt.sys.thread(id),
             rng: SmallRng::seed_from_u64(0xC0FFEE ^ (id as u64) << 16),
-            stats: TmStats::default(),
+            stats: CacheAligned::new(TmStats::default()),
             id,
         }
     }
@@ -341,6 +353,17 @@ impl<'r> TmThread<'r> {
     /// This thread's metadata arena.
     pub fn arena(&self) -> ThreadArena {
         self.rt.arena(self.id)
+    }
+
+    /// Fold this thread's host-side counters — the signature-arena
+    /// reuse/alloc tallies and the scalar-kernel dispatch count — into
+    /// `stats`. The harness calls it once after the workload loop; executors
+    /// may call it earlier, the counters drain idempotently.
+    pub fn harvest_host_counters(&mut self) {
+        let (reuses, allocs) = SigArena::with(|a| a.take_counters());
+        self.stats.arena_reuses += reuses;
+        self.stats.arena_allocs += allocs;
+        self.stats.scalar_kernel_falls += tm_sig::kernels::take_scalar_calls();
     }
 }
 

@@ -51,6 +51,14 @@ pub struct TmStats {
     pub epoch_pinned_stalls: u64,
     /// Sub-HTM segment failures rolled back through the signature journal.
     pub journal_rollbacks: u64,
+    /// Signature/journal buffers recycled from the per-thread arena
+    /// ([`tm_sig::SigArena`]) instead of freshly allocated.
+    pub arena_reuses: u64,
+    /// Arena requests the pool could not serve (fresh allocations).
+    pub arena_allocs: u64,
+    /// Hot-loop dispatches that fell to the scalar differential oracles
+    /// ([`tm_sig::kernels`]); non-zero only under `TmConfig::scalar_kernels`.
+    pub scalar_kernel_falls: u64,
     /// Ring publishes (hardware or software) that touched each shard; a
     /// cross-shard commit counts once per shard it touched.
     pub shard_publishes: [u64; MAX_RING_SHARDS],
@@ -153,6 +161,9 @@ impl TmStats {
         self.epoch_retires += o.epoch_retires;
         self.epoch_pinned_stalls += o.epoch_pinned_stalls;
         self.journal_rollbacks += o.journal_rollbacks;
+        self.arena_reuses += o.arena_reuses;
+        self.arena_allocs += o.arena_allocs;
+        self.scalar_kernel_falls += o.scalar_kernel_falls;
         for s in 0..MAX_RING_SHARDS {
             self.shard_publishes[s] += o.shard_publishes[s];
             self.shard_validations[s] += o.shard_validations[s];

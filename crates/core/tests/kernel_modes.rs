@@ -1,0 +1,102 @@
+//! Differential test of the kernel dispatch: the same contended partitioned
+//! workload runs once with `TmConfig::scalar_kernels` (every signature hot
+//! loop routed to the scalar oracles) and once with the default unrolled
+//! kernels. Both runs must produce the exact same final heap state — the two
+//! kernel flavours are contractually word-identical — and the
+//! `scalar_kernel_falls` statistic must fire only under the scalar config.
+//!
+//! Kept as a single test function: the kernel selector is process-global
+//! (`tm_sig::kernels::set_scalar`, wired by `TmRuntime::new`), so the two
+//! configurations must run sequentially, and the unrolled run goes last to
+//! leave the process in the default mode.
+
+use htm_sim::abort::TxResult;
+use htm_sim::{Addr, HtmConfig};
+use part_htm_core::{PartHtm, TmConfig, TmExecutor, TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+
+struct Incr {
+    n: usize,
+    segs: usize,
+    base: Addr,
+}
+
+impl Workload for Incr {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segments(&self) -> usize {
+        self.segs
+    }
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        let per = self.n / self.segs;
+        for i in seg * per..(seg + 1) * per {
+            let a = self.base + (i * 8) as Addr;
+            let v = ctx.read(a)?;
+            ctx.write(a, v + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Run the contended two-thread partitioned workload under `cfg`; returns the
+/// final counter values and the harvested `scalar_kernel_falls` total.
+fn run(cfg: TmConfig) -> (Vec<u64>, u64) {
+    let htm = HtmConfig {
+        l1_sets: 16,
+        l1_ways: 4,
+        quantum: 100_000,
+        ..HtmConfig::default()
+    };
+    let rt = TmRuntime::new(htm, cfg, 2, 2048);
+    for i in 0..32 {
+        rt.setup_write(i * 8, 1000);
+    }
+    let falls = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let (rt, falls) = (&rt, &falls);
+            s.spawn(move || {
+                let mut e = PartHtm::new(rt, t);
+                let mut w = Incr {
+                    n: 32,
+                    segs: 4,
+                    base: rt.app(0),
+                };
+                for _ in 0..40 {
+                    e.execute(&mut w);
+                }
+                e.thread_mut().harvest_host_counters();
+                falls.fetch_add(
+                    e.thread().stats.scalar_kernel_falls,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            });
+        }
+    });
+    let state = (0..32).map(|i| rt.verify_read(i * 8)).collect();
+    (state, falls.into_inner())
+}
+
+#[test]
+fn scalar_and_unrolled_kernels_produce_identical_state() {
+    let scalar = run(TmConfig {
+        skip_fast: true,
+        scalar_kernels: true,
+        ..TmConfig::default()
+    });
+    let unrolled = run(TmConfig {
+        skip_fast: true,
+        ..TmConfig::default()
+    });
+
+    assert_eq!(scalar.0, unrolled.0, "kernel flavours diverged");
+    assert_eq!(scalar.0, vec![1000 + 80; 32]);
+    assert!(
+        scalar.1 > 0,
+        "scalar config must route dispatches to the oracles"
+    );
+    assert_eq!(
+        unrolled.1, 0,
+        "default config must never fall to the scalar oracles"
+    );
+}

@@ -1,0 +1,92 @@
+//! Cache-line alignment helpers shared across the workspace.
+//!
+//! A single x86-style 64-byte line is assumed throughout (the heap layout
+//! already bakes in [`crate::WORDS_PER_LINE`] = 8 words per line). The wrapper
+//! is deliberately transparent — `Deref`/`DerefMut` keep call sites reading
+//! like the unwrapped field — and the const-assertions below run in every
+//! build so `cargo test -q` catches accidental padding regressions.
+//!
+//! Defined here in the simulator crate (the bottom of the dependency stack) so
+//! the signature layer, the protocol layer and the harness all share one
+//! wrapper type; `tm_sig` re-exports it.
+
+use std::ops::{Deref, DerefMut};
+
+/// Number of bytes in the cache line every aligned layout targets.
+pub const CACHE_LINE: usize = 64;
+
+/// Pads and aligns `T` to a 64-byte cache-line boundary.
+///
+/// Used to keep independently-written shared state — summary banks, the
+/// group-probe arrays, per-thread statistics, registry status slots — from
+/// false-sharing a line with its neighbours. Wrapping a `T` smaller than a
+/// line rounds its size up to a whole line; wrapping a multi-line `T` only
+/// pins its *start* to a line boundary (its size is already a line multiple
+/// when `size % 64 == 0`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(align(64))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> CacheAligned<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        CacheAligned(value)
+    }
+}
+
+impl<T> Deref for CacheAligned<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CacheAligned<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T> From<T> for CacheAligned<T> {
+    fn from(value: T) -> Self {
+        CacheAligned(value)
+    }
+}
+
+// Layout pins, checked in every build (debug and release): a padded counter
+// occupies exactly one line, and a bank line of eight atomic words stays
+// exactly one line (no accidental growth past `WORDS_PER_LINE`).
+const _: () = {
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::AtomicU64;
+    assert!(align_of::<CacheAligned<u64>>() == CACHE_LINE);
+    assert!(size_of::<CacheAligned<u64>>() == CACHE_LINE);
+    assert!(size_of::<CacheAligned<[AtomicU64; 8]>>() == CACHE_LINE);
+    assert!(align_of::<CacheAligned<[AtomicU64; 16]>>() == CACHE_LINE);
+    assert!(size_of::<CacheAligned<[AtomicU64; 16]>>() == 2 * CACHE_LINE);
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derefs_transparently() {
+        let mut c = CacheAligned::new(7u64);
+        *c += 1;
+        assert_eq!(*c, 8);
+        assert_eq!(c, CacheAligned(8));
+    }
+
+    #[test]
+    fn array_of_padded_counters_never_shares_lines() {
+        let v: Vec<CacheAligned<u64>> = (0..4).map(CacheAligned::new).collect();
+        for pair in v.windows(2) {
+            let a = &pair[0] as *const _ as usize;
+            let b = &pair[1] as *const _ as usize;
+            assert!(b - a >= CACHE_LINE);
+        }
+    }
+}

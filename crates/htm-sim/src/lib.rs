@@ -48,6 +48,7 @@
 //! ```
 
 pub mod abort;
+pub mod align;
 pub mod cache;
 pub mod config;
 pub mod heap;
@@ -61,6 +62,7 @@ pub mod txn;
 pub mod util;
 
 pub use abort::AbortCode;
+pub use align::{CacheAligned, CACHE_LINE};
 pub use config::HtmConfig;
 pub use heap::{Addr, Heap, HeapBuilder, Line, WORDS_PER_LINE, WORDS_PER_LINE_SHIFT};
 pub use stats::HtmStats;

@@ -62,7 +62,8 @@
 //! [`crate::line_table_ref`]; it serves as the differential-testing oracle and
 //! the "before" baseline of the `linebench` microbenchmark.
 
-use crate::heap::Line;
+use crate::align::CacheAligned;
+use crate::heap::{Line, WORDS_PER_LINE};
 use crate::registry::{DoomOutcome, Requester, ThreadId, TxRegistry, MAX_THREADS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,8 +136,19 @@ fn release_claim(w: &AtomicU64, saved_writer: u64) {
 }
 
 /// Direct-indexed table mapping every heap line to its packed owner word.
+///
+/// The table stays *dense* — one word per heap line, mirroring the cost
+/// profile of real coherence hardware — but the backing store is chunked into
+/// whole 64-byte host cache lines ([`CacheAligned`] groups of
+/// [`WORDS_PER_LINE`] words). A plain `Box<[AtomicU64]>` is only 8-byte
+/// aligned, so the table's first and last words could share a host line with
+/// unrelated allocations; the chunked layout pins every group of eight
+/// adjacent line-words to exactly one host line. Adjacent heap lines still
+/// intentionally share a host line here (they do in real tag arrays too); the
+/// `membench` false-sharing A/B quantifies that trade-off in isolation.
 pub struct LineTable {
-    words: Box<[AtomicU64]>,
+    chunks: Box<[CacheAligned<[AtomicU64; WORDS_PER_LINE]>]>,
+    n_lines: usize,
 }
 
 impl LineTable {
@@ -149,17 +161,23 @@ impl LineTable {
                 MAX_THREADS <= 56,
                 "packed line word holds at most 56 reader bits"
             );
+            assert!(
+                std::mem::size_of::<CacheAligned<[AtomicU64; WORDS_PER_LINE]>>() == 64,
+                "one table chunk must be exactly one host cache line"
+            );
         }
-        let mut v = Vec::with_capacity(n_lines);
-        v.resize_with(n_lines, || AtomicU64::new(0));
+        let mut v = Vec::with_capacity(n_lines.div_ceil(WORDS_PER_LINE));
+        v.resize_with(n_lines.div_ceil(WORDS_PER_LINE), CacheAligned::default);
         Self {
-            words: v.into_boxed_slice(),
+            chunks: v.into_boxed_slice(),
+            n_lines,
         }
     }
 
     #[inline(always)]
     fn word(&self, line: Line) -> &AtomicU64 {
-        &self.words[line as usize]
+        debug_assert!((line as usize) < self.n_lines);
+        &self.chunks[line as usize / WORDS_PER_LINE].0[line as usize % WORDS_PER_LINE]
     }
 
     /// Register thread `t` as a transactional reader of `line`.
@@ -409,9 +427,8 @@ impl LineTable {
 
     /// Total number of live line registrations (diagnostics / leak tests).
     pub fn live_entries(&self) -> usize {
-        self.words
-            .iter()
-            .filter(|w| w.load(Ordering::SeqCst) != 0)
+        (0..self.n_lines)
+            .filter(|&l| self.word(l as Line).load(Ordering::SeqCst) != 0)
             .count()
     }
 

@@ -8,6 +8,7 @@
 //! racing with an instantaneous `xend`.
 
 use crate::abort::AbortCode;
+use crate::align::CacheAligned;
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Hard ceiling on simulated hardware threads.
@@ -64,22 +65,15 @@ impl TxStatus {
     }
 }
 
-/// One cache line per thread to avoid false sharing between status words.
-#[repr(align(64))]
-struct TxSlot {
-    status: AtomicU8,
-    /// Cause recorded when doomed. 0 = conflict (the only cause another thread can
-    /// impose; capacity/time/explicit aborts are self-inflicted).
-    _pad: [u8; 63],
-}
+/// One cache line per thread to avoid false sharing between status words:
+/// every CAS on one thread's status would otherwise invalidate its
+/// neighbours' lines on every doom/begin/finish. [`CacheAligned`] pads the
+/// one-byte status to a full line (the `membench` false-sharing A/B measures
+/// what the packed layout would cost).
+type TxSlot = CacheAligned<AtomicU8>;
 
-impl TxSlot {
-    fn new() -> Self {
-        Self {
-            status: AtomicU8::new(TxStatus::Inactive as u8),
-            _pad: [0; 63],
-        }
-    }
+fn new_slot() -> TxSlot {
+    CacheAligned::new(AtomicU8::new(TxStatus::Inactive as u8))
 }
 
 /// Outcome of an attempt to doom a peer transaction.
@@ -107,7 +101,7 @@ impl TxRegistry {
             "max_threads must be in 1..={MAX_THREADS} (packed line-table reader bitmap)"
         );
         let mut v = Vec::with_capacity(max_threads);
-        v.resize_with(max_threads, TxSlot::new);
+        v.resize_with(max_threads, new_slot);
         Self {
             slots: v.into_boxed_slice(),
         }
@@ -126,15 +120,13 @@ impl TxRegistry {
     /// Current status of `t`'s transaction.
     #[inline]
     pub fn status(&self, t: ThreadId) -> TxStatus {
-        TxStatus::from_u8(self.slots[t as usize].status.load(Ordering::SeqCst))
+        TxStatus::from_u8(self.slots[t as usize].load(Ordering::SeqCst))
     }
 
     /// Begin a transaction on thread `t`. Panics if one is already in flight —
     /// the simulator flattens nesting at a higher level, like TSX does.
     pub fn begin(&self, t: ThreadId) {
-        let prev = self.slots[t as usize]
-            .status
-            .swap(TxStatus::Active as u8, Ordering::SeqCst);
+        let prev = self.slots[t as usize].swap(TxStatus::Active as u8, Ordering::SeqCst);
         debug_assert_eq!(
             prev,
             TxStatus::Inactive as u8,
@@ -145,7 +137,7 @@ impl TxRegistry {
     /// Try to move `t` from `Active` to `Committing`. Fails (returning the doom
     /// cause) if the transaction was doomed first.
     pub fn start_commit(&self, t: ThreadId) -> Result<(), AbortCode> {
-        match self.slots[t as usize].status.compare_exchange(
+        match self.slots[t as usize].compare_exchange(
             TxStatus::Active as u8,
             TxStatus::Committing as u8,
             Ordering::SeqCst,
@@ -158,9 +150,7 @@ impl TxRegistry {
 
     /// Finish `t`'s transaction (after commit publication or abort cleanup).
     pub fn finish(&self, t: ThreadId) {
-        self.slots[t as usize]
-            .status
-            .store(TxStatus::Inactive as u8, Ordering::SeqCst);
+        self.slots[t as usize].store(TxStatus::Inactive as u8, Ordering::SeqCst);
     }
 
     /// True if `t`'s transaction has been doomed by a conflicting access.
@@ -187,11 +177,10 @@ impl TxRegistry {
         );
         let slot = &self.slots[victim as usize];
         loop {
-            let cur = slot.status.load(Ordering::SeqCst);
+            let cur = slot.load(Ordering::SeqCst);
             match TxStatus::from_u8(cur) {
                 TxStatus::Active => {
                     if slot
-                        .status
                         .compare_exchange(
                             cur,
                             TxStatus::Doomed as u8,

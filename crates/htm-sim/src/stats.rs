@@ -24,6 +24,16 @@ pub struct HtmStats {
     pub work_units: u64,
 }
 
+// Layout pin: the whole counter block fits one cache line, so the padded
+// per-thread copy ([`crate::CacheAligned<HtmStats>`]) is exactly one line and
+// adding a counter that grows it past 64 bytes fails the build here first.
+const _: () = {
+    assert!(std::mem::size_of::<HtmStats>() <= crate::align::CACHE_LINE);
+    assert!(
+        std::mem::size_of::<crate::align::CacheAligned<HtmStats>>() == crate::align::CACHE_LINE
+    );
+};
+
 impl HtmStats {
     /// Record an abort with the given cause.
     #[inline]

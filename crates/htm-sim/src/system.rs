@@ -81,7 +81,7 @@ impl HtmSystem {
             l2: (self.config.l2_sets > 0)
                 .then(|| L1Model::new(self.config.l2_sets, self.config.l2_ways)),
             rng: SmallRng::seed_from_u64(0x5EED_0000 + id as u64),
-            stats: HtmStats::default(),
+            stats: crate::align::CacheAligned::new(HtmStats::default()),
             trace: crate::trace::Trace::new(self.config.trace_capacity),
             in_tx: false,
         }
@@ -223,8 +223,10 @@ pub struct HtmThread<'s> {
     /// Optional read-set associativity model (the L2).
     pub(crate) l2: Option<L1Model>,
     pub(crate) rng: SmallRng,
-    /// Hardware statistics for this thread.
-    pub stats: HtmStats,
+    /// Hardware statistics for this thread, padded to its own cache line so
+    /// the hot-loop counter bumps never false-share with a neighbouring
+    /// thread's handle (`Deref` keeps `th.stats.field` call sites unchanged).
+    pub stats: crate::align::CacheAligned<HtmStats>,
     /// Debugging event trace (empty unless [`HtmConfig::trace_capacity`] > 0).
     pub trace: crate::trace::Trace,
     pub(crate) in_tx: bool,

@@ -168,6 +168,13 @@ pub struct StatsReport {
     pub epoch_pinned_stalls: u64,
     /// Sub-HTM segment failures rolled back through the signature journal.
     pub journal_rollbacks: u64,
+    /// Signature/journal buffers recycled from the per-thread arena.
+    pub arena_reuses: u64,
+    /// Arena requests served by a fresh allocation.
+    pub arena_allocs: u64,
+    /// Hot-loop dispatches that fell to the scalar differential oracles
+    /// (non-zero only under `TmConfig::scalar_kernels`).
+    pub scalar_kernel_falls: u64,
 }
 
 impl StatsReport {
@@ -198,6 +205,9 @@ impl StatsReport {
             epoch_retires: r.tm.epoch_retires,
             epoch_pinned_stalls: r.tm.epoch_pinned_stalls,
             journal_rollbacks: r.tm.journal_rollbacks,
+            arena_reuses: r.tm.arena_reuses,
+            arena_allocs: r.tm.arena_allocs,
+            scalar_kernel_falls: r.tm.scalar_kernel_falls,
         }
     }
 
@@ -230,6 +240,18 @@ impl StatsReport {
             line.push_str(&format!(
                 " | epoch retires {} (deferred {})",
                 self.epoch_retires, self.epoch_pinned_stalls
+            ));
+        }
+        if self.arena_reuses != 0 || self.arena_allocs != 0 {
+            line.push_str(&format!(
+                " | arena {} reused / {} fresh",
+                self.arena_reuses, self.arena_allocs
+            ));
+        }
+        if self.scalar_kernel_falls != 0 {
+            line.push_str(&format!(
+                " | scalar-kernel falls {}",
+                self.scalar_kernel_falls
             ));
         }
         Some(line)
@@ -305,6 +327,9 @@ mod tests {
             epoch_retires: 0,
             epoch_pinned_stalls: 0,
             journal_rollbacks: 0,
+            arena_reuses: 0,
+            arena_allocs: 0,
+            scalar_kernel_falls: 0,
         };
         assert!(r.render_hot_path().is_none());
         r.val_fast_hits = 3;

@@ -1,0 +1,7 @@
+//! Cache-line alignment helpers, re-exported from the simulator crate.
+//!
+//! The canonical definitions live in [`htm_sim::align`] — the bottom of the
+//! dependency stack — so every layer shares one wrapper type. See that module
+//! for the layout rules and const-assertions.
+
+pub use htm_sim::align::{CacheAligned, CACHE_LINE};

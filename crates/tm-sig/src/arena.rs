@@ -1,0 +1,173 @@
+//! Per-thread recycling arena for signature and journal buffers.
+//!
+//! Every software-path transaction used to construct three fresh [`Sig`]s
+//! (read/write/committed mirrors) and a [`SigJournal`]; for heap-backed
+//! geometries that is four `Vec` allocations per transaction on the abort/
+//! retry path. The arena keeps retired buffers thread-locally and hands them
+//! back on the next `take_*`, so steady-state execution allocates nothing.
+//!
+//! Lifecycle contract (see `docs/mem-layout.md`):
+//!
+//! * [`SigArena::take_sig`] returns a signature of the requested spec that is
+//!   **provably empty** — recycled buffers are cleared on the way *into* the
+//!   pool ([`SigArena::recycle_sig`]), and the arena-reuse proptest checks the
+//!   words come back all-zero.
+//! * [`SigArena::take_journal`] returns an empty journal; `recycle_journal`
+//!   discards any pending entries first, keeping the entry/dirty-bitmap
+//!   capacity warm across transactions.
+//! * `Sig` inline storage is 64-byte aligned (`CacheAligned` backing), so a
+//!   recycled word buffer is cache-line aligned whether it came from the pool
+//!   or a fresh allocation.
+//!
+//! The pools are capped (`POOL_CAP`) so a burst of nested scopes cannot pin
+//! unbounded memory; `reuses`/`allocs` counters are drained into the
+//! `arena_reuses`/`arena_allocs` statistics by the runtime.
+
+use crate::journal::SigJournal;
+use crate::sig::Sig;
+use crate::spec::SigSpec;
+use std::cell::RefCell;
+
+/// Maximum pooled buffers of each kind kept per thread.
+const POOL_CAP: usize = 8;
+
+/// Thread-local pool of retired [`Sig`] and [`SigJournal`] buffers.
+#[derive(Debug, Default)]
+pub struct SigArena {
+    sigs: Vec<Sig>,
+    journals: Vec<SigJournal>,
+    reuses: u64,
+    allocs: u64,
+}
+
+thread_local! {
+    static ARENA: RefCell<SigArena> = RefCell::new(SigArena::default());
+}
+
+impl SigArena {
+    /// Run `f` with this thread's arena.
+    pub fn with<R>(f: impl FnOnce(&mut SigArena) -> R) -> R {
+        ARENA.with(|a| f(&mut a.borrow_mut()))
+    }
+
+    /// Take an empty signature of geometry `spec`, recycled if the pool holds
+    /// one of matching spec, freshly allocated otherwise.
+    pub fn take_sig(&mut self, spec: SigSpec) -> Sig {
+        if let Some(i) = self.sigs.iter().position(|s| s.spec() == spec) {
+            self.reuses += 1;
+            let sig = self.sigs.swap_remove(i);
+            debug_assert!(sig.is_empty());
+            sig
+        } else {
+            self.allocs += 1;
+            Sig::new(spec)
+        }
+    }
+
+    /// Return a signature to the pool, clearing it first so the next
+    /// [`take_sig`](Self::take_sig) hands out a provably-zeroed buffer.
+    pub fn recycle_sig(&mut self, mut sig: Sig) {
+        if self.sigs.len() < POOL_CAP {
+            sig.clear();
+            self.sigs.push(sig);
+        }
+    }
+
+    /// Take an empty journal, recycled (capacity warm) if available.
+    pub fn take_journal(&mut self) -> SigJournal {
+        if let Some(mut j) = self.journals.pop() {
+            self.reuses += 1;
+            j.discard();
+            j
+        } else {
+            self.allocs += 1;
+            SigJournal::new()
+        }
+    }
+
+    /// Return a journal to the pool, discarding any pending entries.
+    pub fn recycle_journal(&mut self, mut journal: SigJournal) {
+        if self.journals.len() < POOL_CAP {
+            journal.discard();
+            self.journals.push(journal);
+        }
+    }
+
+    /// Drain the `(reuses, allocs)` counters accumulated since the last call.
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        let c = (self.reuses, self.allocs);
+        self.reuses = 0;
+        self.allocs = 0;
+        c
+    }
+
+    /// Number of pooled signature buffers (test/bench introspection).
+    pub fn pooled_sigs(&self) -> usize {
+        self.sigs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_matching_spec_only() {
+        let mut a = SigArena::default();
+        let small = SigSpec::new(64);
+        let paper = SigSpec::PAPER;
+        let s = a.take_sig(paper);
+        a.recycle_sig(s);
+        // A different spec must not get the pooled buffer.
+        let t = a.take_sig(small);
+        assert_eq!(t.spec(), small);
+        let u = a.take_sig(paper);
+        assert_eq!(u.spec(), paper);
+        let (reuses, allocs) = a.take_counters();
+        assert_eq!((reuses, allocs), (1, 2));
+        assert_eq!(a.take_counters(), (0, 0));
+    }
+
+    #[test]
+    fn recycled_sig_comes_back_zeroed() {
+        let mut a = SigArena::default();
+        let spec = SigSpec::PAPER;
+        let mut s = a.take_sig(spec);
+        for addr in 0..257 {
+            s.add(addr);
+        }
+        assert!(!s.is_empty());
+        a.recycle_sig(s);
+        let s = a.take_sig(spec);
+        assert!(s.is_empty());
+        assert!(s.words().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn journal_pool_discards_pending_entries() {
+        let mut a = SigArena::default();
+        let mut j = a.take_journal();
+        j.begin(SigSpec::PAPER);
+        j.note(crate::journal::SigSlot::Read, 0, 0xDEAD);
+        a.recycle_journal(j);
+        let j = a.take_journal();
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn pool_is_capped() {
+        let mut a = SigArena::default();
+        for _ in 0..(POOL_CAP + 4) {
+            a.recycle_sig(Sig::new(SigSpec::PAPER));
+        }
+        assert_eq!(a.pooled_sigs(), POOL_CAP);
+    }
+
+    #[test]
+    fn thread_local_accessor_round_trips() {
+        let sig = SigArena::with(|a| a.take_sig(SigSpec::PAPER));
+        SigArena::with(|a| a.recycle_sig(sig));
+        let again = SigArena::with(|a| a.take_sig(SigSpec::PAPER));
+        assert!(again.is_empty());
+    }
+}

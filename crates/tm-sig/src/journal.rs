@@ -69,17 +69,33 @@ impl SigJournal {
         }
     }
 
-    /// Undo every recorded word (newest first), restoring `rsig`/`wsig` to their
-    /// segment-entry values, and leave the journal empty for the next attempt.
+    /// Undo every recorded word, restoring `rsig`/`wsig` to their segment-entry
+    /// values, and leave the journal empty for the next attempt.
+    ///
+    /// [`note`](Self::note) keeps exactly one entry per `(slot, word)` — the
+    /// first (correct) old value — so replay order is irrelevant and each word
+    /// can be restored *raw*, with one kernel-driven mask rebuild per touched
+    /// signature instead of `set_word`'s per-word mask bookkeeping (which for
+    /// folded geometries re-scans sibling words on every zero restore).
     pub fn rollback(&mut self, rsig: &mut Sig, wsig: &mut Sig) {
+        let mut touched = [false; 2];
         while let Some((slot, w, old)) = self.entries.pop() {
             let sig = match slot {
                 SigSlot::Read => &mut *rsig,
                 SigSlot::Write => &mut *wsig,
             };
-            sig.set_word(w, old);
+            sig.raw_words_mut()[w as usize] = old;
+            touched[slot as usize] = true;
             self.dirty[slot as usize][w as usize / 64] &= !(1u64 << (w % 64));
         }
+        if touched[SigSlot::Read as usize] {
+            rsig.rebuild_mask();
+        }
+        if touched[SigSlot::Write as usize] {
+            wsig.rebuild_mask();
+        }
+        rsig.assert_mask_invariant();
+        wsig.assert_mask_invariant();
     }
 
     /// The segment committed: forget the journal (keeping its storage).

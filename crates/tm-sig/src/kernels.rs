@@ -1,0 +1,1052 @@
+//! Explicitly 4-wide-unrolled word kernels for every signature hot loop.
+//!
+//! PRs 1–4 made *which* words the hot loops touch sparse; this module cuts the
+//! cost *per word*. Each kernel exists twice with an identical slice-level
+//! contract:
+//!
+//! * [`unrolled`] — the production implementation, hand-unrolled four `u64`
+//!   lanes at a time (`chunks_exact(4)` + a scalar tail) so the compiler emits
+//!   straight-line SIMD-friendly code with one branch per 4 words. Sparse
+//!   inputs stay cheap two ways: the bulk kernels *chunk-skip* (a chunk whose
+//!   source words OR to zero is passed over without touching the destination
+//!   or, for the atomic kernels, issuing a single atomic access), and the
+//!   `*_masked` kernels take the signature's non-zero-word mask and cut over
+//!   between a mask-guided walk (below half-live words: index only the live
+//!   words, as the pre-pass sparse loops did) and the bulk 4-wide walk.
+//! * [`scalar`] — the one-word-at-a-time loops the unrolled forms replaced,
+//!   kept compiled-in as the differential oracle. Selected at runtime via
+//!   [`set_scalar`] (wired to `TmConfig::scalar_kernels`); every dispatch to a
+//!   scalar kernel is counted per thread and drained by [`take_scalar_calls`]
+//!   into the `scalar_kernel_falls` statistic.
+//!
+//! Both flavours are *pure word kernels*: they know nothing about signature
+//! masks, banks, generations or ring protocol. Callers keep every protocol
+//! read/write order exactly as before and only route the per-word arithmetic
+//! here — zero protocol changes (the atomic kernels preserve `SeqCst` on every
+//! access). Unrolling rules and the full routing map live in
+//! `docs/mem-layout.md`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One cache line of atomic summary-bank storage: eight `u64` words, padded
+/// and aligned to exactly one 64-byte line (const-asserted in `align`). The
+/// ring summary stores its banks as whole lines so banks never false-share,
+/// and the line kernels below walk word `i` at `lines[i / 8][i % 8]`.
+pub type BankLine = crate::align::CacheAligned<[AtomicU64; 8]>;
+
+/// When set, the dispatch functions route to the [`scalar`] oracles.
+static SCALAR: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Per-thread count of dispatches that fell to a scalar oracle.
+    static SCALAR_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Select the scalar oracles (`true`) or the unrolled kernels (`false`,
+/// the default) for every subsequent dispatch, process-wide. Wired to
+/// `TmConfig::scalar_kernels` by the runtime constructor.
+pub fn set_scalar(on: bool) {
+    SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// True when the scalar oracles are selected.
+#[inline]
+pub fn scalar_mode() -> bool {
+    SCALAR.load(Ordering::Relaxed)
+}
+
+/// Drain this thread's scalar-dispatch counter (feeds the
+/// `scalar_kernel_falls` statistic).
+pub fn take_scalar_calls() -> u64 {
+    SCALAR_CALLS.with(|c| c.replace(0))
+}
+
+#[inline]
+fn note_scalar() {
+    SCALAR_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+/// Whether word `i` participates under `word_mask` (bit `i` for the first 64
+/// words; words beyond 64 — folded-geometry siblings — always participate,
+/// matching `Sig::fold_word_masked` and `RingSummary::complete_publish_masked`).
+#[inline]
+fn in_mask(i: usize, word_mask: u64) -> bool {
+    i >= 64 || word_mask & (1u64 << i) != 0
+}
+
+/// Restrict a non-zero-word mask to the group bits a `len`-word slice can
+/// populate (every bit stays relevant at 64+ words, where bit `b` names the
+/// folded group `b, b+64, …`). The masked kernels apply this up front so a
+/// stray high bit can never index out of bounds.
+#[inline]
+fn live_bits(mask: u64, len: usize) -> u64 {
+    if len >= 64 {
+        mask
+    } else {
+        mask & ((1u64 << len) - 1)
+    }
+}
+
+/// The one-word-at-a-time reference loops (differential oracles).
+pub mod scalar {
+    use super::in_mask;
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+    /// True iff `a` and `b` share any set bit (`∃i: a[i] & b[i] != 0`).
+    pub fn intersect_any(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(&x, &y)| x & y != 0)
+    }
+
+    /// Single-word conflict test: `lock`, less the bits in `skip`, intersects
+    /// `mine`.
+    #[inline]
+    pub fn conflict_word(lock: u64, skip: u64, mine: u64) -> bool {
+        (lock & !skip) & mine != 0
+    }
+
+    /// `dst[i] |= src[i]` for every word.
+    pub fn or_into(dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d |= s;
+        }
+    }
+
+    /// `dst[i] &= !src[i]` for every word; returns the OR of the resulting
+    /// words (zero iff `dst` came out empty).
+    pub fn and_not_into(dst: &mut [u64], src: &[u64]) -> u64 {
+        let mut any = 0u64;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d &= !s;
+            any |= *d;
+        }
+        any
+    }
+
+    /// OR-fold of the words selected by `word_mask` (the test-under-mask
+    /// kernel backing `Sig::fold_word_masked`).
+    pub fn fold_masked(words: &[u64], word_mask: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, &w) in words.iter().enumerate() {
+            if in_mask(i, word_mask) {
+                acc |= w;
+            }
+        }
+        acc
+    }
+
+    /// [`fold_masked`] guided by the signature's non-zero-word mask: only the
+    /// word groups named by `sig_mask` are visited (the per-shard fold
+    /// `validate_touched_nt` issues once per touched shard). `sig_mask` must
+    /// cover every non-zero word; folding a zero sibling is a no-op, so the
+    /// group walk needs no per-word test. As in [`fold_masked`], `word_mask`
+    /// only filters words below index 64 — folded-geometry siblings always
+    /// participate.
+    pub fn fold_live(words: &[u64], word_mask: u64, sig_mask: u64) -> u64 {
+        let n = words.len();
+        let mut m = super::live_bits(sig_mask, n);
+        let mut acc = 0u64;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if word_mask & (1u64 << b) != 0 {
+                acc |= words[b];
+            }
+            let mut i = b + 64;
+            while i < n {
+                acc |= words[i];
+                i += 64;
+            }
+        }
+        acc
+    }
+
+    /// Recompute the non-zero-word mask (bit `i % 64` set iff some word `i`
+    /// congruent to it is non-zero).
+    pub fn mask_of(words: &[u64]) -> u64 {
+        let mut m = 0u64;
+        for (i, &w) in words.iter().enumerate() {
+            if w != 0 {
+                m |= 1u64 << (i % 64);
+            }
+        }
+        m
+    }
+
+    /// Total set bits across the slice (the summary density popcount).
+    pub fn popcount(words: &[u64]) -> u64 {
+        words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True iff `sig` intersects the atomic `bank` words (`SeqCst` loads; a
+    /// bank word is only loaded when the matching `sig` word is non-zero —
+    /// the summary probe).
+    pub fn probe_intersects(bank: &[AtomicU64], sig: &[u64]) -> bool {
+        for (b, &s) in bank.iter().zip(sig) {
+            if s != 0 && b.load(SeqCst) & s != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// OR `sig`'s non-zero words under `word_mask` into the atomic `bank`
+    /// (`SeqCst` RMWs; zero or masked-out words issue no atomic access — the
+    /// summary fold).
+    pub fn fold_or(bank: &[AtomicU64], sig: &[u64], word_mask: u64) {
+        for (i, (b, &s)) in bank.iter().zip(sig).enumerate() {
+            if s != 0 && in_mask(i, word_mask) {
+                b.fetch_or(s, SeqCst);
+            }
+        }
+    }
+
+    /// Total set bits across the atomic `bank` (`SeqCst` loads).
+    pub fn popcount_atomic(bank: &[AtomicU64]) -> u64 {
+        bank.iter().map(|w| w.load(SeqCst).count_ones() as u64).sum()
+    }
+
+    /// [`or_into`] guided by the source's non-zero-word mask: only the word
+    /// groups named by `src_mask` are visited (bit `b` covers words `b`,
+    /// `b + 64`, …). `src_mask` must cover every non-zero `src` word — the
+    /// `Sig` mask invariant — so the result equals the unguided kernel's.
+    pub fn or_into_masked(dst: &mut [u64], src: &[u64], src_mask: u64) {
+        let n = dst.len().min(src.len());
+        let mut m = super::live_bits(src_mask, n);
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut i = b;
+            while i < n {
+                dst[i] |= src[i];
+                i += 64;
+            }
+        }
+    }
+
+    /// `dst &= !src` over the word groups named by `shared_mask`; returns the
+    /// bits of `shared_mask` whose whole group came out zero, so the caller
+    /// clears exactly those bits from its maintained mask. `shared_mask` must
+    /// cover every word index where *both* operands are non-zero.
+    pub fn and_not_masked(dst: &mut [u64], src: &[u64], shared_mask: u64) -> u64 {
+        let n = dst.len().min(src.len());
+        let mut emptied = 0u64;
+        let mut m = super::live_bits(shared_mask, n);
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut any = false;
+            let mut i = b;
+            while i < n {
+                dst[i] &= !src[i];
+                any |= dst[i] != 0;
+                i += 64;
+            }
+            if !any {
+                emptied |= 1u64 << b;
+            }
+        }
+        emptied
+    }
+
+    /// [`intersect_any`] guided by the operands' shared non-zero-word mask:
+    /// only groups live in *both* signatures are read. `shared_mask` must
+    /// cover every word index where both operands are non-zero.
+    pub fn intersect_any_masked(a: &[u64], b: &[u64], shared_mask: u64) -> bool {
+        let n = a.len().min(b.len());
+        let mut m = super::live_bits(shared_mask, n);
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut i = bit;
+            while i < n {
+                if a[i] & b[i] != 0 {
+                    return true;
+                }
+                i += 64;
+            }
+        }
+        false
+    }
+
+    /// [`probe_intersects`] over line-chunked bank storage (word `i` at
+    /// `lines[i / 8][i % 8]`).
+    pub fn probe_lines(lines: &[super::BankLine], sig: &[u64]) -> bool {
+        for (i, &s) in sig.iter().enumerate() {
+            if s != 0 && lines[i / 8].0[i % 8].load(SeqCst) & s != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`probe_lines`] guided by the probing signature's non-zero-word mask:
+    /// only groups named by `sig_mask` are walked, and a bank word is only
+    /// loaded when the matching `sig` word is non-zero (the pre-pass summary
+    /// probe). `sig_mask` must cover every non-zero `sig` word.
+    pub fn probe_lines_masked(lines: &[super::BankLine], sig: &[u64], sig_mask: u64) -> bool {
+        let n = sig.len();
+        let mut m = super::live_bits(sig_mask, n);
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let mut i = b;
+            while i < n {
+                if sig[i] != 0 && lines[i / 8].0[i % 8].load(SeqCst) & sig[i] != 0 {
+                    return true;
+                }
+                i += 64;
+            }
+        }
+        false
+    }
+
+    /// [`fold_or`] over line-chunked bank storage.
+    pub fn fold_or_lines(lines: &[super::BankLine], sig: &[u64], word_mask: u64) {
+        for (i, &s) in sig.iter().enumerate() {
+            if s != 0 && in_mask(i, word_mask) {
+                lines[i / 8].0[i % 8].fetch_or(s, SeqCst);
+            }
+        }
+    }
+
+    /// [`popcount_atomic`] over the first `nwords` words of line-chunked bank
+    /// storage.
+    pub fn popcount_lines(lines: &[super::BankLine], nwords: usize) -> u64 {
+        (0..nwords)
+            .map(|i| lines[i / 8].0[i % 8].load(SeqCst).count_ones() as u64)
+            .sum()
+    }
+}
+
+/// The 4-wide-unrolled production kernels. Same contracts as [`scalar`].
+pub mod unrolled {
+    use super::in_mask;
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+    /// Single-word conflict test — one word has no unroll axis; kept in both
+    /// flavours so the dispatch accounting covers the transactional
+    /// validation loops (whose lock reads subscribe HTM lines, forbidding the
+    /// slice-batching the other kernels use).
+    #[inline]
+    pub fn conflict_word(lock: u64, skip: u64, mine: u64) -> bool {
+        (lock & !skip) & mine != 0
+    }
+
+    /// True iff `a` and `b` share any set bit.
+    pub fn intersect_any(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().min(b.len());
+        let (ac, at) = a[..n].split_at(n & !3);
+        let (bc, bt) = b[..n].split_at(n & !3);
+        for (x, y) in ac.chunks_exact(4).zip(bc.chunks_exact(4)) {
+            if (x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3]) != 0 {
+                return true;
+            }
+        }
+        at.iter().zip(bt).any(|(&x, &y)| x & y != 0)
+    }
+
+    /// `dst[i] |= src[i]` for every word, four lanes at a time. Chunks whose
+    /// source words are all zero never touch `dst`.
+    pub fn or_into(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len().min(src.len());
+        let (dc, dt) = dst[..n].split_at_mut(n & !3);
+        let (sc, st) = src[..n].split_at(n & !3);
+        for (d, s) in dc.chunks_exact_mut(4).zip(sc.chunks_exact(4)) {
+            if s[0] | s[1] | s[2] | s[3] == 0 {
+                continue;
+            }
+            d[0] |= s[0];
+            d[1] |= s[1];
+            d[2] |= s[2];
+            d[3] |= s[3];
+        }
+        for (d, &s) in dt.iter_mut().zip(st) {
+            *d |= s;
+        }
+    }
+
+    /// `dst[i] &= !src[i]`; returns the OR of the resulting words. Chunks with
+    /// no source bits still fold `dst` into the emptiness accumulator (the
+    /// return value covers the whole slice, exactly as the scalar oracle's).
+    pub fn and_not_into(dst: &mut [u64], src: &[u64]) -> u64 {
+        let n = dst.len().min(src.len());
+        let (dc, dt) = dst[..n].split_at_mut(n & !3);
+        let (sc, st) = src[..n].split_at(n & !3);
+        let mut any = 0u64;
+        for (d, s) in dc.chunks_exact_mut(4).zip(sc.chunks_exact(4)) {
+            if s[0] | s[1] | s[2] | s[3] != 0 {
+                d[0] &= !s[0];
+                d[1] &= !s[1];
+                d[2] &= !s[2];
+                d[3] &= !s[3];
+            }
+            any |= d[0] | d[1] | d[2] | d[3];
+        }
+        for (d, &s) in dt.iter_mut().zip(st) {
+            *d &= !s;
+            any |= *d;
+        }
+        any
+    }
+
+    /// OR-fold of the words selected by `word_mask`, four lanes at a time.
+    /// The mask test vanishes for the common `u64::MAX` (unmasked) case.
+    pub fn fold_masked(words: &[u64], word_mask: u64) -> u64 {
+        if word_mask == u64::MAX {
+            let (c, t) = words.split_at(words.len() & !3);
+            let mut acc = 0u64;
+            for w in c.chunks_exact(4) {
+                acc |= w[0] | w[1] | w[2] | w[3];
+            }
+            return t.iter().fold(acc, |a, &w| a | w);
+        }
+        let mut acc = 0u64;
+        for (i, &w) in words.iter().enumerate() {
+            if in_mask(i, word_mask) {
+                acc |= w;
+            }
+        }
+        acc
+    }
+
+    /// [`fold_masked`] guided by the signature's non-zero-word mask (see the
+    /// scalar oracle for the contract). Dense signatures take the bulk
+    /// [`fold_masked`] walk; sparse ones visit only the live words.
+    pub fn fold_live(words: &[u64], word_mask: u64, sig_mask: u64) -> u64 {
+        let n = words.len();
+        let m = super::live_bits(sig_mask, n);
+        if n > 64 || mask_is_dense(m, n) {
+            return fold_masked(words, word_mask);
+        }
+        let mut m = m;
+        let mut acc = 0u64;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if word_mask & (1u64 << b) != 0 {
+                acc |= words[b];
+            }
+        }
+        acc
+    }
+
+    /// Recompute the non-zero-word mask, four lanes at a time. Word `i`
+    /// contributes bit `i % 64`; for the practical geometries (≤ 64 words) the
+    /// chunk base is the bit base and the four lane bits are consecutive.
+    pub fn mask_of(words: &[u64]) -> u64 {
+        let (c, t) = words.split_at(words.len() & !3);
+        let mut m = 0u64;
+        for (ci, w) in c.chunks_exact(4).enumerate() {
+            if w[0] | w[1] | w[2] | w[3] == 0 {
+                continue;
+            }
+            let base = ci * 4;
+            m |= ((w[0] != 0) as u64) << (base % 64)
+                | ((w[1] != 0) as u64) << ((base + 1) % 64)
+                | ((w[2] != 0) as u64) << ((base + 2) % 64)
+                | ((w[3] != 0) as u64) << ((base + 3) % 64);
+        }
+        let base = c.len();
+        for (i, &w) in t.iter().enumerate() {
+            if w != 0 {
+                m |= 1u64 << ((base + i) % 64);
+            }
+        }
+        m
+    }
+
+    /// Total set bits across the slice, four popcounts per iteration.
+    pub fn popcount(words: &[u64]) -> u64 {
+        let (c, t) = words.split_at(words.len() & !3);
+        let mut n = 0u64;
+        for w in c.chunks_exact(4) {
+            n += (w[0].count_ones()
+                + w[1].count_ones()
+                + w[2].count_ones()
+                + w[3].count_ones()) as u64;
+        }
+        n + t.iter().map(|w| w.count_ones() as u64).sum::<u64>()
+    }
+
+    /// True iff `sig` intersects the atomic `bank` words. A chunk whose four
+    /// `sig` words OR to zero is skipped without a single atomic load; inside
+    /// a live chunk only the non-zero lanes load their bank word, so the
+    /// atomic-access pattern is exactly the scalar oracle's.
+    pub fn probe_intersects(bank: &[AtomicU64], sig: &[u64]) -> bool {
+        let n = bank.len().min(sig.len());
+        let (sc, st) = sig[..n].split_at(n & !3);
+        let (bc, bt) = bank[..n].split_at(n & !3);
+        for (s, b) in sc.chunks_exact(4).zip(bc.chunks_exact(4)) {
+            if s[0] | s[1] | s[2] | s[3] == 0 {
+                continue;
+            }
+            for lane in 0..4 {
+                if s[lane] != 0 && b[lane].load(SeqCst) & s[lane] != 0 {
+                    return true;
+                }
+            }
+        }
+        for (b, &s) in bt.iter().zip(st) {
+            if s != 0 && b.load(SeqCst) & s != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// OR `sig`'s non-zero words under `word_mask` into the atomic `bank`.
+    /// Chunk-skipping as in [`probe_intersects`]; the atomic-RMW pattern is
+    /// exactly the scalar oracle's.
+    pub fn fold_or(bank: &[AtomicU64], sig: &[u64], word_mask: u64) {
+        let n = bank.len().min(sig.len());
+        let (sc, st) = sig[..n].split_at(n & !3);
+        let (bc, bt) = bank[..n].split_at(n & !3);
+        for (ci, (s, b)) in sc.chunks_exact(4).zip(bc.chunks_exact(4)).enumerate() {
+            if s[0] | s[1] | s[2] | s[3] == 0 {
+                continue;
+            }
+            let base = ci * 4;
+            for lane in 0..4 {
+                if s[lane] != 0 && in_mask(base + lane, word_mask) {
+                    b[lane].fetch_or(s[lane], SeqCst);
+                }
+            }
+        }
+        let base = sc.len();
+        for (i, (b, &s)) in bt.iter().zip(st).enumerate() {
+            if s != 0 && in_mask(base + i, word_mask) {
+                b.fetch_or(s, SeqCst);
+            }
+        }
+    }
+
+    /// Total set bits across the atomic `bank`, four loads per iteration.
+    pub fn popcount_atomic(bank: &[AtomicU64]) -> u64 {
+        let (c, t) = bank.split_at(bank.len() & !3);
+        let mut n = 0u64;
+        for w in c.chunks_exact(4) {
+            n += (w[0].load(SeqCst).count_ones()
+                + w[1].load(SeqCst).count_ones()
+                + w[2].load(SeqCst).count_ones()
+                + w[3].load(SeqCst).count_ones()) as u64;
+        }
+        n + t.iter().map(|w| w.load(SeqCst).count_ones() as u64).sum::<u64>()
+    }
+
+    /// Density cutover for the masked kernels: at half-live words and above
+    /// the 4-wide bulk walk wins (one branch per chunk, straight-line lanes);
+    /// below it the mask-guided walk touches only live words — the membench
+    /// `or_sparse`/`and_not_sparse` rows are exactly the regime this guards.
+    #[inline]
+    fn mask_is_dense(live: u64, len: usize) -> bool {
+        2 * live.count_ones() as usize >= len
+    }
+
+    /// [`or_into`][super::scalar::or_into_masked] guided by the source's
+    /// non-zero-word mask. Dense sources (and folded geometries, where a mask
+    /// bit names a whole word group) take the bulk 4-wide walk; sparse
+    /// sources index only the live words. Same contract as the scalar
+    /// oracle: `src_mask` must cover every non-zero `src` word.
+    pub fn or_into_masked(dst: &mut [u64], src: &[u64], src_mask: u64) {
+        let n = dst.len().min(src.len());
+        let m = super::live_bits(src_mask, n);
+        if n > 64 || mask_is_dense(m, n) {
+            return or_into(dst, src);
+        }
+        let mut m = m;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            dst[b] |= src[b];
+        }
+    }
+
+    /// [`and_not_masked`][super::scalar::and_not_masked]: `dst &= !src` over
+    /// the groups named by `shared_mask`, returning the mask bits whose group
+    /// came out zero. Dense operands take the 4-wide walk (computing per-lane
+    /// emptiness as it goes); sparse operands — the common write-lock release
+    /// of a few-word write set — touch only the shared words. `shared_mask`
+    /// must cover every word index where both operands are non-zero.
+    pub fn and_not_masked(dst: &mut [u64], src: &[u64], shared_mask: u64) -> u64 {
+        let n = dst.len().min(src.len());
+        let m = super::live_bits(shared_mask, n);
+        if n > 64 {
+            // A mask bit names a folded word group here; walk groups exactly
+            // as the scalar oracle (no unroll axis across a 64-word stride).
+            let mut emptied = 0u64;
+            let mut mm = m;
+            while mm != 0 {
+                let b = mm.trailing_zeros() as usize;
+                mm &= mm - 1;
+                let mut any = false;
+                let mut i = b;
+                while i < n {
+                    dst[i] &= !src[i];
+                    any |= dst[i] != 0;
+                    i += 64;
+                }
+                if !any {
+                    emptied |= 1u64 << b;
+                }
+            }
+            return emptied;
+        }
+        if mask_is_dense(m, n) {
+            let (dc, dt) = dst[..n].split_at_mut(n & !3);
+            let (sc, st) = src[..n].split_at(n & !3);
+            let mut zero = 0u64;
+            for (ci, (d, s)) in dc.chunks_exact_mut(4).zip(sc.chunks_exact(4)).enumerate() {
+                if s[0] | s[1] | s[2] | s[3] != 0 {
+                    d[0] &= !s[0];
+                    d[1] &= !s[1];
+                    d[2] &= !s[2];
+                    d[3] &= !s[3];
+                }
+                let base = ci * 4;
+                zero |= ((d[0] == 0) as u64) << base
+                    | ((d[1] == 0) as u64) << (base + 1)
+                    | ((d[2] == 0) as u64) << (base + 2)
+                    | ((d[3] == 0) as u64) << (base + 3);
+            }
+            let base = dc.len();
+            for (j, (d, &s)) in dt.iter_mut().zip(st).enumerate() {
+                *d &= !s;
+                zero |= ((*d == 0) as u64) << (base + j);
+            }
+            return m & zero;
+        }
+        let mut emptied = 0u64;
+        let mut mm = m;
+        while mm != 0 {
+            let b = mm.trailing_zeros() as usize;
+            mm &= mm - 1;
+            dst[b] &= !src[b];
+            if dst[b] == 0 {
+                emptied |= 1u64 << b;
+            }
+        }
+        emptied
+    }
+
+    /// [`intersect_any`][super::scalar::intersect_any_masked] guided by the
+    /// operands' shared non-zero-word mask: the common few-bits-vs-few-bits
+    /// conflict test reads a word or two; dense pairs take the 4-wide bulk
+    /// test. `shared_mask` must cover every word index where both operands
+    /// are non-zero.
+    pub fn intersect_any_masked(a: &[u64], b: &[u64], shared_mask: u64) -> bool {
+        let n = a.len().min(b.len());
+        let m = super::live_bits(shared_mask, n);
+        if n > 64 || mask_is_dense(m, n) {
+            return intersect_any(a, b);
+        }
+        let mut m = m;
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if a[bit] & b[bit] != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`probe_lines`][super::scalar::probe_lines_masked] guided by the
+    /// probing signature's non-zero-word mask: a sparse read signature loads
+    /// exactly its live bank words; dense ones take the line walk. The
+    /// atomic-access pattern (load only where the `sig` word is non-zero,
+    /// `SeqCst`) is the scalar oracle's. `sig_mask` must cover every
+    /// non-zero `sig` word.
+    pub fn probe_lines_masked(lines: &[super::BankLine], sig: &[u64], sig_mask: u64) -> bool {
+        let n = sig.len();
+        let m = super::live_bits(sig_mask, n);
+        if n > 64 || mask_is_dense(m, n) {
+            return probe_lines(lines, sig);
+        }
+        let mut m = m;
+        while m != 0 {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if sig[b] != 0 && lines[b / 8].0[b % 8].load(SeqCst) & sig[b] != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`probe_intersects`] over line-chunked bank storage. A 4-chunk of `sig`
+    /// never straddles a line (4 divides 8), so each live chunk touches exactly
+    /// one `BankLine`; chunks whose `sig` words OR to zero skip it entirely.
+    pub fn probe_lines(lines: &[super::BankLine], sig: &[u64]) -> bool {
+        let (sc, st) = sig.split_at(sig.len() & !3);
+        for (ci, s) in sc.chunks_exact(4).enumerate() {
+            if s[0] | s[1] | s[2] | s[3] == 0 {
+                continue;
+            }
+            let base = ci * 4;
+            let lane = &lines[base / 8].0;
+            let off = base % 8;
+            for k in 0..4 {
+                if s[k] != 0 && lane[off + k].load(SeqCst) & s[k] != 0 {
+                    return true;
+                }
+            }
+        }
+        let base = sc.len();
+        for (j, &s) in st.iter().enumerate() {
+            let i = base + j;
+            if s != 0 && lines[i / 8].0[i % 8].load(SeqCst) & s != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`fold_or`] over line-chunked bank storage, with the same chunk-skip and
+    /// the scalar oracle's exact atomic-RMW set.
+    pub fn fold_or_lines(lines: &[super::BankLine], sig: &[u64], word_mask: u64) {
+        let (sc, st) = sig.split_at(sig.len() & !3);
+        for (ci, s) in sc.chunks_exact(4).enumerate() {
+            if s[0] | s[1] | s[2] | s[3] == 0 {
+                continue;
+            }
+            let base = ci * 4;
+            let lane = &lines[base / 8].0;
+            let off = base % 8;
+            for k in 0..4 {
+                if s[k] != 0 && in_mask(base + k, word_mask) {
+                    lane[off + k].fetch_or(s[k], SeqCst);
+                }
+            }
+        }
+        let base = sc.len();
+        for (j, &s) in st.iter().enumerate() {
+            let i = base + j;
+            if s != 0 && in_mask(i, word_mask) {
+                lines[i / 8].0[i % 8].fetch_or(s, SeqCst);
+            }
+        }
+    }
+
+    /// [`popcount_atomic`] over the first `nwords` words of line-chunked bank
+    /// storage, one whole line (eight loads) per iteration.
+    pub fn popcount_lines(lines: &[super::BankLine], nwords: usize) -> u64 {
+        let mut n = 0u64;
+        let whole = nwords / 8;
+        for line in &lines[..whole] {
+            let w = &line.0;
+            n += (w[0].load(SeqCst).count_ones()
+                + w[1].load(SeqCst).count_ones()
+                + w[2].load(SeqCst).count_ones()
+                + w[3].load(SeqCst).count_ones()
+                + w[4].load(SeqCst).count_ones()
+                + w[5].load(SeqCst).count_ones()
+                + w[6].load(SeqCst).count_ones()
+                + w[7].load(SeqCst).count_ones()) as u64;
+        }
+        for i in whole * 8..nwords {
+            n += lines[i / 8].0[i % 8].load(SeqCst).count_ones() as u64;
+        }
+        n
+    }
+}
+
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {
+        if scalar_mode() {
+            note_scalar();
+            scalar::$name($($arg),*)
+        } else {
+            unrolled::$name($($arg),*)
+        }
+    };
+}
+
+/// Dispatching [`unrolled::conflict_word`] / [`scalar::conflict_word`].
+#[inline]
+pub fn conflict_word(lock: u64, skip: u64, mine: u64) -> bool {
+    dispatch!(conflict_word(lock, skip, mine))
+}
+
+/// Dispatching [`unrolled::intersect_any`] / [`scalar::intersect_any`].
+#[inline]
+pub fn intersect_any(a: &[u64], b: &[u64]) -> bool {
+    dispatch!(intersect_any(a, b))
+}
+
+/// Dispatching [`unrolled::or_into`] / [`scalar::or_into`].
+#[inline]
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    dispatch!(or_into(dst, src))
+}
+
+/// Dispatching [`unrolled::and_not_into`] / [`scalar::and_not_into`].
+#[inline]
+pub fn and_not_into(dst: &mut [u64], src: &[u64]) -> u64 {
+    dispatch!(and_not_into(dst, src))
+}
+
+/// Dispatching [`unrolled::or_into_masked`] / [`scalar::or_into_masked`].
+#[inline]
+pub fn or_into_masked(dst: &mut [u64], src: &[u64], src_mask: u64) {
+    dispatch!(or_into_masked(dst, src, src_mask))
+}
+
+/// Dispatching [`unrolled::and_not_masked`] / [`scalar::and_not_masked`].
+#[inline]
+pub fn and_not_masked(dst: &mut [u64], src: &[u64], shared_mask: u64) -> u64 {
+    dispatch!(and_not_masked(dst, src, shared_mask))
+}
+
+/// Dispatching [`unrolled::intersect_any_masked`] /
+/// [`scalar::intersect_any_masked`].
+#[inline]
+pub fn intersect_any_masked(a: &[u64], b: &[u64], shared_mask: u64) -> bool {
+    dispatch!(intersect_any_masked(a, b, shared_mask))
+}
+
+/// Dispatching [`unrolled::probe_lines_masked`] /
+/// [`scalar::probe_lines_masked`].
+#[inline]
+pub fn probe_lines_masked(lines: &[BankLine], sig: &[u64], sig_mask: u64) -> bool {
+    dispatch!(probe_lines_masked(lines, sig, sig_mask))
+}
+
+/// Dispatching [`unrolled::fold_masked`] / [`scalar::fold_masked`].
+#[inline]
+pub fn fold_masked(words: &[u64], word_mask: u64) -> u64 {
+    dispatch!(fold_masked(words, word_mask))
+}
+
+/// Dispatching [`unrolled::fold_live`] / [`scalar::fold_live`].
+#[inline]
+pub fn fold_live(words: &[u64], word_mask: u64, sig_mask: u64) -> u64 {
+    dispatch!(fold_live(words, word_mask, sig_mask))
+}
+
+/// Dispatching [`unrolled::mask_of`] / [`scalar::mask_of`].
+#[inline]
+pub fn mask_of(words: &[u64]) -> u64 {
+    dispatch!(mask_of(words))
+}
+
+/// Dispatching [`unrolled::popcount`] / [`scalar::popcount`].
+#[inline]
+pub fn popcount(words: &[u64]) -> u64 {
+    dispatch!(popcount(words))
+}
+
+/// Dispatching [`unrolled::probe_intersects`] / [`scalar::probe_intersects`].
+#[inline]
+pub fn probe_intersects(bank: &[AtomicU64], sig: &[u64]) -> bool {
+    dispatch!(probe_intersects(bank, sig))
+}
+
+/// Dispatching [`unrolled::fold_or`] / [`scalar::fold_or`].
+#[inline]
+pub fn fold_or(bank: &[AtomicU64], sig: &[u64], word_mask: u64) {
+    dispatch!(fold_or(bank, sig, word_mask))
+}
+
+/// Dispatching [`unrolled::popcount_atomic`] / [`scalar::popcount_atomic`].
+#[inline]
+pub fn popcount_atomic(bank: &[AtomicU64]) -> u64 {
+    dispatch!(popcount_atomic(bank))
+}
+
+/// Dispatching [`unrolled::probe_lines`] / [`scalar::probe_lines`].
+#[inline]
+pub fn probe_lines(lines: &[BankLine], sig: &[u64]) -> bool {
+    dispatch!(probe_lines(lines, sig))
+}
+
+/// Dispatching [`unrolled::fold_or_lines`] / [`scalar::fold_or_lines`].
+#[inline]
+pub fn fold_or_lines(lines: &[BankLine], sig: &[u64], word_mask: u64) {
+    dispatch!(fold_or_lines(lines, sig, word_mask))
+}
+
+/// Dispatching [`unrolled::popcount_lines`] / [`scalar::popcount_lines`].
+#[inline]
+pub fn popcount_lines(lines: &[BankLine], nwords: usize) -> u64 {
+    dispatch!(popcount_lines(lines, nwords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atomics(words: &[u64]) -> Vec<AtomicU64> {
+        words.iter().map(|&w| AtomicU64::new(w)).collect()
+    }
+
+    fn loads(bank: &[AtomicU64]) -> Vec<u64> {
+        bank.iter().map(|w| w.load(Ordering::SeqCst)).collect()
+    }
+
+    /// A handful of fixed slices covering empty, sparse, dense, and every
+    /// length residue mod 4 (the proptests sweep arbitrary inputs).
+    fn cases() -> Vec<Vec<u64>> {
+        vec![
+            vec![],
+            vec![0],
+            vec![u64::MAX],
+            vec![1, 0, 0],
+            vec![0, 2, 0, 4],
+            vec![0; 32],
+            (0..32).map(|i| if i % 5 == 0 { 1 << i } else { 0 }).collect(),
+            (0..33).map(|i| i as u64).collect(),
+            (0..130).map(|i| (i as u64).wrapping_mul(0x9E37)).collect(),
+        ]
+    }
+
+    #[test]
+    fn unrolled_matches_scalar_on_fixed_cases() {
+        for a in cases() {
+            for b in cases() {
+                if a.len() != b.len() {
+                    continue;
+                }
+                assert_eq!(
+                    unrolled::intersect_any(&a, &b),
+                    scalar::intersect_any(&a, &b)
+                );
+                let (mut d1, mut d2) = (a.clone(), a.clone());
+                unrolled::or_into(&mut d1, &b);
+                scalar::or_into(&mut d2, &b);
+                assert_eq!(d1, d2);
+                let (mut d1, mut d2) = (a.clone(), a.clone());
+                let r1 = unrolled::and_not_into(&mut d1, &b);
+                let r2 = scalar::and_not_into(&mut d2, &b);
+                assert_eq!((d1, r1 == 0), (d2, r2 == 0));
+
+                // The masked tier, under the exact-mask contract.
+                let (ma, mb) = (scalar::mask_of(&a), scalar::mask_of(&b));
+                let (mut d1, mut d2) = (a.clone(), a.clone());
+                unrolled::or_into_masked(&mut d1, &b, mb);
+                scalar::or_into_masked(&mut d2, &b, mb);
+                assert_eq!(d1, d2);
+                let mut bulk = a.clone();
+                unrolled::or_into(&mut bulk, &b);
+                assert_eq!(d1, bulk, "masked OR must equal the unguided kernel");
+                let (mut d1, mut d2) = (a.clone(), a.clone());
+                let r1 = unrolled::and_not_masked(&mut d1, &b, ma & mb);
+                let r2 = scalar::and_not_masked(&mut d2, &b, ma & mb);
+                assert_eq!((d1, r1), (d2, r2));
+                assert_eq!(
+                    unrolled::intersect_any_masked(&a, &b, ma & mb),
+                    scalar::intersect_any(&a, &b),
+                );
+            }
+            for mask in [0u64, u64::MAX, 0xF0F0_F0F0] {
+                assert_eq!(
+                    unrolled::fold_masked(&a, mask),
+                    scalar::fold_masked(&a, mask)
+                );
+                let ma = scalar::mask_of(&a);
+                assert_eq!(unrolled::fold_live(&a, mask, ma), scalar::fold_live(&a, mask, ma));
+                assert_eq!(
+                    scalar::fold_live(&a, mask, ma),
+                    scalar::fold_masked(&a, mask),
+                    "guided fold must equal the unguided kernel under the mask invariant"
+                );
+            }
+            assert_eq!(unrolled::mask_of(&a), scalar::mask_of(&a));
+            assert_eq!(unrolled::popcount(&a), scalar::popcount(&a));
+            assert_eq!(
+                unrolled::popcount_atomic(&atomics(&a)),
+                scalar::popcount_atomic(&atomics(&a))
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_kernels_match_scalar() {
+        for bank0 in cases() {
+            for sig in cases() {
+                if bank0.len() != sig.len() {
+                    continue;
+                }
+                assert_eq!(
+                    unrolled::probe_intersects(&atomics(&bank0), &sig),
+                    scalar::probe_intersects(&atomics(&bank0), &sig)
+                );
+                for mask in [0u64, u64::MAX, 0xAAAA_5555] {
+                    let (b1, b2) = (atomics(&bank0), atomics(&bank0));
+                    unrolled::fold_or(&b1, &sig, mask);
+                    scalar::fold_or(&b2, &sig, mask);
+                    assert_eq!(loads(&b1), loads(&b2));
+                }
+            }
+        }
+    }
+
+    fn lines_of(words: &[u64]) -> Vec<BankLine> {
+        words
+            .chunks(8)
+            .map(|c| {
+                let mut line: [AtomicU64; 8] = Default::default();
+                for (l, &w) in line.iter_mut().zip(c) {
+                    *l = AtomicU64::new(w);
+                }
+                BankLine::new(line)
+            })
+            .collect()
+    }
+
+    fn line_loads(lines: &[BankLine], n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| lines[i / 8].0[i % 8].load(Ordering::SeqCst))
+            .collect()
+    }
+
+    #[test]
+    fn line_kernels_match_scalar() {
+        for bank0 in cases() {
+            for sig in cases() {
+                if bank0.len() != sig.len() || sig.is_empty() {
+                    continue;
+                }
+                assert_eq!(
+                    unrolled::probe_lines(&lines_of(&bank0), &sig),
+                    scalar::probe_lines(&lines_of(&bank0), &sig)
+                );
+                let sm = scalar::mask_of(&sig);
+                assert_eq!(
+                    unrolled::probe_lines_masked(&lines_of(&bank0), &sig, sm),
+                    scalar::probe_lines_masked(&lines_of(&bank0), &sig, sm)
+                );
+                assert_eq!(
+                    scalar::probe_lines_masked(&lines_of(&bank0), &sig, sm),
+                    scalar::probe_lines(&lines_of(&bank0), &sig)
+                );
+                for mask in [0u64, u64::MAX, 0xAAAA_5555] {
+                    let (l1, l2) = (lines_of(&bank0), lines_of(&bank0));
+                    unrolled::fold_or_lines(&l1, &sig, mask);
+                    scalar::fold_or_lines(&l2, &sig, mask);
+                    assert_eq!(line_loads(&l1, sig.len()), line_loads(&l2, sig.len()));
+                }
+                assert_eq!(
+                    unrolled::popcount_lines(&lines_of(&bank0), bank0.len()),
+                    scalar::popcount_lines(&lines_of(&bank0), bank0.len())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_counts_scalar_falls() {
+        let _ = take_scalar_calls();
+        set_scalar(false);
+        assert!(!intersect_any(&[1], &[2]));
+        // Another test may flip the global concurrently; only assert the
+        // scalar window's own accounting.
+        set_scalar(true);
+        let before = take_scalar_calls();
+        assert_eq!(mask_of(&[0, 1]), 1 << 1);
+        assert_eq!(popcount(&[7]), 3);
+        let counted = take_scalar_calls();
+        set_scalar(false);
+        assert!(counted >= 2, "scalar dispatches must be counted: {before} {counted}");
+    }
+}

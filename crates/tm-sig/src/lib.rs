@@ -25,18 +25,28 @@
 //!   allocation- and clone-free;
 //! * [`EpochRegistry`] — the per-thread epoch pin registry behind the summary's
 //!   stall-free epoch-bank reset protocol ([`ResetMode::Epoch`], see
-//!   `docs/ring-sharding.md`, "Epoch-based resets").
+//!   `docs/ring-sharding.md`, "Epoch-based resets");
+//! * [`kernels`] — 4-wide-unrolled `u64` word kernels backing every signature
+//!   hot loop, with the original scalar loops compiled-in as differential
+//!   oracles; [`CacheAligned`] — the cache-line padding wrapper disciplining
+//!   the shared layouts; [`SigArena`] — the per-thread buffer-recycling arena
+//!   (see `docs/mem-layout.md`).
 
 #![deny(missing_docs)]
 
+pub mod align;
+pub mod arena;
 pub mod epoch;
 pub mod heap_sig;
 pub mod journal;
+pub mod kernels;
 pub mod ring;
 pub mod sharded;
 pub mod sig;
 pub mod spec;
 
+pub use align::{CacheAligned, CACHE_LINE};
+pub use arena::SigArena;
 pub use epoch::{EpochRegistry, MAX_EPOCH_THREADS};
 pub use heap_sig::HeapSig;
 pub use journal::{CloneSaved, SigJournal, SigSlot};

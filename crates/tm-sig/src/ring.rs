@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::SeqCst};
 
 use crate::epoch::EpochRegistry;
 use crate::heap_sig::HeapSig;
+use crate::kernels::{self, BankLine};
 use crate::sig::Sig;
 use crate::spec::SigSpec;
 use htm_sim::abort::TxResult;
@@ -153,6 +154,13 @@ impl Ring {
     pub fn entry_intersects_nt(&self, th: &HtmThread<'_>, ts: u64, sig: &Sig) -> bool {
         let base = self.entry_mask_addr(ts);
         let mword = th.nt_read(base);
+        // Both layouts gather the overlapping entry words and `sig` words into
+        // stack buffers (the mask pretests keep the gather to the handful of
+        // words both sides have live — the same heap-read set as before), then
+        // settle the conflict with one unrolled intersect-any kernel call.
+        let mut ewords = [0u64; 64];
+        let mut swords = [0u64; 64];
+        let mut n = 0usize;
         if self.spec.words() < 64 && mword & ENTRY_COMPACT != 0 {
             // Compact layout: word `i` sits at slot `rank of i in the stored
             // mask` right after the mask word (writers store in ascending
@@ -162,23 +170,33 @@ impl Ring {
             while overlap != 0 {
                 let i = overlap.trailing_zeros();
                 let slot = (stored & ((1u64 << i) - 1)).count_ones();
-                if th.nt_read(base + 1 + slot) & sig.word(i) != 0 {
-                    return true;
-                }
+                ewords[n] = th.nt_read(base + 1 + slot);
+                swords[n] = sig.word(i);
+                n += 1;
                 overlap &= overlap - 1;
             }
-            return false;
+            return kernels::intersect_any(&ewords[..n], &swords[..n]);
         }
         if mword & sig.nonzero_mask() == 0 {
             return false;
         }
         let entry = self.entry(ts);
         for (i, w) in sig.nonzero_words() {
-            if mword & (1 << i) != 0 && th.nt_read(entry.word_addr(i)) & w != 0 {
-                return true;
+            if mword & (1 << (i % 64)) != 0 {
+                ewords[n] = th.nt_read(entry.word_addr(i));
+                swords[n] = w;
+                n += 1;
+                if n == 64 {
+                    // Full buffers (folded geometries can overlap on > 64
+                    // words): settle this batch before gathering more.
+                    if kernels::intersect_any(&ewords, &swords) {
+                        return true;
+                    }
+                    n = 0;
+                }
             }
         }
-        false
+        kernels::intersect_any(&ewords[..n], &swords[..n])
     }
 
     /// Read the global timestamp non-transactionally (strongly atomic).
@@ -542,11 +560,18 @@ pub enum ResetAttempt {
 /// grace-period argument.
 #[derive(Debug)]
 pub struct RingSummary {
-    /// OR of every signature published since the last reset. Seqlock mode: one
-    /// bank of `spec.words()` atomics, cleared in place. Epoch mode: two banks
-    /// back to back (bank `b` word `i` at `b * spec.words() + i`); publishers
-    /// fold into bank `gen & 1`, resets clear the retired bank off to the side.
-    words: Box<[AtomicU64]>,
+    /// OR of every signature published since the last reset, stored as whole
+    /// cache lines ([`BankLine`], 8 words per 64-byte line) so each bank
+    /// starts on a line boundary and two banks never share a line — a
+    /// publisher folding into the current bank cannot false-share with the
+    /// reset clearing the retired one. Seqlock mode: one bank of
+    /// `lines_per_bank` lines, cleared in place. Epoch mode: two banks back to
+    /// back (bank `b` word `i` at line `b * lines_per_bank + i / 8`, lane
+    /// `i % 8`); publishers fold into bank `gen & 1`, resets clear the retired
+    /// bank off to the side.
+    lines: Box<[BankLine]>,
+    /// Whole cache lines per bank: `spec.words() / 8`, rounded up.
+    lines_per_bank: usize,
     /// Seqlock mode: generation, odd while a reset is clearing the words.
     /// Epoch mode: the epoch counter; the current bank is `gen & 1`.
     gen: AtomicU64,
@@ -627,10 +652,12 @@ impl RingSummary {
             ResetMode::Seqlock => 1,
             ResetMode::Epoch => 2,
         };
+        let lines_per_bank = (spec.words() as usize).div_ceil(WORDS_PER_LINE);
         Self {
-            words: (0..banks * spec.words() as usize)
-                .map(|_| AtomicU64::new(0))
+            lines: (0..banks * lines_per_bank)
+                .map(|_| BankLine::default())
                 .collect(),
+            lines_per_bank,
             gen: AtomicU64::new(0),
             reset_ts: [AtomicU64::new(0), AtomicU64::new(0)],
             started: AtomicU64::new(0),
@@ -684,7 +711,13 @@ impl RingSummary {
     /// Word `i` of bank `bank`.
     #[inline]
     fn word(&self, bank: usize, i: usize) -> &AtomicU64 {
-        &self.words[bank * self.spec.words() as usize + i]
+        &self.bank_lines(bank)[i / WORDS_PER_LINE].0[i % WORDS_PER_LINE]
+    }
+
+    /// The whole-line storage of bank `bank` (what the line kernels walk).
+    #[inline]
+    fn bank_lines(&self, bank: usize) -> &[BankLine] {
+        &self.lines[bank * self.lines_per_bank..(bank + 1) * self.lines_per_bank]
     }
 
     /// Pin `tid` to the current epoch (hazard-pointer handshake: publish the
@@ -755,12 +788,10 @@ impl RingSummary {
                 continue;
             }
             let bank = self.bank_of(g1);
-            for (i, w) in sig.nonzero_words() {
-                if i < 64 && word_mask & (1 << i) == 0 {
-                    continue;
-                }
-                self.word(bank, i as usize).fetch_or(w, SeqCst);
-            }
+            // The fold kernel ORs `sig`'s non-zero words under `word_mask`
+            // into the bank — the same atomic-RMW set as the old per-word
+            // loop, four words per branch.
+            kernels::fold_or_lines(self.bank_lines(bank), sig.words(), word_mask);
             if self.gen.load(SeqCst) == g1 {
                 break;
             }
@@ -867,10 +898,8 @@ impl RingSummary {
         if ts == start_time {
             return Ok(ts); // nothing committed since; same early-out as validate_nt
         }
-        for (i, w) in read_sig.nonzero_words() {
-            if self.word(0, i as usize).load(SeqCst) & w != 0 {
-                return Err(FastMiss::Dirty);
-            }
+        if kernels::probe_lines_masked(self.bank_lines(0), read_sig.words(), read_sig.nonzero_mask()) {
+            return Err(FastMiss::Dirty);
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
             return Err(FastMiss::Inflight);
@@ -899,10 +928,8 @@ impl RingSummary {
         if ts == start_time {
             return Ok(ts);
         }
-        for (i, w) in read_sig.nonzero_words() {
-            if self.word(bank, i as usize).load(SeqCst) & w != 0 {
-                return Err(FastMiss::Dirty);
-            }
+        if kernels::probe_lines_masked(self.bank_lines(bank), read_sig.words(), read_sig.nonzero_mask()) {
+            return Err(FastMiss::Dirty);
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != e {
             return Err(FastMiss::Inflight);
@@ -1019,10 +1046,8 @@ impl RingSummary {
             }
             return Err(FastMiss::Inflight);
         }
-        for (i, w) in read_sig.nonzero_words() {
-            if self.word(0, i as usize).load(SeqCst) & w != 0 {
-                return Err(FastMiss::Dirty);
-            }
+        if kernels::probe_lines_masked(self.bank_lines(0), read_sig.words(), read_sig.nonzero_mask()) {
+            return Err(FastMiss::Dirty);
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != g1 {
             return Err(FastMiss::Inflight);
@@ -1046,10 +1071,8 @@ impl RingSummary {
             }
             return Err(FastMiss::Inflight);
         }
-        for (i, w) in read_sig.nonzero_words() {
-            if self.word(bank, i as usize).load(SeqCst) & w != 0 {
-                return Err(FastMiss::Dirty);
-            }
+        if kernels::probe_lines_masked(self.bank_lines(bank), read_sig.words(), read_sig.nonzero_mask()) {
+            return Err(FastMiss::Dirty);
         }
         if self.started.load(SeqCst) != c1 || self.gen.load(SeqCst) != e {
             return Err(FastMiss::Inflight);
@@ -1070,10 +1093,7 @@ impl RingSummary {
     /// Popcount of the current bank against the adaptive threshold.
     fn density_exceeded(&self) -> bool {
         let bank = self.bank_of(self.gen.load(SeqCst));
-        let nw = self.spec.words() as usize;
-        let pop: u64 = (0..nw)
-            .map(|i| self.word(bank, i).load(SeqCst).count_ones() as u64)
-            .sum();
+        let pop = kernels::popcount_lines(self.bank_lines(bank), self.spec.words() as usize);
         pop > self.live_bits as u64 * self.ctrl_num.load(SeqCst) as u64 / self.ctrl_den as u64
     }
 

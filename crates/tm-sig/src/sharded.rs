@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use htm_sim::abort::TxResult;
 use htm_sim::{HeapBuilder, HtmThread, HtmTx};
 
+use crate::align::CacheAligned;
 use crate::ring::{
     FastMiss, ResetAttempt, ResetMode, Ring, RingSummary, RingValidationError, SummaryTuning,
 };
@@ -568,14 +569,28 @@ impl ShardedRing {
 /// publisher ORs in after the zero are false positives, never missed
 /// conflicts — its timestamp was visible before the post-clear floor read, so
 /// every window the group will vouch for already starts above it.
+/// Each array is wrapped in [`CacheAligned`] so it starts on its own cache
+/// line (a 16-shard array is exactly two lines): validators sweeping the
+/// `probe`/`watermark`/`floor` arrays never false-share with publishers
+/// hammering `started`/`completed`, while slots *within* an array stay packed
+/// — that contiguity is the point of the block (the const-assertions below pin
+/// the layout).
 #[derive(Debug, Default)]
 struct GroupProbe {
-    started: [AtomicU64; MAX_RING_SHARDS],
-    completed: [AtomicU64; MAX_RING_SHARDS],
-    floor: [AtomicU64; MAX_RING_SHARDS],
-    watermark: [AtomicU64; MAX_RING_SHARDS],
-    probe: [AtomicU64; MAX_RING_SHARDS],
+    started: CacheAligned<[AtomicU64; MAX_RING_SHARDS]>,
+    completed: CacheAligned<[AtomicU64; MAX_RING_SHARDS]>,
+    floor: CacheAligned<[AtomicU64; MAX_RING_SHARDS]>,
+    watermark: CacheAligned<[AtomicU64; MAX_RING_SHARDS]>,
+    probe: CacheAligned<[AtomicU64; MAX_RING_SHARDS]>,
 }
+
+// Five arrays of two lines each, no hidden padding, block starts line-aligned.
+const _: () = {
+    use std::mem::{align_of, size_of};
+    assert!(size_of::<CacheAligned<[AtomicU64; MAX_RING_SHARDS]>>() == 2 * crate::align::CACHE_LINE);
+    assert!(size_of::<GroupProbe>() == 5 * 2 * crate::align::CACHE_LINE);
+    assert!(align_of::<GroupProbe>() == crate::align::CACHE_LINE);
+};
 
 /// Host-side companion to a [`ShardedRing`]: one [`RingSummary`] per shard, each
 /// masked to its shard's word range, plus the combined `GroupProbe` block.

@@ -14,6 +14,8 @@
 //! group fold for larger sweep geometries only ever costs extra word visits, never a
 //! missed one.
 
+use crate::align::CacheAligned;
+use crate::kernels;
 use crate::spec::SigSpec;
 use htm_sim::Addr;
 
@@ -55,12 +57,21 @@ const INLINE_WORDS: usize = 32;
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Storage {
     /// Up to 2048 bits, held inline: `Sig::new(SigSpec::PAPER)` is allocation-free
-    /// and the filter kernels run over a fixed-size `[u64; 32]` the compiler can
+    /// and the filter kernels run over a fixed-size, cache-line-aligned
+    /// `[u64; 32]` (4 whole lines, never straddling a fifth) the compiler can
     /// fully unroll/vectorise.
-    Inline([u64; INLINE_WORDS]),
+    Inline(CacheAligned<[u64; INLINE_WORDS]>),
     /// Larger geometries fall back to a heap slice.
     Heap(Box<[u64]>),
 }
+
+// The inline buffer is exactly 4 cache lines and starts on a line boundary, so
+// the paper's 2048-bit signature occupies 4 lines, not 5.
+const _: () = {
+    use std::mem::{align_of, size_of};
+    assert!(size_of::<CacheAligned<[u64; INLINE_WORDS]>>() == 4 * crate::align::CACHE_LINE);
+    assert!(align_of::<Sig>() == crate::align::CACHE_LINE);
+};
 
 impl Sig {
     /// An empty signature with the given geometry. Allocation-free for geometries
@@ -68,7 +79,7 @@ impl Sig {
     pub fn new(spec: SigSpec) -> Self {
         let n = spec.words() as usize;
         let storage = if n <= INLINE_WORDS {
-            Storage::Inline([0u64; INLINE_WORDS])
+            Storage::Inline(CacheAligned::new([0u64; INLINE_WORDS]))
         } else {
             Storage::Heap(vec![0u64; n].into_boxed_slice())
         };
@@ -98,19 +109,41 @@ impl Sig {
     #[inline]
     pub fn words(&self) -> &[u64] {
         match &self.storage {
-            Storage::Inline(a) => &a[..self.spec.words() as usize],
+            Storage::Inline(a) => &a.0[..self.spec.words() as usize],
             Storage::Heap(b) => b,
         }
     }
 
-    /// Mutable word access that bypasses mask maintenance — internal only; every
-    /// caller re-establishes the mask invariant itself.
+    /// Mutable word access that bypasses mask maintenance — crate-internal only;
+    /// every caller re-establishes the mask invariant itself (audited by
+    /// [`Sig::assert_mask_invariant`]).
     #[inline]
-    fn raw_words_mut(&mut self) -> &mut [u64] {
+    pub(crate) fn raw_words_mut(&mut self) -> &mut [u64] {
         match &mut self.storage {
-            Storage::Inline(a) => &mut a[..self.spec.words() as usize],
+            Storage::Inline(a) => &mut a.0[..self.spec.words() as usize],
             Storage::Heap(b) => b,
         }
+    }
+
+    /// Recompute the non-zero-word mask from the words (crate-internal: the
+    /// journal's bulk rollback restores raw words and rebuilds the mask once).
+    #[inline]
+    pub(crate) fn rebuild_mask(&mut self) {
+        self.mask = kernels::mask_of(self.words());
+    }
+
+    /// Debug-only audit of the mask invariant: recompute the non-zero-word mask
+    /// from scratch with the scalar oracle and assert it matches the maintained
+    /// one. Compiles to nothing in release builds; the sig/journal proptests
+    /// call it after every mutation sequence, closing the audit hole around
+    /// `raw_words_mut`'s "every caller re-establishes the invariant" contract.
+    #[inline]
+    pub fn assert_mask_invariant(&self) {
+        debug_assert_eq!(
+            self.mask,
+            kernels::scalar::mask_of(self.words()),
+            "non-zero-word mask out of sync with words"
+        );
     }
 
     /// The non-zero-word mask (bit `i % 64` set iff some word `i` is non-zero).
@@ -205,20 +238,26 @@ impl Sig {
         self.mask = 0;
     }
 
-    /// `self |= other`. Sparse: only `other`'s live words are visited, and the mask
-    /// union is exact (a group is non-zero afterwards iff it was non-zero in either
-    /// operand).
+    /// `self |= other`. Routed through the mask-guided OR kernel (sparse
+    /// sources touch only their live words; dense sources take the 4-wide
+    /// bulk walk); the mask union is exact (a group is non-zero afterwards
+    /// iff it was non-zero in either operand).
     #[inline]
     pub fn union_with(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
-        for (i, w) in other.nonzero_words() {
-            self.raw_words_mut()[i as usize] |= w;
+        if other.mask == 0 {
+            return;
         }
+        kernels::or_into_masked(self.raw_words_mut(), other.words(), other.mask);
         self.mask |= other.mask;
+        self.assert_mask_invariant();
     }
 
-    /// `self &= !other` (remove the other signature's bits). Sparse: only groups
-    /// live in both operands are touched, and their mask bits are recomputed.
+    /// `self &= !other` (remove the other signature's bits). Routed through
+    /// the mask-guided AND-NOT kernel: only groups live in both operands are
+    /// touched (the common write-lock release of a few-word write set costs a
+    /// word or two), and the kernel reports exactly which groups emptied, so
+    /// the mask is maintained incrementally — no full-width rebuild.
     #[inline]
     pub fn subtract(&mut self, other: &Sig) {
         debug_assert_eq!(self.spec, other.spec);
@@ -226,55 +265,30 @@ impl Sig {
         if shared == 0 {
             return;
         }
-        let n = self.spec.words() as usize;
-        let mut m = shared;
-        while m != 0 {
-            let b = m.trailing_zeros() as usize;
-            m &= m - 1;
-            let mut any = false;
-            let mut i = b;
-            while i < n {
-                let w = self.words()[i] & !other.words()[i];
-                self.raw_words_mut()[i] = w;
-                any |= w != 0;
-                i += 64;
-            }
-            if !any {
-                self.mask &= !(1u64 << b);
-            }
-        }
+        self.mask &= !kernels::and_not_masked(self.raw_words_mut(), other.words(), shared);
+        self.assert_mask_invariant();
     }
 
     /// True if the two signatures share any bit (the "bitwise AND" conflict test of
-    /// the paper's commit validations). Sparse: groups live in only one operand are
-    /// skipped without reading a single word, so the common few-bits-vs-few-bits
-    /// test costs a mask AND plus a word or two.
+    /// the paper's commit validations). The mask AND settles the common
+    /// disjoint case without reading a word; live pairs fall to the
+    /// mask-guided intersect kernel, which reads only groups live in both
+    /// operands (or the 4-wide bulk test when they are dense).
     #[inline]
     pub fn intersects(&self, other: &Sig) -> bool {
         debug_assert_eq!(self.spec, other.spec);
-        let mut m = self.mask & other.mask;
-        if m == 0 {
+        let shared = self.mask & other.mask;
+        if shared == 0 {
             return false;
         }
-        let n = self.spec.words() as usize;
-        while m != 0 {
-            let b = m.trailing_zeros() as usize;
-            m &= m - 1;
-            let mut i = b;
-            while i < n {
-                if self.words()[i] & other.words()[i] != 0 {
-                    return true;
-                }
-                i += 64;
-            }
-        }
-        false
+        kernels::intersect_any_masked(self.words(), other.words(), shared)
     }
 
-    /// Number of set bits (diagnostics).
+    /// Number of set bits (diagnostics). Routed through the popcount-density
+    /// kernel.
     #[inline]
     pub fn popcount(&self) -> u32 {
-        self.nonzero_words().map(|(_, w)| w.count_ones()).sum()
+        kernels::popcount(self.words()) as u32
     }
 
     /// Conservative 64-bit fold of the whole signature: the OR of every word.
@@ -284,21 +298,19 @@ impl Sig {
     /// The sharded ring's combined group fast pass keys off this.
     #[inline]
     pub fn fold_word(&self) -> u64 {
-        self.nonzero_words().fold(0, |acc, (_, w)| acc | w)
+        kernels::fold_live(self.words(), u64::MAX, self.mask)
     }
 
     /// [`Sig::fold_word`] restricted to the words selected by `word_mask`
     /// (the per-shard fold a publisher contributes to its shard's group probe
-    /// word).
+    /// word). Words at index 64 and beyond — folded-geometry siblings — always
+    /// participate, exactly as before. Routed through the mask-guided
+    /// [`kernels::fold_live`]: `validate_touched_nt` issues this fold once per
+    /// touched shard per validation, so a sparse read signature must not pay a
+    /// full-geometry walk here.
     #[inline]
     pub fn fold_word_masked(&self, word_mask: u64) -> u64 {
-        self.nonzero_words().fold(0, |acc, (i, w)| {
-            if i < 64 && word_mask & (1 << i) == 0 {
-                acc
-            } else {
-                acc | w
-            }
-        })
+        kernels::fold_live(self.words(), word_mask, self.mask)
     }
 
     /// Iterate the non-zero words as `(index, word)` pairs, driven by the mask.
@@ -314,13 +326,7 @@ impl Sig {
 
 /// Compute the non-zero-word mask of a word slice from scratch.
 fn mask_of(words: &[u64]) -> u64 {
-    let mut m = 0u64;
-    for (i, &w) in words.iter().enumerate() {
-        if w != 0 {
-            m |= 1u64 << (i % 64);
-        }
-    }
-    m
+    kernels::mask_of(words)
 }
 
 /// Iterator over a signature's non-zero `(index, word)` pairs (see
@@ -367,6 +373,7 @@ mod tests {
     /// Every mutator must leave the mask exactly equal to the recomputed one.
     fn assert_mask_exact(s: &Sig) {
         assert_eq!(s.nonzero_mask(), mask_of(s.words()), "mask out of sync");
+        s.assert_mask_invariant();
     }
 
     #[test]

@@ -2,21 +2,34 @@
 //! the segment journal (vs the clone-based reference), the summary fast path
 //! (vs ground truth, under real multithreaded interleavings), the sharded
 //! ring (vs per-shard ground truth, plus a shard-count=1 differential oracle
-//! against the single ring), and the epoch reset protocol (vs ground truth
+//! against the single ring), the epoch reset protocol (vs ground truth
 //! under concurrent resets, vs the seqlock protocol as a differential oracle,
 //! and the skip-untouched-shards software publish vs a publish-everything
-//! oracle).
+//! oracle), the unrolled word kernels (word-for-word vs the scalar oracles),
+//! and the signature arena's cleared-on-recycle contract.
 
 use htm_sim::{HeapBuilder, HtmConfig, HtmSystem};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Mutex;
+use tm_sig::kernels::{scalar, unrolled, BankLine};
 use tm_sig::{
-    CloneSaved, ResetMode, Ring, RingSummary, ShardTimes, ShardedRing, Sig, SigJournal, SigSlot,
-    SigSpec, SummaryTuning,
+    CloneSaved, ResetMode, Ring, RingSummary, ShardTimes, ShardedRing, Sig, SigArena, SigJournal,
+    SigSlot, SigSpec, SummaryTuning,
 };
 
 fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..100_000, 0..64)
+}
+
+/// Equal-length word-slice pairs for the kernel differentials: every length
+/// residue mod 4 (so the unrolled tails are hit), words zero-biased so whole
+/// 4-word chunks qualify for the chunk skip. Lengths sweep past 64 to cover
+/// the folded >64-word geometry and both 1- and 2-word (sub-chunk) slices;
+/// 32 words is the paper spec.
+fn arb_word_pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let word = || prop_oneof![Just(0u64), Just(0u64), 1u64..=u64::MAX];
+    proptest::collection::vec((word(), word()), 0..70).prop_map(|v| v.into_iter().unzip())
 }
 
 /// The executor's journaled-add pattern (see `SigPair::add_journaled`).
@@ -64,6 +77,7 @@ proptest! {
 
         let mut u = sa.clone();
         u.union_with(&sb);
+        u.assert_mask_invariant();
         for &x in a.iter().chain(b.iter()) {
             prop_assert!(u.contains(x));
         }
@@ -71,6 +85,7 @@ proptest! {
         // (a ∪ b) − b ⊆ a at the bit level: every surviving bit is in a.
         let mut diff = u.clone();
         diff.subtract(&sb);
+        diff.assert_mask_invariant();
         for (w_diff, w_a) in diff.words().iter().zip(sa.words()) {
             prop_assert_eq!(w_diff & !w_a, 0);
         }
@@ -181,6 +196,8 @@ proptest! {
                 j.rollback(&mut r_j, &mut w_j);
                 saved.restore(&mut r_c, &mut w_c);
             }
+            r_j.assert_mask_invariant();
+            w_j.assert_mask_invariant();
             prop_assert_eq!(&r_j, &r_c);
             prop_assert_eq!(&w_j, &w_c);
         }
@@ -812,5 +829,147 @@ proptest! {
             let v2 = sharded.validate_touched_nt(&th, &summaries, &rsig, &mut t2);
             prop_assert_eq!(v2.result, oracle_verdict, "validate_touched_nt diverged");
         }
+    }
+}
+
+// Second block: the macro's expansion depth grows with the number of tests in
+// one block, and the first block is already at the recursion limit.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The unrolled word kernels against the scalar oracles, word for word, on
+    /// arbitrary equal-length slices (every length residue mod 4, zero-biased
+    /// words so chunk skipping fires) and arbitrary word masks. Covers the
+    /// plain, atomic-bank and line-chunked kernel families.
+    #[test]
+    fn unrolled_kernels_match_scalar_oracles(pair in arb_word_pair(), mask in 0u64..=u64::MAX) {
+        let (a, b): (Vec<u64>, Vec<u64>) = pair;
+        prop_assert_eq!(unrolled::intersect_any(&a, &b), scalar::intersect_any(&a, &b));
+
+        let (mut d1, mut d2) = (a.clone(), a.clone());
+        unrolled::or_into(&mut d1, &b);
+        scalar::or_into(&mut d2, &b);
+        prop_assert_eq!(&d1, &d2);
+
+        let (mut d1, mut d2) = (a.clone(), a.clone());
+        let r1 = unrolled::and_not_into(&mut d1, &b);
+        let r2 = scalar::and_not_into(&mut d2, &b);
+        prop_assert_eq!((&d1, r1 == 0), (&d2, r2 == 0));
+
+        // The masked tier, under the exact-mask contract the Sig invariant
+        // provides (the mask covers every non-zero word of its operand).
+        let (ma, mb) = (scalar::mask_of(&a), scalar::mask_of(&b));
+        let (mut d1, mut d2) = (a.clone(), a.clone());
+        unrolled::or_into_masked(&mut d1, &b, mb);
+        scalar::or_into_masked(&mut d2, &b, mb);
+        prop_assert_eq!(&d1, &d2);
+        let mut bulk = a.clone();
+        scalar::or_into(&mut bulk, &b);
+        prop_assert_eq!(&d1, &bulk);
+
+        let (mut d1, mut d2) = (a.clone(), a.clone());
+        let r1 = unrolled::and_not_masked(&mut d1, &b, ma & mb);
+        let r2 = scalar::and_not_masked(&mut d2, &b, ma & mb);
+        prop_assert_eq!((&d1, r1), (&d2, r2));
+
+        prop_assert_eq!(
+            unrolled::intersect_any_masked(&a, &b, ma & mb),
+            scalar::intersect_any(&a, &b)
+        );
+        prop_assert_eq!(
+            scalar::intersect_any_masked(&a, &b, ma & mb),
+            scalar::intersect_any(&a, &b)
+        );
+
+        for m in [0, u64::MAX, mask] {
+            prop_assert_eq!(unrolled::fold_masked(&a, m), scalar::fold_masked(&a, m));
+            prop_assert_eq!(unrolled::fold_live(&a, m, ma), scalar::fold_live(&a, m, ma));
+            prop_assert_eq!(scalar::fold_live(&a, m, ma), scalar::fold_masked(&a, m));
+        }
+        prop_assert_eq!(unrolled::mask_of(&a), scalar::mask_of(&a));
+        prop_assert_eq!(unrolled::popcount(&a), scalar::popcount(&a));
+
+        let atomics = |w: &[u64]| -> Vec<AtomicU64> {
+            w.iter().map(|&x| AtomicU64::new(x)).collect()
+        };
+        let loads = |bank: &[AtomicU64]| -> Vec<u64> {
+            bank.iter().map(|x| x.load(SeqCst)).collect()
+        };
+        let (b1, b2) = (atomics(&a), atomics(&a));
+        prop_assert_eq!(
+            unrolled::probe_intersects(&b1, &b),
+            scalar::probe_intersects(&b2, &b)
+        );
+        unrolled::fold_or(&b1, &b, mask);
+        scalar::fold_or(&b2, &b, mask);
+        prop_assert_eq!(loads(&b1), loads(&b2));
+        prop_assert_eq!(unrolled::popcount_atomic(&b1), scalar::popcount_atomic(&b2));
+
+        let lines_of = |w: &[u64]| -> Vec<BankLine> {
+            w.chunks(8)
+                .map(|c| {
+                    let mut line: [AtomicU64; 8] = Default::default();
+                    for (l, &x) in line.iter_mut().zip(c) {
+                        *l = AtomicU64::new(x);
+                    }
+                    BankLine::new(line)
+                })
+                .collect()
+        };
+        let line_loads = |lines: &[BankLine], n: usize| -> Vec<u64> {
+            (0..n).map(|i| lines[i / 8].0[i % 8].load(SeqCst)).collect()
+        };
+        let (l1, l2) = (lines_of(&a), lines_of(&a));
+        prop_assert_eq!(
+            unrolled::probe_lines(&l1, &b),
+            scalar::probe_lines(&l2, &b)
+        );
+        prop_assert_eq!(
+            unrolled::probe_lines_masked(&l1, &b, mb),
+            scalar::probe_lines_masked(&l2, &b, mb)
+        );
+        prop_assert_eq!(
+            scalar::probe_lines_masked(&l2, &b, mb),
+            scalar::probe_lines(&l2, &b)
+        );
+        unrolled::fold_or_lines(&l1, &b, mask);
+        scalar::fold_or_lines(&l2, &b, mask);
+        prop_assert_eq!(line_loads(&l1, a.len()), line_loads(&l2, a.len()));
+        prop_assert_eq!(
+            unrolled::popcount_lines(&l1, a.len()),
+            scalar::popcount_lines(&l2, a.len())
+        );
+    }
+
+    /// The arena's lifecycle contract: however a signature or journal was
+    /// dirtied before recycling, the next take of the same spec hands back a
+    /// provably empty buffer (all words zero, mask invariant intact, no
+    /// pending journal entries), on both the inline (2048-bit) and heap-backed
+    /// (8192-bit) geometry.
+    #[test]
+    fn arena_recycled_buffers_come_back_empty(
+        addrs in arb_addrs(),
+        bits in prop_oneof![Just(2048u32), Just(8192)],
+    ) {
+        let spec = SigSpec::new(bits);
+        let mut arena = SigArena::default();
+
+        let mut s = arena.take_sig(spec);
+        let mut j = arena.take_journal();
+        j.begin(spec);
+        for &a in &addrs {
+            journaled_add(&mut j, &mut s, SigSlot::Read, a);
+        }
+        arena.recycle_sig(s);
+        arena.recycle_journal(j);
+
+        let s = arena.take_sig(spec);
+        prop_assert!(s.is_empty());
+        prop_assert!(s.words().iter().all(|&w| w == 0));
+        s.assert_mask_invariant();
+        let j = arena.take_journal();
+        prop_assert!(j.is_empty());
+        let (reuses, allocs) = arena.take_counters();
+        prop_assert_eq!((reuses, allocs), (2, 2));
     }
 }

@@ -5,14 +5,15 @@
 #
 # Flags:
 #   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
-#            including a ringbench --mode epoch pass
+#            including a ringbench --mode epoch pass and a membench pass
 #   --bench  full microbenchmark run: linebench + pathbench + ringbench (the
-#            latter in both summary-reset protocols), writing fresh numbers to
-#            target/BENCH_{2,3,4}.json and gating against the committed
-#            ./BENCH_2.json, ./BENCH_3.json and ./BENCH_4.json (a >10%
-#            regression on end-to-end partitioned throughput or sharded mixed
-#            publish throughput, or a >2x blow-up of the epoch-mode sharded
-#            validation overhead, fails the gate)
+#            latter in both summary-reset protocols) + membench, writing
+#            fresh numbers to target/BENCH_{2,3,4,5}.json and gating against
+#            the committed ./BENCH_{2,3,4,5}.json (a >10% regression on
+#            end-to-end partitioned throughput or sharded mixed publish
+#            throughput, a >2x blow-up of the epoch-mode sharded validation
+#            overhead, a >2x slow-down of the unrolled intersect kernel, or
+#            padding turning measurably costly, fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -33,27 +34,35 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 case "${1:-}" in
 --smoke)
     echo "== tier1: linebench --smoke =="
-    cargo run -q --release -p tm-harness --bin linebench -- --smoke
+    cargo run -q --release -p tm-bench --bin linebench -- --smoke
     echo "== tier1: pathbench --smoke =="
-    cargo run -q --release -p tm-harness --bin pathbench -- --smoke
+    cargo run -q --release -p tm-bench --bin pathbench -- --smoke
     echo "== tier1: ringbench --smoke =="
-    cargo run -q --release -p tm-harness --bin ringbench -- --smoke
+    cargo run -q --release -p tm-bench --bin ringbench -- --smoke
     echo "== tier1: ringbench --smoke --mode epoch =="
-    cargo run -q --release -p tm-harness --bin ringbench -- --smoke --mode epoch
+    cargo run -q --release -p tm-bench --bin ringbench -- --smoke --mode epoch
+    echo "== tier1: membench --smoke =="
+    cargo run -q --release -p tm-bench --bin membench -- --smoke
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
-    cargo run -q --release -p tm-harness --bin linebench
+    cargo run -q --release -p tm-bench --bin linebench
     echo "== tier1: pathbench (full, regression gate vs BENCH_2.json) =="
-    cargo run -q --release -p tm-harness --bin pathbench -- \
+    # --shards 1 matches the committed baseline's convention (see
+    # EXPERIMENTS.md): the gate tracks the single-ring partitioned path, not
+    # the sharding delta, which flips sign with the host's core count.
+    cargo run -q --release -p tm-bench --bin pathbench -- --shards 1 \
         --json target/BENCH_2.json --baseline BENCH_2.json
     echo "== tier1: ringbench (full, regression gate vs BENCH_3.json) =="
-    cargo run -q --release -p tm-harness --bin ringbench -- \
+    cargo run -q --release -p tm-bench --bin ringbench -- \
         --json target/BENCH_3.json --baseline BENCH_3.json
     echo "== tier1: ringbench --mode epoch (full, regression gate vs BENCH_4.json) =="
-    cargo run -q --release -p tm-harness --bin ringbench -- --mode epoch \
+    cargo run -q --release -p tm-bench --bin ringbench -- --mode epoch \
         --json target/BENCH_4.json --baseline BENCH_4.json
-    echo "   fresh numbers in target/BENCH_{2,3,4}.json; copy over the" \
+    echo "== tier1: membench (full, regression gate vs BENCH_5.json) =="
+    cargo run -q --release -p tm-bench --bin membench -- \
+        --json target/BENCH_5.json --baseline BENCH_5.json
+    echo "   fresh numbers in target/BENCH_{2,3,4,5}.json; copy over the" \
          "matching ./BENCH_N.json to rebaseline"
     ;;
 esac
