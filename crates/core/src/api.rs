@@ -141,8 +141,24 @@ pub trait Workload {
     /// partitioned path directly). `Some(true)` = known to exceed HTM resources,
     /// skip the fast path; `Some(false)` = known to fit, always try the fast path;
     /// `None` = unknown, let the executor adapt from observed outcomes.
+    ///
+    /// Under `TmConfig::adaptive_plan` this is a *prior*, not a verdict: it
+    /// routes the site until the abort-profile controller
+    /// ([`crate::planner`]) has observed real fast-path outcomes, after which
+    /// the learned history decides (and periodically re-probes).
     fn profiled_resource_limited(&self) -> Option<bool> {
         None
+    }
+
+    /// The transaction *site* of the sampled transaction: a small stable id
+    /// for "transactions of this shape" (e.g. one id per operation type, or
+    /// per long/short class). The adaptive planner keeps one abort profile —
+    /// demotion history, segment plan, retry budgets — per site, so
+    /// transactions with different resource appetites should report
+    /// different sites. The default (one site for the whole workload) is
+    /// always safe, just coarser.
+    fn site(&self) -> u32 {
+        0
     }
 
     /// Reset all mutable execution state before a whole-transaction (re)attempt.

@@ -27,6 +27,7 @@ pub mod api;
 pub mod ctx;
 pub mod opaque;
 pub mod parthtm;
+pub mod planner;
 pub mod runtime;
 pub mod stats;
 pub mod undo;
@@ -37,5 +38,6 @@ pub use api::{
 };
 pub use opaque::PartHtmO;
 pub use parthtm::PartHtm;
+pub use planner::{build_plan, FastProfile, FastRoute, PlanStep, SiteTable};
 pub use runtime::{TmConfig, TmRuntime, TmThread};
 pub use stats::TmStats;

@@ -28,7 +28,8 @@ use crate::api::{
     XABORT_TS_CHANGED, XABORT_UNDO_FULL,
 };
 use crate::ctx::{RawCtx, SigPair, SoftwareCtx};
-use crate::parthtm::{run_global_lock, wait_glock_released};
+use crate::parthtm::{capacity_class, run_global_lock, wait_glock_released, GroupRun};
+use crate::planner::{build_plan, FastExit, FastProfile, FastRoute, PlanChange, PlanStep};
 use crate::runtime::{ThreadArena, TmRuntime, TmThread};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
@@ -207,11 +208,11 @@ pub struct PartHtmO<'r> {
     /// Per-shard validation window (doubles as the sub-HTM subscription vector:
     /// every sub-transaction re-checks all shard timestamps against it).
     times: ShardTimes,
-    /// Consecutive transactions whose fast attempt died of a resource failure
-    /// (adaptive profiler stand-in; see the base executor).
-    resource_streak: u32,
-    /// Transactions executed (drives the periodic fast-path re-probe).
-    tx_count: u64,
+    /// The fast-path routing profile — the single decision point shared with
+    /// the base executor via [`crate::planner::FastProfile`].
+    profile: FastProfile,
+    /// Reusable segment-plan buffer (see the base executor).
+    plan: Vec<PlanStep>,
 }
 
 impl<'r> PartHtmO<'r> {
@@ -375,7 +376,18 @@ impl<'r> PartHtmO<'r> {
         v.result.is_ok()
     }
 
-    fn run_sub<W: Workload>(&mut self, w: &mut W, seg: usize, wrote: &mut bool) -> bool {
+    /// Run the declared segments `start..end` as one sub-HTM transaction with
+    /// bounded retries (see the base executor's `run_group`): a merged group
+    /// that dies of a capacity-class abort reports [`GroupRun::Split`] for
+    /// single-segment re-execution instead of retrying futilely.
+    fn run_group<W: Workload>(
+        &mut self,
+        w: &mut W,
+        start: usize,
+        end: usize,
+        wrote: &mut bool,
+        budget: u32,
+    ) -> GroupRun {
         let rt = self.th.rt;
         let a = self.arena;
         let snap = w.snapshot();
@@ -412,8 +424,10 @@ impl<'r> PartHtmO<'r> {
                         journal: &mut self.journal,
                         wrote,
                     };
-                    if let Err(e) = w.segment(seg, &mut ctx) {
-                        break 'b Err(e);
+                    for seg in start..end {
+                        if let Err(e) = w.segment(seg, &mut ctx) {
+                            break 'b Err(e);
+                        }
                     }
                 }
                 // No pre-commit validation and no lock-signature acquisition: the
@@ -430,7 +444,7 @@ impl<'r> PartHtmO<'r> {
             match res {
                 Ok(()) => {
                     self.journal.discard();
-                    return true;
+                    return GroupRun::Committed;
                 }
                 Err(code) => {
                     self.th.stats.sub_aborts += 1;
@@ -440,6 +454,10 @@ impl<'r> PartHtmO<'r> {
                     self.th.stats.journal_rollbacks += 1;
                     w.restore(snap.clone());
                     attempts += 1;
+                    let capacity = capacity_class(code);
+                    if capacity && end - start > 1 {
+                        return GroupRun::Split;
+                    }
                     // Fig. 2 lines 36–39: a timestamp change (explicit, or the
                     // hardware conflict the subscription converts commits into)
                     // triggers validation; if the snapshot is still valid only the
@@ -452,9 +470,13 @@ impl<'r> PartHtmO<'r> {
                         }
                         AbortCode::Explicit(x) => x == XABORT_LOCKED || x == XABORT_UNDO_FULL,
                         AbortCode::Capacity | AbortCode::Other => false,
-                    } || attempts >= rt.config().sub_retries;
+                    } || attempts >= budget;
                     if give_up {
-                        return false;
+                        if attempts >= budget && budget < rt.config().sub_retries {
+                            self.th.stats.adaptive_retry_saves +=
+                                (rt.config().sub_retries - budget) as u64;
+                        }
+                        return GroupRun::Fail { capacity };
                     }
                     std::thread::yield_now();
                 }
@@ -480,19 +502,67 @@ impl<'r> PartHtmO<'r> {
         w.reset();
         let mut wrote = false;
 
-        for seg in 0..w.segments() {
-            if w.software_segment(seg) {
+        // The segment plan (see the base executor): the site's learned merge
+        // factor under the adaptive controller, the pinned static group
+        // otherwise.
+        let cfg = rt.config();
+        let adaptive = cfg.adaptive_plan;
+        let slot = rt.sites().slot(w.site());
+        let group = if adaptive {
+            slot.plan_group()
+        } else {
+            cfg.plan_group.max(1)
+        };
+        let sub_budget = if adaptive {
+            slot.sub_budget(cfg.sub_retries)
+        } else {
+            cfg.sub_retries
+        };
+        let mut plan = std::mem::take(&mut self.plan);
+        let max_run = build_plan(w.segments(), group, |s| w.software_segment(s), &mut plan);
+        self.plan = plan;
+        let mut split_tx = false;
+
+        for i in 0..self.plan.len() {
+            let step = self.plan[i];
+            if step.software {
                 let mut ctx = SoftwareCtx {
                     th: &self.th.hw,
                     mask_values: true,
                 };
-                w.segment(seg, &mut ctx)
+                w.segment(step.start, &mut ctx)
                     .expect("software segments cannot abort");
                 continue;
             }
-            if !self.run_sub(w, seg, &mut wrote) {
-                self.global_abort();
-                return Err(());
+            match self.run_group(w, step.start, step.end, &mut wrote, sub_budget) {
+                GroupRun::Committed => {}
+                GroupRun::Split => {
+                    self.th.stats.plan_splits += 1;
+                    split_tx = true;
+                    if adaptive {
+                        slot.record_capacity_split(step.len() as u32);
+                    }
+                    for seg in step.start..step.end {
+                        match self.run_group(w, seg, seg + 1, &mut wrote, sub_budget) {
+                            GroupRun::Committed => {}
+                            GroupRun::Split => unreachable!("single segments never split"),
+                            GroupRun::Fail { capacity } => {
+                                if adaptive && capacity {
+                                    slot.record_sub_futility();
+                                }
+                                self.global_abort();
+                                return Err(());
+                            }
+                        }
+                    }
+                }
+                GroupRun::Fail { capacity } => {
+                    if adaptive && capacity {
+                        slot.record_sub_futility();
+                    }
+                    self.global_abort();
+                    return Err(());
+                }
             }
         }
 
@@ -516,6 +586,10 @@ impl<'r> PartHtmO<'r> {
             self.th.stats.record_summary_resets(&resets);
         }
         self.cleanup_partitioned();
+        // Controller feedback (see the base executor).
+        if adaptive && !split_tx && slot.record_clean_commit(max_run) == PlanChange::Merged {
+            self.th.stats.plan_merges += 1;
+        }
         Ok(())
     }
 
@@ -528,31 +602,34 @@ impl<'r> PartHtmO<'r> {
             self.th.stats.record_commit(CommitPath::GlobalLock);
             return CommitPath::GlobalLock;
         }
-        self.tx_count += 1;
-        let skip_fast = cfg.skip_fast
-            || match w.profiled_resource_limited() {
-                Some(limited) => limited,
-                None => self.resource_streak >= 3 && !self.tx_count.is_multiple_of(64),
-            };
-        if !skip_fast {
+        // Single fast-path routing decision (see `planner::FastProfile`).
+        let slot = self.th.rt.sites().slot(w.site());
+        let prior = w.profiled_resource_limited();
+        let route = self.profile.route(&cfg, slot, prior, &mut self.th.stats);
+        if let FastRoute::Attempt { budget } = route {
             let mut fails = 0;
             loop {
                 wait_glock_released(&self.th);
                 match self.try_fast(w) {
                     Ok(()) => {
-                        self.resource_streak = 0;
+                        self.profile.note_exit(&cfg, slot, FastExit::Commit);
                         w.after_commit();
                         self.th.stats.record_commit(CommitPath::Htm);
                         return CommitPath::Htm;
                     }
                     Err(code) if code.is_resource_failure() => {
-                        self.resource_streak = self.resource_streak.saturating_add(1);
+                        self.profile.note_exit(&cfg, slot, FastExit::Resource);
                         self.th.stats.fallbacks_partitioned += 1;
                         break;
                     }
                     Err(_) => {
                         fails += 1;
-                        if fails >= cfg.fast_retries {
+                        if fails >= budget {
+                            self.profile.note_exit(&cfg, slot, FastExit::Exhausted);
+                            if budget < cfg.fast_retries {
+                                self.th.stats.adaptive_retry_saves +=
+                                    (cfg.fast_retries - budget) as u64;
+                            }
                             self.th.stats.fallbacks_gl += 1;
                             run_global_lock(&self.th, w, true);
                             w.after_commit();
@@ -621,8 +698,8 @@ impl<'r> TmExecutor<'r> for PartHtmO<'r> {
             wmir,
             journal,
             times: ShardTimes::new(),
-            resource_streak: 0,
-            tx_count: 0,
+            profile: FastProfile::default(),
+            plan: Vec::new(),
             th,
         }
     }

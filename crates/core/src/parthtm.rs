@@ -8,6 +8,7 @@ use crate::ctx::{
     acquire_locks_tx, fast_validation, sub_validation, FastCtx, RawCtx, SigPair, SlowCtx,
     SoftwareCtx, SubCtx,
 };
+use crate::planner::{build_plan, FastExit, FastProfile, FastRoute, PlanChange, PlanStep};
 use crate::runtime::{ThreadArena, TmRuntime, TmThread};
 use crate::undo::UndoLog;
 use htm_sim::abort::TxResult;
@@ -46,6 +47,30 @@ pub fn wait_glock_released(th: &TmThread<'_>) {
     }
 }
 
+/// Outcome of one planned sub-HTM group on the partitioned path.
+pub(crate) enum GroupRun {
+    /// The group committed as one sub-HTM transaction.
+    Committed,
+    /// A merged (multi-segment) group died of a capacity-class abort; the
+    /// caller re-runs it as single declared segments (the planner's un-merge
+    /// rule — retrying a too-big group as-is would be futile).
+    Split,
+    /// The enclosing global transaction must abort. `capacity` is true when
+    /// the terminal abort was capacity-class (capacity/interrupt or an
+    /// overflowing undo log), which feeds the controller's sub-path profile.
+    Fail {
+        /// Terminal abort was capacity-class.
+        capacity: bool,
+    },
+}
+
+/// Is this abort the class that splitting can cure (HTM resource exhaustion
+/// or an overflowing undo log), as opposed to a data or lock conflict?
+#[inline]
+pub(crate) fn capacity_class(code: AbortCode) -> bool {
+    code.is_resource_failure() || matches!(code, AbortCode::Explicit(XABORT_UNDO_FULL))
+}
+
 /// The Part-HTM protocol (serializable variant, Fig. 1).
 pub struct PartHtm<'r> {
     th: TmThread<'r>,
@@ -67,13 +92,14 @@ pub struct PartHtm<'r> {
     /// Per-shard validation window: slot `s` holds the newest commit of ring
     /// shard `s` this transaction's reads are known consistent against.
     times: ShardTimes,
-    /// Consecutive transactions whose fast attempt died of a resource failure.
-    /// Stands in for the paper's static profiler (§4: transactions that "likely (or
-    /// certainly) fail in HTM" go straight to the partitioned path): after a few
-    /// such transactions the fast attempt is skipped, re-probing periodically.
-    resource_streak: u32,
-    /// Transactions executed (drives the periodic fast-path re-probe).
-    tx_count: u64,
+    /// The fast-path routing profile: the *single* decision point for
+    /// skip-fast (config override, static hint, learned demotion, legacy
+    /// resource streak), shared with [`crate::PartHtmO`] via
+    /// [`crate::planner::FastProfile`].
+    profile: FastProfile,
+    /// Reusable segment-plan buffer ([`build_plan`] output; no allocation
+    /// after warm-up).
+    plan: Vec<PlanStep>,
 }
 
 impl<'r> PartHtm<'r> {
@@ -260,9 +286,21 @@ impl<'r> PartHtm<'r> {
         self.cleanup_partitioned();
     }
 
-    /// Run one segment as a sub-HTM transaction with bounded retries (§5.3.3–5.3.5).
-    /// Returns false when the enclosing global transaction must abort.
-    fn run_sub<W: Workload>(&mut self, w: &mut W, seg: usize, wrote: &mut bool) -> bool {
+    /// Run the declared segments `start..end` as *one* sub-HTM transaction
+    /// with bounded retries (§5.3.3–5.3.5). `start..end` comes from the
+    /// segment plan: a single declared segment under the static oracle, up to
+    /// the site's learned merge factor under the adaptive planner. A
+    /// multi-segment group that dies of a capacity-class abort is not
+    /// retried — it reports [`GroupRun::Split`] so the caller re-runs it as
+    /// single segments.
+    fn run_group<W: Workload>(
+        &mut self,
+        w: &mut W,
+        start: usize,
+        end: usize,
+        wrote: &mut bool,
+        budget: u32,
+    ) -> GroupRun {
         let rt = self.th.rt;
         let a = self.arena;
         let snap = w.snapshot();
@@ -289,8 +327,10 @@ impl<'r> PartHtm<'r> {
                         journal: &mut self.journal,
                         wrote,
                     };
-                    if let Err(e) = w.segment(seg, &mut ctx) {
-                        break 'b Err(e);
+                    for seg in start..end {
+                        if let Err(e) = w.segment(seg, &mut ctx) {
+                            break 'b Err(e);
+                        }
                     }
                 }
                 // Pre-commit validation, own locks masked out (Fig. 1 lines 26–28).
@@ -321,31 +361,69 @@ impl<'r> PartHtm<'r> {
             match res {
                 Ok(()) => {
                     self.journal.discard();
-                    return true;
+                    return GroupRun::Committed;
                 }
                 Err(code) => {
                     self.th.stats.sub_aborts += 1;
                     // The failed attempt's hardware writes never published; roll the
-                    // software cursors back to the segment entry.
+                    // software cursors back to the group entry.
                     self.undo.truncate(undo_mark);
                     self.journal.rollback(&mut self.rmir, &mut self.wmir);
                     self.th.stats.journal_rollbacks += 1;
                     w.restore(snap.clone());
                     attempts += 1;
+                    let capacity = capacity_class(code);
+                    if capacity && end - start > 1 {
+                        return GroupRun::Split;
+                    }
                     // A conflict on the global write-locks (or an overflowing undo
                     // log) propagates to the global transaction (§5.3.5); other
                     // causes retry the sub-HTM transaction a limited number of times.
                     let give_up = match code {
                         AbortCode::Explicit(x) => x == XABORT_LOCKED || x == XABORT_UNDO_FULL,
                         _ => false,
-                    } || attempts >= rt.config().sub_retries;
+                    } || attempts >= budget;
                     if give_up {
-                        return false;
+                        if attempts >= budget && budget < rt.config().sub_retries {
+                            self.th.stats.adaptive_retry_saves +=
+                                (rt.config().sub_retries - budget) as u64;
+                        }
+                        return GroupRun::Fail { capacity };
                     }
                     std::thread::yield_now();
                 }
             }
         }
+    }
+
+    /// Post-commit tail of one sub-HTM group: the in-flight validation (when
+    /// due) and the fold of the group's writes into the aggregate signature
+    /// (Fig. 1 lines 32–33). `Err` means the validation failed and the global
+    /// transaction aborted.
+    fn seal_group(&mut self, validate: bool) -> Result<(), ()> {
+        let rt = self.th.rt;
+        if validate {
+            // In-flight validation after a sub-HTM commit (§5.3.6). Part-HTM
+            // keeps begin-time windows and never subscribes shard timestamps,
+            // so the cheap non-advancing validator applies: a clean probe of
+            // each touched shard's summary decides the common no-conflict case
+            // without touching simulated memory, and only a doubtful shard is
+            // walked precisely (advancing its window).
+            let v = rt.sharded_ring().validate_touched_nt(
+                &self.th.hw,
+                rt.summaries(),
+                &self.rmir,
+                &mut self.times,
+            );
+            self.th.stats.record_sharded_validation(&v);
+            if v.result.is_err() {
+                self.global_abort();
+                return Err(());
+            }
+        }
+        self.amir.union_with(&self.wmir);
+        self.wmir.clear();
+        Ok(())
     }
 
     /// Execute the transaction on the partitioned path (§5.3). `Err(())` means the
@@ -374,49 +452,80 @@ impl<'r> PartHtm<'r> {
         w.reset();
         let mut wrote = false;
 
+        // Build this transaction's segment plan: up to the site's learned
+        // merge factor under the adaptive controller, the pinned static
+        // `plan_group` otherwise (1 = exactly the declared segments).
+        let cfg = rt.config();
+        let adaptive = cfg.adaptive_plan;
+        let slot = rt.sites().slot(w.site());
+        let group = if adaptive {
+            slot.plan_group()
+        } else {
+            cfg.plan_group.max(1)
+        };
+        let sub_budget = if adaptive {
+            slot.sub_budget(cfg.sub_retries)
+        } else {
+            cfg.sub_retries
+        };
         let nseg = w.segments();
+        let mut plan = std::mem::take(&mut self.plan);
+        let max_run = build_plan(nseg, group, |s| w.software_segment(s), &mut plan);
+        self.plan = plan;
         let last_htm_seg = (0..nseg).rev().find(|&s| !w.software_segment(s));
-        for seg in 0..nseg {
-            if w.software_segment(seg) {
+        let mut split_tx = false;
+
+        for i in 0..self.plan.len() {
+            let step = self.plan[i];
+            if step.software {
                 // Non-transactional partition: run outside any hardware
                 // transaction (§4, §5.3.1) — this is how time-limited transactions
-                // escape the HTM quantum.
+                // escape the HTM quantum. Software segments are never merged.
                 let mut ctx = SoftwareCtx {
                     th: &self.th.hw,
                     mask_values: false,
                 };
-                w.segment(seg, &mut ctx)
+                w.segment(step.start, &mut ctx)
                     .expect("software segments cannot abort");
                 continue;
             }
-            if !self.run_sub(w, seg, &mut wrote) {
-                self.global_abort();
-                return Err(());
-            }
-            // In-flight validation after each sub-HTM commit (§5.3.6); always before
-            // the global commit. Part-HTM keeps begin-time windows and never
-            // subscribes shard timestamps, so the cheap non-advancing validator
-            // applies: a clean probe of each touched shard's summary decides the
-            // common no-conflict case without touching simulated memory, and only
-            // a doubtful shard is walked precisely (advancing its window).
-            if rt.config().validate_every_sub || Some(seg) == last_htm_seg {
-                let v = rt.sharded_ring().validate_touched_nt(
-                    &self.th.hw,
-                    rt.summaries(),
-                    &self.rmir,
-                    &mut self.times,
-                );
-                self.th.stats.record_sharded_validation(&v);
-                if v.result.is_err() {
+            let due =
+                |seg: usize| cfg.validate_every_sub || Some(seg) == last_htm_seg;
+            match self.run_group(w, step.start, step.end, &mut wrote, sub_budget) {
+                GroupRun::Committed => {
+                    self.seal_group(due(step.end - 1))?;
+                }
+                GroupRun::Split => {
+                    // The merged group exceeds this site's HTM budget: halve
+                    // the plan and re-run the group as the declared single
+                    // segments, sealing each exactly as the static plan would.
+                    self.th.stats.plan_splits += 1;
+                    split_tx = true;
+                    if adaptive {
+                        slot.record_capacity_split(step.len() as u32);
+                    }
+                    for seg in step.start..step.end {
+                        match self.run_group(w, seg, seg + 1, &mut wrote, sub_budget) {
+                            GroupRun::Committed => self.seal_group(due(seg))?,
+                            GroupRun::Split => unreachable!("single segments never split"),
+                            GroupRun::Fail { capacity } => {
+                                if adaptive && capacity {
+                                    slot.record_sub_futility();
+                                }
+                                self.global_abort();
+                                return Err(());
+                            }
+                        }
+                    }
+                }
+                GroupRun::Fail { capacity } => {
+                    if adaptive && capacity {
+                        slot.record_sub_futility();
+                    }
                     self.global_abort();
                     return Err(());
                 }
             }
-            // Fold this sub-transaction's writes into the aggregate and clear the
-            // per-sub-transaction write signature (Fig. 1 lines 32–33) — mirror
-            // operations; the heap copies are capacity ballast only.
-            self.amir.union_with(&self.wmir);
-            self.wmir.clear();
         }
 
         // Global commit (Fig. 1 lines 42–52). Read-only transactions just leave.
@@ -436,6 +545,11 @@ impl<'r> PartHtm<'r> {
             self.th.stats.record_summary_resets(&resets);
         }
         self.cleanup_partitioned();
+        // Feed the controller: a commit with no capacity trouble earns merge
+        // credit (up to the longest mergeable run this shape declares).
+        if adaptive && !split_tx && slot.record_clean_commit(max_run) == PlanChange::Merged {
+            self.th.stats.plan_merges += 1;
+        }
         Ok(())
     }
 
@@ -457,40 +571,43 @@ impl<'r> PartHtm<'r> {
             self.th.stats.record_commit(CommitPath::GlobalLock);
             return CommitPath::GlobalLock;
         }
-        self.tx_count += 1;
-        // Adaptive profiler stand-in: skip the fast path once several consecutive
-        // transactions proved resource-limited, re-probing every 64th transaction
-        // (the paper's static profiler routes "likely (or certainly) failing"
-        // transactions straight to the partitioned path, §4).
-        let skip_fast = cfg.skip_fast
-            || match w.profiled_resource_limited() {
-                Some(limited) => limited,
-                None => self.resource_streak >= 3 && !self.tx_count.is_multiple_of(64),
-            };
-        if !skip_fast {
+        // The single fast-path routing decision (config override, static hint,
+        // learned demotion or legacy streak — see `planner::FastProfile`). The
+        // controller's paper anchor: the static profiler routes "likely (or
+        // certainly) failing" transactions straight to the partitioned path
+        // (§4); here that verdict is learned from observed abort codes.
+        let slot = self.th.rt.sites().slot(w.site());
+        let prior = w.profiled_resource_limited();
+        let route = self.profile.route(&cfg, slot, prior, &mut self.th.stats);
+        if let FastRoute::Attempt { budget } = route {
             let mut fails = 0;
             loop {
                 wait_glock_released(&self.th);
                 match fast(self, w) {
                     Ok(()) => {
-                        self.resource_streak = 0;
+                        self.profile.note_exit(&cfg, slot, FastExit::Commit);
                         w.after_commit();
                         self.th.stats.record_commit(CommitPath::Htm);
                         return CommitPath::Htm;
                     }
                     Err(code) if code.is_resource_failure() => {
-                        self.resource_streak = self.resource_streak.saturating_add(1);
                         // Capacity or interrupt: this is the class Part-HTM exists
                         // for — partition it.
+                        self.profile.note_exit(&cfg, slot, FastExit::Resource);
                         self.th.stats.fallbacks_partitioned += 1;
                         break;
                     }
                     Err(_) => {
                         fails += 1;
-                        if fails >= cfg.fast_retries {
+                        if fails >= budget {
                             // Persistent conflicts: the paper routes these to the
                             // exit path, not to partitioning (§4 "Three-paths
                             // Execution").
+                            self.profile.note_exit(&cfg, slot, FastExit::Exhausted);
+                            if budget < cfg.fast_retries {
+                                self.th.stats.adaptive_retry_saves +=
+                                    (cfg.fast_retries - budget) as u64;
+                            }
                             self.th.stats.fallbacks_gl += 1;
                             run_global_lock(&self.th, w, mask_values);
                             w.after_commit();
@@ -546,8 +663,8 @@ impl<'r> PartHtm<'r> {
             amir,
             journal,
             times: ShardTimes::new(),
-            resource_streak: 0,
-            tx_count: 0,
+            profile: FastProfile::default(),
+            plan: Vec::new(),
             th,
         }
     }

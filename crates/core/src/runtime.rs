@@ -1,6 +1,7 @@
 //! The shared runtime: heap layout of the global and per-thread metadata, and the
 //! per-thread context every executor builds on.
 
+use crate::planner::SiteTable;
 use crate::stats::TmStats;
 use htm_sim::{Addr, HeapBuilder, HtmConfig, HtmSystem, HtmThread};
 use rand::rngs::SmallRng;
@@ -63,6 +64,24 @@ pub struct TmConfig {
     /// kernels dispatch off one flag), applied by [`TmRuntime::new`]; every
     /// scalar dispatch is counted into [`TmStats::scalar_kernel_falls`].
     pub scalar_kernels: bool,
+    /// Drive the executors from the adaptive abort-profile controller
+    /// ([`crate::planner`]): learned fast-path demotion (the static
+    /// [`crate::Workload::profiled_resource_limited`] hint becomes a prior
+    /// with a periodic re-probe), dynamic merging of consecutive declared
+    /// segments into one sub-HTM transaction each (un-merged on
+    /// capacity-class aborts), and per-site retry budgets scaled by observed
+    /// success odds. `false` pins today's static behaviour exactly — the
+    /// hint is absolute, the legacy resource-streak profiler routes unhinted
+    /// sites, every `plan_group` declared segments form one sub-HTM, retry
+    /// budgets are the paper constants — and is the differential oracle for
+    /// the planner proptests (`docs/adaptive-partitioner.md`).
+    pub adaptive_plan: bool,
+    /// Static merge factor: run every `plan_group` consecutive non-software
+    /// segments as one sub-HTM transaction (1 = the workload's declared
+    /// plan, unchanged). With `adaptive_plan` this is only the *initial*
+    /// group size per site; without it the plan is pinned, which is how the
+    /// benchmarks express hand-tuned static segmentations.
+    pub plan_group: u32,
 }
 
 impl Default for TmConfig {
@@ -83,6 +102,8 @@ impl Default for TmConfig {
             summary_density_den: 3,
             summary_check_interval: 256,
             scalar_kernels: false,
+            adaptive_plan: true,
+            plan_group: 1,
         }
     }
 }
@@ -154,6 +175,11 @@ pub struct TmRuntime {
     /// in-flight validation, and heap reads there would doom concurrent hardware
     /// publishers.
     summaries: ShardedSummary,
+    /// Host-side per-site abort profiles driving the adaptive planner. Like
+    /// the summaries, deliberately *not* in the simulated heap: the
+    /// controller is a scheduling heuristic and must not consume simulated
+    /// HTM capacity or create simulated conflicts.
+    sites: SiteTable,
     write_locks: HeapSig,
     arenas: Vec<ThreadArena>,
     app_base: Addr,
@@ -189,6 +215,7 @@ impl TmRuntime {
 
         let sys = HtmSystem::new(htm_cfg, total);
         let summaries = ring.new_summary_tuned(cfg.summary_tuning());
+        let sites = SiteTable::new(cfg.plan_group);
         tm_sig::kernels::set_scalar(cfg.scalar_kernels);
         Self {
             sys,
@@ -199,6 +226,7 @@ impl TmRuntime {
             seqlock,
             ring,
             summaries,
+            sites,
             write_locks,
             arenas,
             app_base,
@@ -254,6 +282,11 @@ impl TmRuntime {
     /// The per-shard host-side summary signatures (validation fast path).
     pub fn summaries(&self) -> &ShardedSummary {
         &self.summaries
+    }
+
+    /// The per-site abort-profile table of the adaptive planner.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
     }
 
     /// The single-ring view: shard 0, which is a complete [`Ring`]. The RingSTM

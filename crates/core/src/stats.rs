@@ -59,6 +59,20 @@ pub struct TmStats {
     /// Hot-loop dispatches that fell to the scalar differential oracles
     /// ([`tm_sig::kernels`]); non-zero only under `TmConfig::scalar_kernels`.
     pub scalar_kernel_falls: u64,
+    /// Transactions the abort-profile controller routed straight to the
+    /// partitioned path (learned futility demotion, the static hint prior, or
+    /// the legacy resource streak — not the `skip_fast` config override).
+    pub site_demotions: u64,
+    /// Segment-plan merges: the controller grew a site's group size, so
+    /// subsequent transactions run fewer sub-HTM round-trips.
+    pub plan_merges: u64,
+    /// Segment-plan splits: a merged group died of a capacity-class abort and
+    /// was re-run as single declared segments (the controller also halves the
+    /// site's group size).
+    pub plan_splits: u64,
+    /// Retry attempts the adaptive budgets avoided: on every retry loop that
+    /// exhausted a reduced budget, the difference to the configured default.
+    pub adaptive_retry_saves: u64,
     /// Ring publishes (hardware or software) that touched each shard; a
     /// cross-shard commit counts once per shard it touched.
     pub shard_publishes: [u64; MAX_RING_SHARDS],
@@ -164,6 +178,10 @@ impl TmStats {
         self.arena_reuses += o.arena_reuses;
         self.arena_allocs += o.arena_allocs;
         self.scalar_kernel_falls += o.scalar_kernel_falls;
+        self.site_demotions += o.site_demotions;
+        self.plan_merges += o.plan_merges;
+        self.plan_splits += o.plan_splits;
+        self.adaptive_retry_saves += o.adaptive_retry_saves;
         for s in 0..MAX_RING_SHARDS {
             self.shard_publishes[s] += o.shard_publishes[s];
             self.shard_validations[s] += o.shard_validations[s];

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! repro <experiment|all> [--threads 1,2,4,8] [--scale 0.5] [--algos part-htm,htm-gl]
-//!       [--csv DIR] [--stats] [--reps N]
+//!       [--csv DIR] [--stats] [--reps N] [--adaptive on|off]
 //! ```
+//!
+//! `--adaptive off` pins the static per-declared-segment plan (the paper's
+//! hand-tuned hints); `--adaptive on` forces the abort-profiled planner. The
+//! default keeps `TmConfig::default()` (adaptive).
 //!
 //! `--csv DIR` additionally writes one `DIR/<experiment>.csv` per figure, ready for
 //! plotting.
@@ -16,7 +20,7 @@ use tm_harness::experiments::{run_experiment_table, ExpOpts, ALL_IDS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all> [--threads 1,2,4] [--scale F] [--algos a,b,c] [--csv DIR] [--stats] [--reps N]\n\
+        "usage: repro <experiment|all> [--threads 1,2,4] [--scale F] [--algos a,b,c] [--csv DIR] [--stats] [--reps N] [--adaptive on|off]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -69,6 +73,14 @@ fn main() {
             "--reps" => {
                 i += 1;
                 opts.reps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--adaptive" => {
+                i += 1;
+                opts.adaptive = match args.get(i).map(String::as_str) {
+                    Some("on") => Some(true),
+                    Some("off") => Some(false),
+                    _ => usage(),
+                };
             }
             _ => usage(),
         }

@@ -24,6 +24,10 @@ pub struct ExpOpts {
     /// Repetitions per cell; cells report the mean throughput ("All data points are
     /// the average of 5 repeated execution", §7). Default 1 for speed.
     pub reps: usize,
+    /// Override `TmConfig::adaptive_plan` for the whole sweep: `Some(false)` pins
+    /// the static per-declared-segment plan (the paper's hand-tuned hints),
+    /// `Some(true)` forces the abort-profiled planner, `None` keeps the default.
+    pub adaptive: Option<bool>,
 }
 
 impl Default for ExpOpts {
@@ -34,6 +38,7 @@ impl Default for ExpOpts {
             algos: None,
             stats: false,
             reps: 1,
+            adaptive: None,
         }
     }
 }
@@ -58,6 +63,7 @@ struct FigSpec {
     algos: Vec<Algo>,
     stats: bool,
     reps: usize,
+    adaptive: Option<bool>,
 }
 
 impl FigSpec {
@@ -90,6 +96,7 @@ impl FigSpec {
             algos,
             stats: opts.stats,
             reps: opts.reps.max(1),
+            adaptive: opts.adaptive,
         }
     }
 
@@ -115,6 +122,10 @@ where
     S: Copy + Send + Sync,
     W: Workload + Send,
 {
+    let mut tm = tm;
+    if let Some(adaptive) = spec.adaptive {
+        tm.adaptive_plan = adaptive;
+    }
     // Mean throughput of one (algo, threads) cell over `reps` fresh runs.
     let mean_cell = |algo: Algo, threads: usize| {
         let mut sum = 0.0;
@@ -473,6 +484,10 @@ pub fn table1(opts: &ExpOpts) -> String {
         .as_ref()
         .and_then(|t| t.first().copied())
         .unwrap_or(4);
+    let mut tm = TmConfig::default();
+    if let Some(adaptive) = opts.adaptive {
+        tm.adaptive_plan = adaptive;
+    }
     let mut out = String::new();
     out.push_str(&format!(
         "# table1 — Labyrinth statistics, {threads} threads: HTM-GL (A) vs Part-HTM (B)\n"
@@ -491,7 +506,7 @@ pub fn table1(opts: &ExpOpts) -> String {
                 interrupt_prob: 5e-6,
                 ..HtmConfig::default()
             },
-            TmConfig::default(),
+            tm.clone(),
             p.app_words(),
             |rt| labyrinth::init(rt, &p),
             |s, t| labyrinth::Labyrinth::new(s, t as u64 + 1),
@@ -546,6 +561,7 @@ mod tests {
             algos: Some(vec![Algo::HtmGl, Algo::PartHtm]),
             stats: false,
             reps: 1,
+            adaptive: None,
         }
     }
 
@@ -584,6 +600,7 @@ mod tests {
             algos: None,
             stats: false,
             reps: 1,
+            adaptive: None,
         };
         let s = table1(&o);
         assert!(s.contains("HTM-GL"));

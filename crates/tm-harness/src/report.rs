@@ -175,6 +175,18 @@ pub struct StatsReport {
     /// Hot-loop dispatches that fell to the scalar differential oracles
     /// (non-zero only under `TmConfig::scalar_kernels`).
     pub scalar_kernel_falls: u64,
+    /// Fast-path attempts the adaptive planner demoted straight to the
+    /// partitioned path (learned futility, `TmConfig::adaptive_plan`).
+    pub site_demotions: u64,
+    /// Clean partitioned commits after which the planner doubled a site's
+    /// segment-merge group.
+    pub plan_merges: u64,
+    /// Merged sub-HTM groups split back to finer segments after a
+    /// capacity-class abort.
+    pub plan_splits: u64,
+    /// Retry attempts skipped because a site's learned budget was below the
+    /// configured maximum.
+    pub adaptive_retry_saves: u64,
 }
 
 impl StatsReport {
@@ -208,6 +220,10 @@ impl StatsReport {
             arena_reuses: r.tm.arena_reuses,
             arena_allocs: r.tm.arena_allocs,
             scalar_kernel_falls: r.tm.scalar_kernel_falls,
+            site_demotions: r.tm.site_demotions,
+            plan_merges: r.tm.plan_merges,
+            plan_splits: r.tm.plan_splits,
+            adaptive_retry_saves: r.tm.adaptive_retry_saves,
         }
     }
 
@@ -252,6 +268,19 @@ impl StatsReport {
             line.push_str(&format!(
                 " | scalar-kernel falls {}",
                 self.scalar_kernel_falls
+            ));
+        }
+        if self.site_demotions != 0
+            || self.plan_merges != 0
+            || self.plan_splits != 0
+            || self.adaptive_retry_saves != 0
+        {
+            line.push_str(&format!(
+                " | planner: {} demotions, {} merges, {} splits, {} retry saves",
+                self.site_demotions,
+                self.plan_merges,
+                self.plan_splits,
+                self.adaptive_retry_saves
             ));
         }
         Some(line)
@@ -330,6 +359,10 @@ mod tests {
             arena_reuses: 0,
             arena_allocs: 0,
             scalar_kernel_falls: 0,
+            site_demotions: 0,
+            plan_merges: 0,
+            plan_splits: 0,
+            adaptive_retry_saves: 0,
         };
         assert!(r.render_hot_path().is_none());
         r.val_fast_hits = 3;
@@ -337,6 +370,11 @@ mod tests {
         let line = r.render_hot_path().unwrap();
         assert!(line.contains("75.0%"));
         assert!(line.contains("3 hits"));
+        assert!(!line.contains("planner:"));
+        r.plan_merges = 2;
+        r.site_demotions = 5;
+        let line = r.render_hot_path().unwrap();
+        assert!(line.contains("planner: 5 demotions, 2 merges, 0 splits, 0 retry saves"));
     }
 
     #[test]

@@ -180,6 +180,14 @@ impl Workload for Eigen {
         }
     }
 
+    fn site(&self) -> u32 {
+        // Long and short transactions are different sites: the adaptive
+        // planner keeps separate demotion/plan/budget profiles for them, so a
+        // futile-fast-path history of the long class never demotes the short
+        // class (the per-class routing Table 1 row B does with static hints).
+        u32::from(self.is_long)
+    }
+
     fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
         let p = &self.shared.params;
         if self.software_segment(seg) {

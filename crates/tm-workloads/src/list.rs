@@ -246,6 +246,16 @@ impl Workload for ListWorkload {
         self.shared.params.segments
     }
 
+    fn site(&self) -> u32 {
+        // One abort profile per operation kind: reads-only `contains` and the
+        // writing `insert`/`remove` traversals stress HTM differently.
+        match self.op {
+            ListOp::Contains => 0,
+            ListOp::Insert => 1,
+            ListOp::Remove => 2,
+        }
+    }
+
     fn reset(&mut self) {
         self.cursor = ListSnap::default();
     }

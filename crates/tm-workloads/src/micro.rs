@@ -86,6 +86,19 @@ impl NrmwParams {
     pub fn app_words(&self) -> usize {
         2 * self.array_len * self.stride
     }
+
+    /// The same workload declared at finest segment granularity: 4x the
+    /// segments (capped at one iteration/read per segment). Merging adjacent
+    /// segments is always legal for this workload — segments are just even
+    /// chunks of one loop — so the finer declaration gives the adaptive
+    /// planner room to pick the grouping at runtime instead of trusting the
+    /// hand count (`docs/adaptive-partitioner.md`).
+    pub fn fine_grained(self) -> Self {
+        Self {
+            segments: (self.segments * 4).min(self.n_reads.max(1)),
+            ..self
+        }
+    }
 }
 
 /// Shared layout: the two arrays.
@@ -181,6 +194,13 @@ impl Workload for Nrmw {
         } else {
             None
         }
+    }
+
+    fn site(&self) -> u32 {
+        // One abort profile per transaction shape: the compute-heavy
+        // (time-limited) shape and the pure-memory shape have different HTM
+        // appetites.
+        u32::from(self.shared.params.work_per_iter > 0)
     }
 
     fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {

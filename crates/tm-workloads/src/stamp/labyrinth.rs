@@ -278,6 +278,13 @@ impl Workload for Labyrinth {
         Some(self.routing)
     }
 
+    fn site(&self) -> u32 {
+        // Routing (grid-copy) and bookkeeping transactions are different sites:
+        // blended into one abort profile, the grid copies' resource failures
+        // would demote the bookkeeping updates off the fast path too.
+        u32::from(self.routing)
+    }
+
     fn reset(&mut self) {
         self.routed_this = false;
         self.claim_failed = false;

@@ -5,15 +5,19 @@
 #
 # Flags:
 #   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
-#            including a ringbench --mode epoch pass and a membench pass
+#            including a ringbench --mode epoch pass, a membench pass and a
+#            partbench pass
 #   --bench  full microbenchmark run: linebench + pathbench + ringbench (the
-#            latter in both summary-reset protocols) + membench, writing
-#            fresh numbers to target/BENCH_{2,3,4,5}.json and gating against
-#            the committed ./BENCH_{2,3,4,5}.json (a >10% regression on
-#            end-to-end partitioned throughput or sharded mixed publish
+#            latter in both summary-reset protocols) + membench + partbench,
+#            writing fresh numbers to target/BENCH_{2,3,4,5,6}.json and gating
+#            against the committed ./BENCH_{2,3,4,5,6}.json (a >10% regression
+#            on end-to-end partitioned throughput or sharded mixed publish
 #            throughput, a >2x blow-up of the epoch-mode sharded validation
-#            overhead, a >2x slow-down of the unrolled intersect kernel, or
-#            padding turning measurably costly, fails the gate)
+#            overhead, a >2x slow-down of the unrolled intersect kernel,
+#            padding turning measurably costly, the adaptive planner falling
+#            below 1.2x static-single-segment on the capacity-heavy row, or
+#            more than 8% behind hand-tuned static on the hint-optimal row,
+#            fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -43,6 +47,8 @@ case "${1:-}" in
     cargo run -q --release -p tm-bench --bin ringbench -- --smoke --mode epoch
     echo "== tier1: membench --smoke =="
     cargo run -q --release -p tm-bench --bin membench -- --smoke
+    echo "== tier1: partbench --smoke =="
+    cargo run -q --release -p tm-bench --bin partbench -- --smoke
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
@@ -62,7 +68,10 @@ case "${1:-}" in
     echo "== tier1: membench (full, regression gate vs BENCH_5.json) =="
     cargo run -q --release -p tm-bench --bin membench -- \
         --json target/BENCH_5.json --baseline BENCH_5.json
-    echo "   fresh numbers in target/BENCH_{2,3,4,5}.json; copy over the" \
+    echo "== tier1: partbench (full, regression gate vs BENCH_6.json) =="
+    cargo run -q --release -p tm-bench --bin partbench -- \
+        --json target/BENCH_6.json --baseline BENCH_6.json
+    echo "   fresh numbers in target/BENCH_{2,3,4,5,6}.json; copy over the" \
          "matching ./BENCH_N.json to rebaseline"
     ;;
 esac
