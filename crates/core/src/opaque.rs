@@ -469,7 +469,7 @@ impl<'r> PartHtmO<'r> {
                             !self.validate()
                         }
                         AbortCode::Explicit(x) => x == XABORT_LOCKED || x == XABORT_UNDO_FULL,
-                        AbortCode::Capacity | AbortCode::Other => false,
+                        AbortCode::Capacity | AbortCode::Timer | AbortCode::Interrupt => false,
                     } || attempts >= budget;
                     if give_up {
                         if attempts >= budget && budget < rt.config().sub_retries {
@@ -478,7 +478,7 @@ impl<'r> PartHtmO<'r> {
                         }
                         return GroupRun::Fail { capacity };
                     }
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
             }
         }
@@ -658,7 +658,7 @@ impl<'r> PartHtmO<'r> {
                         return CommitPath::GlobalLock;
                     }
                     spin_work(cfg.backoff_units << gfails.min(6));
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
             }
         }

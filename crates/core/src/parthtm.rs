@@ -22,10 +22,10 @@ use tm_sig::{ShardTimes, Sig, SigArena, SigJournal, SigSpec};
 pub fn run_global_lock<W: Workload>(th: &TmThread<'_>, w: &mut W, mask_values: bool) {
     let rt = th.rt;
     while th.hw.nt_cas(rt.glock(), 0, 1).is_err() {
-        std::thread::yield_now();
+        htm_sim::vclock::yield_now();
     }
     while th.hw.nt_read(rt.active_tx()) != 0 {
-        std::thread::yield_now();
+        htm_sim::vclock::yield_now();
     }
     w.reset();
     let mut ctx = SlowCtx {
@@ -43,7 +43,7 @@ pub fn run_global_lock<W: Workload>(th: &TmThread<'_>, w: &mut W, mask_values: b
 /// global lock is held — wait for its release first.
 pub fn wait_glock_released(th: &TmThread<'_>) {
     while th.hw.nt_read(th.rt.glock()) != 0 {
-        std::thread::yield_now();
+        htm_sim::vclock::yield_now();
     }
 }
 
@@ -390,7 +390,7 @@ impl<'r> PartHtm<'r> {
                         }
                         return GroupRun::Fail { capacity };
                     }
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
             }
         }
@@ -637,7 +637,7 @@ impl<'r> PartHtm<'r> {
                     }
                     // Exponential backoff (Fig. 1 line 59).
                     spin_work(cfg.backoff_units << gfails.min(6));
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
             }
         }

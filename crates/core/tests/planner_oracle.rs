@@ -66,8 +66,8 @@ proptest! {
                 prop_assert_eq!(step.len(), 1, "software segments never merge");
                 prop_assert!(sw[step.start]);
             } else {
-                for s in step.start..step.end {
-                    prop_assert!(!sw[s], "hardware group swallowed a software segment");
+                for &is_sw in &sw[step.start..step.end] {
+                    prop_assert!(!is_sw, "hardware group swallowed a software segment");
                 }
             }
             next = step.end;

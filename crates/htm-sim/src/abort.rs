@@ -4,6 +4,14 @@
 //! transaction to abort: conflict, capacity, and other." Part-HTM groups capacity and
 //! "other" (interrupts) into the superset of *resource failures*, which is the class
 //! of aborts the partitioned path is designed to rescue.
+//!
+//! This simulator splits the paper's "other" bucket into its two distinct causes:
+//! [`AbortCode::Timer`] (the transaction *deterministically* exhausted its work-unit
+//! quantum — a resource failure that will recur on retry, so partitioning can cure
+//! it) and [`AbortCode::Interrupt`] (a randomly injected asynchronous event — a
+//! transient that an in-place retry usually survives). Conflating the two made the
+//! planner's capacity-class profiles count transient interrupts as resource
+//! failures and issue spurious group splits.
 
 use std::fmt;
 
@@ -23,19 +31,25 @@ pub enum AbortCode {
     /// signal software-defined conditions (e.g. "global lock held", "locked location
     /// observed", "timestamp changed").
     Explicit(u8),
-    /// An asynchronous event — in this simulator, the virtual timer interrupt fired
-    /// because the transaction exceeded its work-unit quantum, or a randomly injected
-    /// interrupt occurred.
-    Other,
+    /// The simulated timer interrupt fired: cumulative work reached the configured
+    /// quantum ([`crate::HtmConfig::quantum`]). Deterministic — the same transaction
+    /// will exhaust the same quantum on every retry, which is why this is a
+    /// *resource failure* the partitioned path rescues.
+    Timer,
+    /// A randomly injected asynchronous interrupt ([`crate::HtmConfig::interrupt_prob`])
+    /// — page faults, device interrupts, etc. Transient: retrying in place usually
+    /// succeeds, so this is *not* classified as a resource failure.
+    Interrupt,
 }
 
 impl AbortCode {
     /// True if the abort is a *resource failure* in the paper's sense (§2): the
-    /// transaction could not commit because of space (capacity) or time (interrupt)
-    /// limitations rather than contention.
+    /// transaction could not commit because of space (capacity) or time (quantum)
+    /// limitations that will *deterministically* recur on retry. Transient causes —
+    /// conflicts, explicit aborts, injected interrupts — are excluded.
     #[inline]
     pub fn is_resource_failure(self) -> bool {
-        matches!(self, AbortCode::Capacity | AbortCode::Other)
+        matches!(self, AbortCode::Capacity | AbortCode::Timer)
     }
 
     /// True for conflict aborts (data contention), which are retried in place rather
@@ -61,7 +75,8 @@ impl fmt::Display for AbortCode {
             AbortCode::Conflict => write!(f, "conflict"),
             AbortCode::Capacity => write!(f, "capacity"),
             AbortCode::Explicit(c) => write!(f, "explicit({c})"),
-            AbortCode::Other => write!(f, "other"),
+            AbortCode::Timer => write!(f, "timer"),
+            AbortCode::Interrupt => write!(f, "interrupt"),
         }
     }
 }
@@ -77,7 +92,11 @@ mod tests {
     #[test]
     fn resource_failure_classification() {
         assert!(AbortCode::Capacity.is_resource_failure());
-        assert!(AbortCode::Other.is_resource_failure());
+        assert!(AbortCode::Timer.is_resource_failure());
+        assert!(
+            !AbortCode::Interrupt.is_resource_failure(),
+            "transient injected interrupts are not deterministic resource failures"
+        );
         assert!(!AbortCode::Conflict.is_resource_failure());
         assert!(!AbortCode::Explicit(3).is_resource_failure());
     }
@@ -92,5 +111,7 @@ mod tests {
     fn display_is_stable() {
         assert_eq!(AbortCode::Conflict.to_string(), "conflict");
         assert_eq!(AbortCode::Explicit(7).to_string(), "explicit(7)");
+        assert_eq!(AbortCode::Timer.to_string(), "timer");
+        assert_eq!(AbortCode::Interrupt.to_string(), "interrupt");
     }
 }

@@ -26,13 +26,16 @@ pub struct HtmConfig {
     pub l2_sets: usize,
     /// Associativity of the optional L2 read model.
     pub l2_ways: usize,
-    /// Virtual work units a transaction may consume before the simulated timer
-    /// interrupt aborts it with [`crate::AbortCode::Other`]. Each transactional
-    /// read/write costs 1 unit; [`crate::HtmTx::work`] charges its argument.
+    /// Virtual work units of the simulated timer quantum: the timer fires once
+    /// cumulative work *reaches* the quantum (consuming exactly `quantum` units
+    /// aborts with [`crate::AbortCode::Timer`]). Each transactional read/write
+    /// costs 1 unit; [`crate::HtmTx::work`] charges its argument.
     pub quantum: u64,
     /// Probability, per transactional operation, of a randomly injected asynchronous
-    /// interrupt ([`crate::AbortCode::Other`]). Models page faults, device
-    /// interrupts, etc. Default 0 (deterministic).
+    /// interrupt ([`crate::AbortCode::Interrupt`]). Models page faults, device
+    /// interrupts, etc. Default 0 (deterministic). Under a [`crate::vclock::VClock`]
+    /// the draw comes from the clock's seeded per-core RNG, so injected interrupts
+    /// replay bit-exactly with the schedule.
     pub interrupt_prob: f64,
     /// Maximum number of hardware threads. Bounded by
     /// [`crate::registry::MAX_THREADS`] (56) because each conflict-table line packs

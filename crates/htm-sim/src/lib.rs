@@ -20,8 +20,14 @@
 //!   written lines abort with [`AbortCode::Capacity`]. Read lines have a separate,
 //!   larger budget, reflecting TSX's ability to track evicted read-set lines beyond L1.
 //! * **Time limits**: every transactional operation costs virtual *work units*;
-//!   exceeding the configured quantum aborts with [`AbortCode::Other`], modelling the
+//!   reaching the configured quantum aborts with [`AbortCode::Timer`], modelling the
 //!   timer interrupt that bounds how long a hardware transaction can run.
+//! * **Virtual time** ([`vclock`]): an optional discrete-event multi-core clock.
+//!   When threads attach to a [`vclock::VClock`], the same work-unit accounting
+//!   becomes a global virtual timeline: cores advance deterministically in
+//!   timestamp order, spin loops yield virtual time instead of host time, and
+//!   ties between cores are seeded, recordable, and replayable schedule
+//!   decisions — the substrate for the `schedx` schedule explorer.
 //! * **Explicit aborts**: [`txn::HtmTx::xabort`] mirrors `_xabort(code)`.
 //!
 //! The simulator is *logically* faithful: which transactions commit, which abort, and
@@ -60,6 +66,7 @@ pub mod system;
 pub mod trace;
 pub mod txn;
 pub mod util;
+pub mod vclock;
 
 pub use abort::AbortCode;
 pub use align::{CacheAligned, CACHE_LINE};
@@ -68,6 +75,7 @@ pub use heap::{Addr, Heap, HeapBuilder, Line, WORDS_PER_LINE, WORDS_PER_LINE_SHI
 pub use stats::HtmStats;
 pub use system::{HtmSystem, HtmThread};
 pub use txn::HtmTx;
+pub use vclock::{SchedPolicy, SchedSpec, VClock, VReport};
 
 /// Convert a word address to the cache line that holds it.
 #[inline(always)]

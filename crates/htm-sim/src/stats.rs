@@ -1,7 +1,10 @@
 //! Per-thread hardware-transaction statistics.
 //!
 //! These counters feed the abort-breakdown reporting of Table 1 in the paper
-//! (% of aborts by {conflict, capacity, explicit, other}).
+//! (% of aborts by {conflict, capacity, explicit, other}); the paper's "other"
+//! bucket is kept as two counters here — deterministic timer exhaustion vs
+//! randomly injected interrupts — because the two feed different retry policies
+//! (see [`AbortCode::is_resource_failure`]).
 
 use crate::abort::AbortCode;
 
@@ -18,8 +21,10 @@ pub struct HtmStats {
     pub aborts_capacity: u64,
     /// Explicit `xabort` calls.
     pub aborts_explicit: u64,
-    /// Timer-interrupt / injected asynchronous aborts.
-    pub aborts_other: u64,
+    /// Timer aborts: cumulative work reached the quantum (deterministic).
+    pub aborts_timer: u64,
+    /// Randomly injected asynchronous interrupts (transient).
+    pub aborts_interrupt: u64,
     /// Total virtual work units consumed inside hardware transactions.
     pub work_units: u64,
 }
@@ -27,6 +32,7 @@ pub struct HtmStats {
 // Layout pin: the whole counter block fits one cache line, so the padded
 // per-thread copy ([`crate::CacheAligned<HtmStats>`]) is exactly one line and
 // adding a counter that grows it past 64 bytes fails the build here first.
+// (8 x u64 = exactly 64 bytes — the line is now full.)
 const _: () = {
     assert!(std::mem::size_of::<HtmStats>() <= crate::align::CACHE_LINE);
     assert!(
@@ -42,13 +48,24 @@ impl HtmStats {
             AbortCode::Conflict => self.aborts_conflict += 1,
             AbortCode::Capacity => self.aborts_capacity += 1,
             AbortCode::Explicit(_) => self.aborts_explicit += 1,
-            AbortCode::Other => self.aborts_other += 1,
+            AbortCode::Timer => self.aborts_timer += 1,
+            AbortCode::Interrupt => self.aborts_interrupt += 1,
         }
+    }
+
+    /// The paper's "other" abort bucket: timer + injected interrupts.
+    #[inline]
+    pub fn aborts_other(&self) -> u64 {
+        self.aborts_timer + self.aborts_interrupt
     }
 
     /// Total aborts across all causes.
     pub fn aborts_total(&self) -> u64 {
-        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_other
+        self.aborts_conflict
+            + self.aborts_capacity
+            + self.aborts_explicit
+            + self.aborts_timer
+            + self.aborts_interrupt
     }
 
     /// Merge another thread's counters into this one.
@@ -58,7 +75,8 @@ impl HtmStats {
         self.aborts_conflict += other.aborts_conflict;
         self.aborts_capacity += other.aborts_capacity;
         self.aborts_explicit += other.aborts_explicit;
-        self.aborts_other += other.aborts_other;
+        self.aborts_timer += other.aborts_timer;
+        self.aborts_interrupt += other.aborts_interrupt;
         self.work_units += other.work_units;
     }
 
@@ -72,7 +90,8 @@ impl HtmStats {
             AbortCode::Conflict => self.aborts_conflict,
             AbortCode::Capacity => self.aborts_capacity,
             AbortCode::Explicit(_) => self.aborts_explicit,
-            AbortCode::Other => self.aborts_other,
+            AbortCode::Timer => self.aborts_timer,
+            AbortCode::Interrupt => self.aborts_interrupt,
         };
         n as f64 * 100.0 / total as f64
     }
@@ -89,10 +108,14 @@ mod tests {
         s.record_abort(AbortCode::Capacity);
         s.record_abort(AbortCode::Capacity);
         s.record_abort(AbortCode::Explicit(9));
-        s.record_abort(AbortCode::Other);
-        assert_eq!(s.aborts_total(), 5);
+        s.record_abort(AbortCode::Timer);
+        s.record_abort(AbortCode::Interrupt);
+        assert_eq!(s.aborts_total(), 6);
         assert_eq!(s.aborts_capacity, 2);
-        assert!((s.abort_pct(AbortCode::Capacity) - 40.0).abs() < 1e-9);
+        assert_eq!(s.aborts_timer, 1);
+        assert_eq!(s.aborts_interrupt, 1);
+        assert_eq!(s.aborts_other(), 2);
+        assert!((s.abort_pct(AbortCode::Capacity) - 100.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -100,18 +123,22 @@ mod tests {
         let mut a = HtmStats {
             begins: 2,
             commits: 1,
+            aborts_timer: 1,
             ..Default::default()
         };
         let b = HtmStats {
             begins: 3,
             commits: 2,
             aborts_conflict: 4,
+            aborts_interrupt: 2,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.begins, 5);
         assert_eq!(a.commits, 3);
         assert_eq!(a.aborts_conflict, 4);
+        assert_eq!(a.aborts_timer, 1);
+        assert_eq!(a.aborts_interrupt, 2);
     }
 
     #[test]

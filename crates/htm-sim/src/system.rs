@@ -94,6 +94,11 @@ impl HtmSystem {
         by: Requester,
         mut op: impl FnMut() -> R,
     ) -> R {
+        // A non-transactional access is one simulated memory operation: under a
+        // virtual clock it advances this core's timestamp (no-op otherwise), so
+        // protocol software that polls simulated memory makes virtual progress
+        // and the discrete-event scheduler stays livelock-free.
+        crate::vclock::charge(1);
         let mut backoff = crate::util::Backoff::new();
         loop {
             match self

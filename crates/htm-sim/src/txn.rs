@@ -17,8 +17,8 @@
 //!   check catches any racing commit).
 //! * Capacity: distinct written lines must fit the simulated L1 sets/ways; distinct
 //!   read lines must fit the flat read budget.
-//! * Time: each operation costs work units; exceeding the quantum raises the
-//!   simulated timer interrupt ([`AbortCode::Other`]).
+//! * Time: each operation costs work units; reaching the quantum raises the
+//!   simulated timer interrupt ([`AbortCode::Timer`]).
 
 use crate::abort::{AbortCode, TxResult};
 use crate::heap::Addr;
@@ -100,12 +100,23 @@ impl<'a, 's> HtmTx<'a, 's> {
     #[inline]
     fn charge(&mut self, units: u64) -> TxResult<()> {
         self.work += units;
-        if self.work > self.th.sys.config.quantum {
-            return Err(self.fail(AbortCode::Other));
+        // Under a virtual-time run this also advances the simulated core's
+        // clock (and may hand the floor to another core); a no-op otherwise.
+        crate::vclock::charge(units);
+        // The timer fires at the operation that brings cumulative work to the
+        // quantum or beyond (>=: consuming *exactly* `quantum` units aborts).
+        if self.work >= self.th.sys.config.quantum {
+            return Err(self.fail(AbortCode::Timer));
         }
         let p = self.th.sys.config.interrupt_prob;
-        if p > 0.0 && self.th.rng.gen::<f64>() < p {
-            return Err(self.fail(AbortCode::Other));
+        if p > 0.0 {
+            // Under a virtual clock the draw comes from the schedule-seeded
+            // per-core RNG, so a replayed schedule reproduces injected
+            // interrupts bit-exactly; otherwise from the thread's own RNG.
+            let draw = crate::vclock::interrupt_draw().unwrap_or_else(|| self.th.rng.gen::<f64>());
+            if draw < p {
+                return Err(self.fail(AbortCode::Interrupt));
+            }
         }
         Ok(())
     }
@@ -338,6 +349,7 @@ impl<'a, 's> HtmTx<'a, 's> {
         th.stats.work_units += self.work;
         th.trace.record(crate::trace::Event::Commit { read_lines, write_lines, work: self.work });
         th.in_tx = false;
+        crate::vclock::note_commit();
         Ok(())
     }
 }
@@ -417,14 +429,38 @@ mod tests {
     }
 
     #[test]
-    fn quantum_exhaustion_is_other() {
+    fn quantum_exhaustion_is_timer() {
         let s = sys(); // tiny: quantum 1000
         let mut th = s.thread(0);
         let mut tx = th.begin();
         assert_eq!(tx.work(999), Ok(()));
-        assert_eq!(tx.work(5), Err(AbortCode::Other));
+        assert_eq!(tx.work(5), Err(AbortCode::Timer));
         drop(tx);
-        assert_eq!(th.stats.aborts_other, 1);
+        assert_eq!(th.stats.aborts_timer, 1);
+    }
+
+    #[test]
+    fn quantum_boundary_fires_at_exactly_quantum_units() {
+        // `config.rs`: "the timer fires once cumulative work *reaches* the
+        // quantum" — consuming exactly `quantum` units must abort (>=, not >).
+        let s = sys(); // tiny: quantum 1000
+        let mut th = s.thread(0);
+        let mut tx = th.begin();
+        assert_eq!(tx.work(1000), Err(AbortCode::Timer));
+        drop(tx);
+        assert_eq!(th.stats.aborts_timer, 1);
+
+        // One unit below the boundary still commits.
+        let mut tx = th.begin();
+        assert_eq!(tx.work(999), Ok(()));
+        assert_eq!(tx.commit(), Ok(()));
+
+        // ... and the next single unit after 999 is the one that fires.
+        let mut tx = th.begin();
+        assert_eq!(tx.work(999), Ok(()));
+        assert_eq!(tx.work(1), Err(AbortCode::Timer));
+        drop(tx);
+        assert_eq!(th.stats.aborts_timer, 2);
     }
 
     #[test]
@@ -504,7 +540,7 @@ mod tests {
         };
         let s = HtmSystem::new(cfg, 4096);
         let mut th = s.thread(0);
-        let mut others = 0;
+        let mut interrupts = 0;
         for _ in 0..50 {
             let r = th.attempt(|tx| {
                 for i in 0..4 {
@@ -512,14 +548,16 @@ mod tests {
                 }
                 Ok(())
             });
-            if r == Err(AbortCode::Other) {
-                others += 1;
+            if r == Err(AbortCode::Interrupt) {
+                interrupts += 1;
             }
         }
         assert!(
-            others > 5,
-            "injected interrupts should fire often, got {others}"
+            interrupts > 5,
+            "injected interrupts should fire often, got {interrupts}"
         );
+        assert_eq!(th.stats.aborts_interrupt, interrupts);
+        assert_eq!(th.stats.aborts_timer, 0, "no quantum was exhausted");
     }
 
     #[test]

@@ -73,6 +73,13 @@ impl Backoff {
     /// Wait a little longer than last time.
     #[inline]
     pub fn snooze(&mut self) {
+        // Under a virtual clock the *only* correct wait is a virtual yield:
+        // host spinning burns real time while simulated time is frozen, and an
+        // OS yield hands the CPU to a thread the virtual scheduler has gated.
+        if crate::vclock::is_attached() {
+            crate::vclock::yield_now();
+            return;
+        }
         if self.step < Self::SPIN_LIMIT {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();

@@ -106,9 +106,9 @@ fn fetch_update_aborts_propagate() {
     let cfg = HtmConfig { quantum: 1, ..HtmConfig::default() };
     let s = HtmSystem::new(cfg, 64);
     let mut th = s.thread(0);
-    // Second op exceeds the 1-unit quantum.
+    // The very first op reaches the 1-unit quantum: timer abort.
     let r = th.attempt(|tx| tx.fetch_update(0, |v| v + 1).map(|_| ()));
-    assert_eq!(r, Err(AbortCode::Other));
+    assert_eq!(r, Err(AbortCode::Timer));
 }
 
 #[test]
@@ -116,8 +116,11 @@ fn interrupt_prob_one_kills_first_op() {
     let cfg = HtmConfig { interrupt_prob: 1.0, ..HtmConfig::default() };
     let s = HtmSystem::new(cfg, 64);
     let mut th = s.thread(0);
-    assert_eq!(th.attempt(|tx| tx.read(0).map(|_| ())), Err(AbortCode::Other));
-    assert_eq!(th.stats.aborts_other, 1);
+    assert_eq!(
+        th.attempt(|tx| tx.read(0).map(|_| ())),
+        Err(AbortCode::Interrupt)
+    );
+    assert_eq!(th.stats.aborts_interrupt, 1);
 }
 
 #[test]

@@ -23,7 +23,7 @@ pub(crate) fn wait_even(th: &TmThread<'_>, seqlock: Addr) -> u64 {
         if ts & 1 == 0 {
             return ts;
         }
-        std::thread::yield_now();
+        htm_sim::vclock::yield_now();
     }
 }
 
@@ -196,7 +196,7 @@ impl<'r> TmExecutor<'r> for NOrec<'r> {
                 return CommitPath::Stm;
             }
             self.th.stats.stm_aborts += 1;
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
     }
 

@@ -195,7 +195,7 @@ impl<'r> NOrecRh<'r> {
                         self.th.hw.nt_write(seqlock, snapshot + 2);
                         return Ok(());
                     }
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
             }
         }
@@ -259,7 +259,7 @@ impl<'r> TmExecutor<'r> for NOrecRh<'r> {
                 return CommitPath::Stm;
             }
             self.th.stats.stm_aborts += 1;
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
     }
 

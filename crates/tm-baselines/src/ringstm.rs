@@ -106,7 +106,7 @@ impl<'r> RingStm<'r> {
         // observes a new value necessarily sees a timestamp that makes it validate
         // against our signature.
         while self.th.hw.nt_cas(ring.lock_addr(), 0, 1).is_err() {
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
         let ok = match ring.validate_nt(&self.th.hw, &self.rsig, start) {
             Ok(_) => {
@@ -152,7 +152,7 @@ impl<'r> TmExecutor<'r> for RingStm<'r> {
             // them as usual.
             let ring = self.th.rt.ring();
             while self.th.hw.nt_cas(ring.lock_addr(), 0, 1).is_err() {
-                std::thread::yield_now();
+                htm_sim::vclock::yield_now();
             }
             w.reset();
             self.rsig.clear();
@@ -193,7 +193,7 @@ impl<'r> TmExecutor<'r> for RingStm<'r> {
                 return CommitPath::Stm;
             }
             self.th.stats.stm_aborts += 1;
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
     }
 

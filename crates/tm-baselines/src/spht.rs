@@ -222,7 +222,7 @@ impl<'r> SpHt<'r> {
                             self.th.stats.global_aborts += 1;
                             return Err(());
                         }
-                        std::thread::yield_now();
+                        htm_sim::vclock::yield_now();
                     }
                 }
             }
@@ -292,7 +292,7 @@ impl<'r> TmExecutor<'r> for SpHt<'r> {
                 return CommitPath::GlobalLock;
             }
             spin_work(cfg.backoff_units << gfails.min(6));
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
     }
 
@@ -404,7 +404,7 @@ mod tests {
                         // Park between sub-transactions until the checker sampled.
                         PHASE.store(1, Ordering::SeqCst);
                         while PHASE.load(Ordering::SeqCst) != 2 {
-                            std::thread::yield_now();
+                            htm_sim::vclock::yield_now();
                         }
                         Ok(())
                     }
@@ -431,7 +431,7 @@ mod tests {
             });
             s.spawn(move || {
                 while PHASE.load(std::sync::atomic::Ordering::SeqCst) != 1 {
-                    std::thread::yield_now();
+                    htm_sim::vclock::yield_now();
                 }
                 // The split transaction is parked between sub-transactions: its
                 // segment-0 write must be hidden.

@@ -1,6 +1,7 @@
 //! The competitor set of the evaluation and the per-cell dispatcher.
 
-use crate::driver::{run_threads, RunResult};
+use crate::driver::{run_threads, run_threads_virtual, RunResult};
+use htm_sim::vclock::{SchedSpec, VReport};
 use htm_sim::HtmConfig;
 use part_htm_core::{PartHtm, PartHtmO, TmConfig, TmRuntime, Workload};
 use tm_baselines::{Hle, HtmGl, NOrec, NOrecRh, RingStm, Sequential, SpHt};
@@ -165,6 +166,57 @@ where
     (result, out)
 }
 
+/// [`run_cell`] under the discrete-event virtual clock (`threads` = simulated
+/// cores): scheduling, conflict order and timer aborts are driven by virtual
+/// timestamps, so the cell's result — including the returned schedule report —
+/// is bit-reproducible from `spec` alone, even on a 1-core host.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_virtual<S, W, I, M>(
+    algo: Algo,
+    threads: usize,
+    ops_per_thread: usize,
+    htm: HtmConfig,
+    tm: TmConfig,
+    app_words: usize,
+    spec: SchedSpec,
+    init: I,
+    make: M,
+) -> (RunResult, VReport)
+where
+    S: Copy + Send + Sync,
+    W: Workload + Send,
+    I: FnOnce(&TmRuntime) -> S,
+    M: Fn(S, usize) -> W + Sync,
+{
+    let tm = TmConfig {
+        skip_fast: tm.skip_fast || algo == Algo::PartHtmNoFast,
+        ..tm
+    };
+    let rt = TmRuntime::new(htm, tm, threads, app_words);
+    let shared = init(&rt);
+    let factory = |t: usize| make(shared, t);
+    let ops = ops_per_thread;
+    match algo {
+        Algo::RingStm => run_threads_virtual::<RingStm, _, _>(&rt, threads, ops, spec, factory),
+        Algo::NOrec => run_threads_virtual::<NOrec, _, _>(&rt, threads, ops, spec, factory),
+        Algo::NOrecRh => run_threads_virtual::<NOrecRh, _, _>(&rt, threads, ops, spec, factory),
+        Algo::HtmGl => run_threads_virtual::<HtmGl, _, _>(&rt, threads, ops, spec, factory),
+        Algo::PartHtm | Algo::PartHtmNoFast => {
+            let (mut r, rep) =
+                run_threads_virtual::<PartHtm, _, _>(&rt, threads, ops, spec, factory);
+            r.algo = algo.name();
+            (r, rep)
+        }
+        Algo::PartHtmO => run_threads_virtual::<PartHtmO, _, _>(&rt, threads, ops, spec, factory),
+        Algo::Sequential => {
+            assert_eq!(threads, 1, "Sequential is only meaningful single-threaded");
+            run_threads_virtual::<Sequential, _, _>(&rt, 1, ops, spec, factory)
+        }
+        Algo::SpHt => run_threads_virtual::<SpHt, _, _>(&rt, threads, ops, spec, factory),
+        Algo::Hle => run_threads_virtual::<Hle, _, _>(&rt, threads, ops, spec, factory),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +271,73 @@ mod tests {
         assert_eq!(
             r.tm.commits_subhtm, 5,
             "no-fast must commit on the partitioned path"
+        );
+    }
+
+    /// Writes 12 one-per-line counters in 4 declared segments — overflows a
+    /// tiny L1 write budget, forcing the partitioned path and the planner.
+    struct Wide(Addr);
+    impl Workload for Wide {
+        type Snap = ();
+        fn sample(&mut self, _r: &mut SmallRng) {}
+        fn segments(&self) -> usize {
+            4
+        }
+        fn segment<C: TxCtx>(&mut self, s: usize, ctx: &mut C) -> TxResult<()> {
+            for i in 0..3u32 {
+                let addr = self.0 + (s as u32 * 3 + i) * 8;
+                let v = ctx.read(addr)?;
+                ctx.write(addr, v + 1)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// ISSUE 8 acceptance: perturbing *only* `interrupt_prob` (not capacity,
+    /// not quantum) must not move the planner's split/demotion counters —
+    /// injected interrupts are transient, not resource failures, so they
+    /// must not feed the capacity-class profiles.
+    #[test]
+    fn planner_counters_ignore_interrupt_prob() {
+        use htm_sim::vclock::SchedSpec;
+        let run = |prob: f64| {
+            let htm = HtmConfig {
+                l1_sets: 4,
+                l1_ways: 2,
+                read_lines_max: 24,
+                interrupt_prob: prob,
+                ..HtmConfig::tiny()
+            };
+            let (r, _) = run_cell_virtual(
+                Algo::PartHtm,
+                1,
+                60,
+                htm,
+                TmConfig::default(),
+                12 * 8,
+                SchedSpec::default(),
+                |rt| Shared(rt.app(0)),
+                |s, _t| Wide(s.0),
+            );
+            r
+        };
+        let base = run(0.0);
+        let pert = run(5e-3);
+        assert!(
+            base.tm.site_demotions > 0 || base.tm.plan_splits > 0,
+            "the workload must actually exercise the planner"
+        );
+        assert!(
+            pert.hw.aborts_interrupt > 0,
+            "the perturbation must actually inject interrupts"
+        );
+        assert_eq!(
+            pert.tm.plan_splits, base.tm.plan_splits,
+            "plan splits moved on an interrupt_prob-only perturbation"
+        );
+        assert_eq!(
+            pert.tm.site_demotions, base.tm.site_demotions,
+            "site demotions moved on an interrupt_prob-only perturbation"
         );
     }
 

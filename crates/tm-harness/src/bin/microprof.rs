@@ -94,7 +94,7 @@ fn main() {
         hw.aborts_conflict,
         hw.aborts_capacity,
         hw.aborts_explicit,
-        hw.aborts_other
+        hw.aborts_other()
     );
 
     // Kmeans cell: sequential vs HTM-GL (calibration of the speed-up denominator).

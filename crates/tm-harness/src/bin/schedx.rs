@@ -1,0 +1,247 @@
+//! `schedx` — CLI for the deterministic schedule explorer.
+//!
+//! ```text
+//! schedx --list                         # scenarios
+//! schedx --bounded                      # the CI gate: bounded-exhaustive all
+//! schedx --scenario counter2 --depth 4  # explore one scenario deeper
+//! schedx --scenario counter2 --seeds 50 # seeded schedule sampling
+//! schedx --replay target/schedx/FILE    # re-run a captured failing schedule
+//! ```
+//!
+//! `--bounded` is the tier-1 gate: it explores every CI scenario to the
+//! default bounds, runs each twice to prove byte-identical determinism, and
+//! on any invariant violation writes a replay artifact under `target/schedx/`
+//! and exits non-zero with replay instructions.
+
+use htm_sim::vclock::SchedSpec;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tm_harness::schedx::{
+    artifact_text, explore, parse_artifact, run_scenario, sample, Bounds, Violation, BOUNDED_SET,
+    SCENARIOS,
+};
+
+struct Args {
+    bounded: bool,
+    list: bool,
+    scenario: Option<String>,
+    depth: usize,
+    max_schedules: usize,
+    seed: u64,
+    seeds: Option<usize>,
+    replay: Option<PathBuf>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        bounded: false,
+        list: false,
+        scenario: None,
+        depth: Bounds::default().depth,
+        max_schedules: Bounds::default().max_schedules,
+        seed: 0,
+        seeds: None,
+        replay: None,
+        out_dir: PathBuf::from("target/schedx"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--bounded" => a.bounded = true,
+            "--list" => a.list = true,
+            "--scenario" => a.scenario = Some(val("--scenario")?),
+            "--depth" => a.depth = val("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?,
+            "--max" => {
+                a.max_schedules = val("--max")?.parse().map_err(|e| format!("--max: {e}"))?
+            }
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seeds" => {
+                a.seeds = Some(val("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?)
+            }
+            "--replay" => a.replay = Some(PathBuf::from(val("--replay")?)),
+            "--out" => a.out_dir = PathBuf::from(val("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "schedx: deterministic schedule explorer\n\
+                     --list | --bounded | --scenario NAME [--depth K] [--max N] \
+                     [--seed S] [--seeds N] | --replay FILE [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(a)
+}
+
+/// Write the artifact, print replay instructions, return the failure exit.
+fn report_violation(v: &Violation, out_dir: &PathBuf) -> ExitCode {
+    let prefix: Vec<String> = v.spec.forced.iter().map(|c| c.to_string()).collect();
+    let file = out_dir.join(format!(
+        "{}-s{}-p{}.schedx",
+        v.scenario,
+        v.spec.seed,
+        if prefix.is_empty() {
+            "none".to_string()
+        } else {
+            prefix.join("_")
+        }
+    ));
+    let text = artifact_text(v);
+    if let Err(e) = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(&file, &text))
+    {
+        eprintln!("schedx: FAILED to write artifact {}: {e}", file.display());
+        eprintln!("--- artifact ---\n{text}----------------");
+    } else {
+        eprintln!("schedx: replay artifact written to {}", file.display());
+    }
+    eprintln!(
+        "schedx: INVARIANT VIOLATION in scenario '{}':\n  {}\n\
+         To re-run this exact interleaving:\n  \
+         cargo run --release -p tm-harness --bin schedx -- --replay {}",
+        v.scenario,
+        v.message,
+        file.display()
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("schedx: {e} (try --help)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.list {
+        for &(name, cores, desc) in SCENARIOS {
+            println!("{name:14} ({cores} cores)  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("schedx: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let v = match parse_artifact(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("schedx: bad artifact: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "schedx: replaying scenario '{}' (seed {}, prefix {:?})",
+            v.scenario, v.spec.seed, v.spec.forced
+        );
+        return match run_scenario(&v.scenario, &v.spec) {
+            Err(msg) if msg == v.message => {
+                println!("schedx: reproduced the recorded failure:\n  {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!(
+                    "schedx: failed, but DIFFERENTLY than recorded:\n  recorded: {}\n  now:      {msg}",
+                    v.message
+                );
+                ExitCode::FAILURE
+            }
+            Ok(_) => {
+                eprintln!("schedx: the recorded schedule now PASSES (fixed, or drifted)");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let bounds = Bounds {
+        depth: args.depth,
+        max_schedules: args.max_schedules,
+    };
+
+    if args.bounded {
+        // The CI gate: bounded-exhaustive exploration + a byte-exact
+        // determinism self-check, over every scenario in the CI set.
+        for name in BOUNDED_SET {
+            let spec = SchedSpec {
+                seed: args.seed,
+                ..SchedSpec::default()
+            };
+            let a = run_scenario(name, &spec);
+            let b = run_scenario(name, &spec);
+            match (&a, &b) {
+                (Ok((_, da)), Ok((_, db))) if da == db => {}
+                (Ok(_), Ok(_)) => {
+                    eprintln!("schedx: NONDETERMINISM in '{name}': identical specs, different digests");
+                    return ExitCode::FAILURE;
+                }
+                (Err(m), _) | (_, Err(m)) => {
+                    return report_violation(
+                        &Violation {
+                            scenario: name.to_string(),
+                            spec,
+                            message: m.clone(),
+                        },
+                        &args.out_dir,
+                    );
+                }
+            }
+            let out = explore(name, args.seed, bounds);
+            if let Some(v) = &out.violation {
+                return report_violation(v, &args.out_dir);
+            }
+            println!(
+                "schedx: {name:12} OK — {} schedules explored to depth {}{}",
+                out.explored,
+                bounds.depth,
+                if out.truncated {
+                    " (TRUNCATED at --max)"
+                } else {
+                    ""
+                }
+            );
+        }
+        println!("schedx: bounded gate passed");
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(scenario) = &args.scenario else {
+        eprintln!("schedx: need --bounded, --list, --replay or --scenario (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let out = if let Some(n) = args.seeds {
+        println!("schedx: sampling {n} seeded schedules of '{scenario}'");
+        sample(scenario, args.seed, n)
+    } else {
+        println!(
+            "schedx: exploring '{scenario}' to depth {} (max {} schedules)",
+            bounds.depth, bounds.max_schedules
+        );
+        explore(scenario, args.seed, bounds)
+    };
+    if let Some(v) = &out.violation {
+        return report_violation(v, &args.out_dir);
+    }
+    println!(
+        "schedx: {} schedules, no violations{}",
+        out.explored,
+        if out.truncated {
+            " (TRUNCATED at --max: coverage is partial)"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}

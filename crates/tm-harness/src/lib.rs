@@ -21,7 +21,8 @@ pub mod algo;
 pub mod driver;
 pub mod experiments;
 pub mod report;
+pub mod schedx;
 
-pub use algo::{run_cell, run_cell_with, Algo};
-pub use driver::{run_threads, RunResult};
+pub use algo::{run_cell, run_cell_virtual, run_cell_with, Algo};
+pub use driver::{run_threads, run_threads_virtual, RunResult};
 pub use report::{StatsReport, Table, Unit};

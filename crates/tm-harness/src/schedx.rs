@@ -1,0 +1,520 @@
+//! `schedx` — the deterministic schedule explorer.
+//!
+//! Built on [`htm_sim::vclock`]: a scenario is a small multi-core protocol
+//! exercise run under the virtual clock with its invariants checked after the
+//! run; a schedule is a `(seed, policy, forced-prefix)` spec; the explorer
+//! enumerates forced prefixes depth-first to visit **every** schedule that
+//! differs from the default in the first `depth` decision points (bounded
+//! exhaustive exploration), or samples seeds under the `Seeded` policy.
+//!
+//! A violated invariant serialises to a tiny replay artifact
+//! ([`artifact_text`]) that [`parse_artifact`] + [`run_scenario`] re-run to
+//! the exact same interleaving — see `docs/virtual-time.md` for the format.
+
+use htm_sim::vclock::{SchedPolicy, SchedSpec, VClock, VReport};
+use htm_sim::{HtmConfig, HtmSystem};
+use part_htm_core::{PartHtm, TmConfig, TmRuntime, TxCtx, Workload};
+use rand::rngs::SmallRng;
+use std::fmt::Write as _;
+
+use crate::driver::run_threads_virtual;
+
+/// Exploration bounds (Kani-RFC style: explicit, and reported when hit).
+#[derive(Clone, Copy, Debug)]
+pub struct Bounds {
+    /// Decision depth: every schedule differing from the default in the first
+    /// `depth` decision points is visited.
+    pub depth: usize,
+    /// Hard cap on executed schedules; hitting it sets
+    /// [`Explored::truncated`].
+    pub max_schedules: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Self {
+            depth: 3,
+            max_schedules: 64,
+        }
+    }
+}
+
+/// A schedule that broke a scenario invariant, with everything needed to
+/// re-run it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Scenario name (see [`SCENARIOS`]).
+    pub scenario: String,
+    /// The exact schedule: re-running the scenario under this spec reproduces
+    /// the violation bit-exactly.
+    pub spec: SchedSpec,
+    /// What broke (one line).
+    pub message: String,
+}
+
+/// Outcome of an [`explore`] or [`sample`] sweep.
+#[derive(Clone, Debug)]
+pub struct Explored {
+    /// Schedules actually executed.
+    pub explored: usize,
+    /// True when `max_schedules` stopped the sweep before the frontier was
+    /// exhausted — coverage is then partial and the caller must say so.
+    pub truncated: bool,
+    /// First invariant violation found, if any (the sweep stops at the first).
+    pub violation: Option<Violation>,
+}
+
+/// The scenario registry: `(name, simulated cores, description)`.
+///
+/// `order-canary` is deliberately schedule-*dependent* — its "invariant"
+/// (core 0 commits first) is false under some interleavings. It exists to
+/// prove the explorer finds schedule-sensitive outcomes and to exercise the
+/// artifact/replay round trip; it is excluded from the CI `--bounded` set.
+pub const SCENARIOS: &[(&str, usize, &str)] = &[
+    (
+        "counter2",
+        2,
+        "2-core Part-HTM shared-counter conflict over the packed line table",
+    ),
+    (
+        "planner",
+        2,
+        "capacity-heavy multi-segment Part-HTM: partitioned path + segment planner",
+    ),
+    (
+        "ring-epoch",
+        2,
+        "write-heavy Part-HTM on a tiny sharded ring with epoch summary resets",
+    ),
+    (
+        "order-canary",
+        2,
+        "schedule-dependent canary (commit order); violated by design at depth >= 2",
+    ),
+];
+
+/// The scenarios the CI `--bounded` gate runs (all invariants must hold on
+/// every explored schedule).
+pub const BOUNDED_SET: &[&str] = &["counter2", "planner", "ring-epoch"];
+
+/// Increment `addr` once per transaction (single segment).
+struct Inc(htm_sim::Addr);
+
+impl Workload for Inc {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> htm_sim::abort::TxResult<()> {
+        let v = ctx.read(self.0)?;
+        ctx.write(self.0, v + 1)
+    }
+}
+
+/// Increment `LINES` one-per-line counters in `SEGS` declared segments —
+/// wide enough to blow a tiny L1 write budget and force the partitioned
+/// path and the segment planner.
+struct WideInc {
+    base: htm_sim::Addr,
+}
+
+impl WideInc {
+    const LINES: u32 = 12;
+    const SEGS: usize = 4;
+}
+
+impl Workload for WideInc {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segments(&self) -> usize {
+        Self::SEGS
+    }
+    fn segment<C: TxCtx>(&mut self, s: usize, ctx: &mut C) -> htm_sim::abort::TxResult<()> {
+        let per = Self::LINES as usize / Self::SEGS;
+        for i in 0..per {
+            let addr = self.base + ((s * per + i) as u32) * 8;
+            let v = ctx.read(addr)?;
+            ctx.write(addr, v + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Check the post-run invariants common to every Part-HTM scenario: conserved
+/// per-word sums, global lock released, no in-flight transactions, no leaked
+/// conflict-table entries.
+fn check_clean(rt: &TmRuntime, words: &[(usize, u64)], out: &mut Vec<String>) {
+    for &(i, expect) in words {
+        let got = rt.verify_read(i);
+        if got != expect {
+            out.push(format!("word {i}: expected {expect}, found {got} (lost or phantom update)"));
+        }
+    }
+    let glock = rt.system().nt_read(rt.glock());
+    if glock != 0 {
+        out.push(format!("global lock still held (value {glock})"));
+    }
+    let active = rt.system().nt_read(rt.active_tx());
+    if active != 0 {
+        out.push(format!("active_tx counter not drained (value {active})"));
+    }
+    let live = rt.system().live_line_entries();
+    if live != 0 {
+        out.push(format!("{live} conflict-table entries leaked"));
+    }
+}
+
+/// Run one scenario under one schedule. `Ok` carries the schedule report and
+/// a canonical digest (decision trace + statistics) for byte-exact
+/// determinism comparisons; `Err` is a one-line invariant-violation message.
+pub fn run_scenario(name: &str, spec: &SchedSpec) -> Result<(VReport, String), String> {
+    match name {
+        "counter2" => {
+            let rt = TmRuntime::new(
+                HtmConfig::tiny(),
+                TmConfig::default(),
+                2,
+                64,
+            );
+            let a0 = rt.app(0);
+            let (r, rep) =
+                run_threads_virtual::<PartHtm, _, _>(&rt, 2, 6, spec.clone(), |_t| Inc(a0));
+            let mut bad = Vec::new();
+            if r.commits != 12 {
+                bad.push(format!("expected 12 commits, got {}", r.commits));
+            }
+            check_clean(&rt, &[(0, 12)], &mut bad);
+            finish(name, r, rep, bad)
+        }
+        "planner" => {
+            let htm = HtmConfig {
+                l1_sets: 4,
+                l1_ways: 2,
+                read_lines_max: 24,
+                ..HtmConfig::tiny()
+            };
+            let rt = TmRuntime::new(htm, TmConfig::default(), 2, (WideInc::LINES as usize) * 8);
+            let base = rt.app(0);
+            let (r, rep) =
+                run_threads_virtual::<PartHtm, _, _>(&rt, 2, 4, spec.clone(), |_t| WideInc {
+                    base,
+                });
+            let mut bad = Vec::new();
+            if r.commits != 8 {
+                bad.push(format!("expected 8 commits, got {}", r.commits));
+            }
+            let words: Vec<(usize, u64)> =
+                (0..WideInc::LINES as usize).map(|i| (i * 8, 8)).collect();
+            check_clean(&rt, &words, &mut bad);
+            finish(name, r, rep, bad)
+        }
+        "ring-epoch" => {
+            let tm = TmConfig {
+                ring_entries: 16,
+                ring_shards: 2,
+                summary_epochs: true,
+                summary_check_interval: 4,
+                ..TmConfig::default()
+            };
+            let rt = TmRuntime::new(HtmConfig::tiny(), tm, 2, 64);
+            let a0 = rt.app(0);
+            let (r, rep) =
+                run_threads_virtual::<PartHtm, _, _>(&rt, 2, 8, spec.clone(), |_t| Inc(a0));
+            let mut bad = Vec::new();
+            if r.commits != 16 {
+                bad.push(format!("expected 16 commits, got {}", r.commits));
+            }
+            check_clean(&rt, &[(0, 16)], &mut bad);
+            finish(name, r, rep, bad)
+        }
+        "order-canary" => {
+            // Raw HtmSystem, one single-op commit per core. The "invariant"
+            // is that core 0's commit lands first — true under the MinId
+            // default, false once the explorer forces the tie the other way
+            // at the commit's decision point (depth 2).
+            let sys = HtmSystem::new(HtmConfig::tiny(), 64);
+            let clock = VClock::new(2, spec.clone());
+            std::thread::scope(|s| {
+                for t in 0..2usize {
+                    let clock = &clock;
+                    let sys = &sys;
+                    s.spawn(move || {
+                        let _g = clock.attach(t);
+                        let mut th = sys.thread(t);
+                        th.attempt(|tx| tx.write((t as u32) * 8, 1)).unwrap();
+                    });
+                }
+            });
+            let rep = clock.report();
+            let mut bad = Vec::new();
+            match rep.commit_log.first() {
+                Some(&(core, _)) if core != 0 => {
+                    bad.push(format!("core {core} committed before core 0"));
+                }
+                None => bad.push("no commits recorded".to_string()),
+                _ => {}
+            }
+            if bad.is_empty() {
+                let digest = format!("{}canary", rep.trace_text());
+                Ok((rep, digest))
+            } else {
+                Err(bad.join("; "))
+            }
+        }
+        other => Err(format!("unknown scenario '{other}'")),
+    }
+}
+
+/// Fold a finished Part-HTM scenario run into the `run_scenario` result shape.
+fn finish(
+    _name: &str,
+    r: crate::driver::RunResult,
+    rep: VReport,
+    bad: Vec<String>,
+) -> Result<(VReport, String), String> {
+    if bad.is_empty() {
+        let digest = format!(
+            "{}makespan={} tm={:?} hw={:?}",
+            rep.trace_text(),
+            r.makespan,
+            r.tm,
+            r.hw
+        );
+        Ok((rep, digest))
+    } else {
+        Err(bad.join("; "))
+    }
+}
+
+/// Bounded-depth exhaustive exploration: depth-first over forced prefixes,
+/// visiting every schedule that differs from the `MinId` default in the first
+/// [`Bounds::depth`] decision points. Stops at the first violation.
+pub fn explore(scenario: &str, seed: u64, bounds: Bounds) -> Explored {
+    let mut stack: Vec<Vec<u8>> = vec![Vec::new()];
+    let mut explored = 0usize;
+    while let Some(prefix) = stack.pop() {
+        if explored >= bounds.max_schedules {
+            return Explored {
+                explored,
+                truncated: true,
+                violation: None,
+            };
+        }
+        let spec = SchedSpec {
+            seed,
+            policy: SchedPolicy::MinId,
+            forced: prefix.clone(),
+        };
+        explored += 1;
+        match run_scenario(scenario, &spec) {
+            Err(message) => {
+                return Explored {
+                    explored,
+                    truncated: false,
+                    violation: Some(Violation {
+                        scenario: scenario.to_string(),
+                        spec,
+                        message,
+                    }),
+                }
+            }
+            Ok((report, _)) => {
+                // Children: for every decision index `i` beyond this node's
+                // explicit prefix, re-run with the observed choices 0..i
+                // pinned and decision `i` flipped to each alternative. Every
+                // child ends in a non-default choice and its parent is
+                // recovered by stripping it plus trailing defaults, so the
+                // stateless DFS visits each bounded-depth schedule exactly
+                // once.
+                let upto = bounds.depth.min(report.decisions.len());
+                for i in prefix.len()..upto {
+                    let d = report.decisions[i];
+                    for alt in 1..d.candidates {
+                        let mut child: Vec<u8> =
+                            report.decisions[..i].iter().map(|p| p.chosen).collect();
+                        child.push(alt);
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+    }
+    Explored {
+        explored,
+        truncated: false,
+        violation: None,
+    }
+}
+
+/// Seeded schedule sampling: `n` runs under [`SchedPolicy::Seeded`] with
+/// seeds `seed0..seed0+n`. Complements [`explore`] past the exhaustive
+/// horizon.
+pub fn sample(scenario: &str, seed0: u64, n: usize) -> Explored {
+    for k in 0..n {
+        let spec = SchedSpec {
+            seed: seed0.wrapping_add(k as u64),
+            policy: SchedPolicy::Seeded,
+            forced: Vec::new(),
+        };
+        if let Err(message) = run_scenario(scenario, &spec) {
+            return Explored {
+                explored: k + 1,
+                truncated: false,
+                violation: Some(Violation {
+                    scenario: scenario.to_string(),
+                    spec,
+                    message,
+                }),
+            };
+        }
+    }
+    Explored {
+        explored: n,
+        truncated: false,
+        violation: None,
+    }
+}
+
+/// Serialise a violation to the replay artifact format (`schedx-artifact v1`).
+pub fn artifact_text(v: &Violation) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "schedx-artifact v1");
+    let _ = writeln!(s, "scenario: {}", v.scenario);
+    let _ = writeln!(s, "seed: {}", v.spec.seed);
+    let _ = writeln!(
+        s,
+        "policy: {}",
+        match v.spec.policy {
+            SchedPolicy::MinId => "minid",
+            SchedPolicy::Seeded => "seeded",
+        }
+    );
+    let prefix: Vec<String> = v.spec.forced.iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(s, "prefix: {}", prefix.join(","));
+    let _ = writeln!(s, "violation: {}", v.message);
+    s
+}
+
+/// Parse a replay artifact produced by [`artifact_text`].
+pub fn parse_artifact(text: &str) -> Result<Violation, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("schedx-artifact v1") {
+        return Err("not a schedx-artifact v1 file".to_string());
+    }
+    let mut scenario = None;
+    let mut seed = 0u64;
+    let mut policy = SchedPolicy::MinId;
+    let mut forced = Vec::new();
+    let mut message = String::new();
+    for line in lines {
+        let Some((key, val)) = line.split_once(':') else {
+            continue;
+        };
+        let val = val.trim();
+        match key.trim() {
+            "scenario" => scenario = Some(val.to_string()),
+            "seed" => seed = val.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "policy" => {
+                policy = match val {
+                    "minid" => SchedPolicy::MinId,
+                    "seeded" => SchedPolicy::Seeded,
+                    other => return Err(format!("bad policy '{other}'")),
+                }
+            }
+            "prefix" => {
+                forced = val
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p.trim().parse().map_err(|e| format!("bad prefix: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "violation" => message = val.to_string(),
+            _ => {}
+        }
+    }
+    Ok(Violation {
+        scenario: scenario.ok_or("missing scenario")?,
+        spec: SchedSpec {
+            seed,
+            policy,
+            forced,
+        },
+        message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ISSUE 8 acceptance: two identical invocations produce byte-identical
+    /// schedule traces and statistics, for every CI scenario.
+    #[test]
+    fn same_spec_same_digest_for_every_scenario() {
+        for &(name, _, _) in SCENARIOS {
+            let spec = SchedSpec::default();
+            let a = run_scenario(name, &spec).expect(name);
+            let b = run_scenario(name, &spec).expect(name);
+            assert_eq!(a.1, b.1, "{name}: digests differ across identical runs");
+        }
+    }
+
+    /// The tier-1-pinned bounded-depth exhaustive run: a 2-thread
+    /// packed-line-table conflict, every schedule to depth 2, all invariants
+    /// hold on all of them.
+    #[test]
+    fn counter2_bounded_exhaustive_holds() {
+        let out = explore(
+            "counter2",
+            0,
+            Bounds {
+                depth: 2,
+                max_schedules: 64,
+            },
+        );
+        assert!(out.violation.is_none(), "violation: {:?}", out.violation);
+        assert!(!out.truncated, "depth-2 frontier must fit the budget");
+        assert!(
+            out.explored > 1,
+            "a 2-core conflict must hit schedule decisions (got {})",
+            out.explored
+        );
+    }
+
+    /// Replay round trip: the explorer finds the order-canary's
+    /// schedule-dependent violation, the artifact serialises it, and the
+    /// parsed artifact re-runs to the *same* failure.
+    #[test]
+    fn order_canary_violation_replays_exactly() {
+        let out = explore("order-canary", 0, Bounds::default());
+        let v = out
+            .violation
+            .expect("depth-3 exploration must flip the canary's commit order");
+        let text = artifact_text(&v);
+        let parsed = parse_artifact(&text).expect("round trip");
+        assert_eq!(parsed.scenario, v.scenario);
+        assert_eq!(parsed.spec.forced, v.spec.forced);
+        let replayed = run_scenario(&parsed.scenario, &parsed.spec)
+            .expect_err("replaying the failing schedule must fail again");
+        assert_eq!(replayed, v.message, "replay must reproduce the same failure");
+    }
+
+    /// Schedules that pass the canary exist too (the default one), so the
+    /// canary is genuinely schedule-dependent, not merely broken.
+    #[test]
+    fn order_canary_passes_under_default_schedule() {
+        assert!(run_scenario("order-canary", &SchedSpec::default()).is_ok());
+    }
+
+    #[test]
+    fn seeded_sampling_covers_ci_scenarios() {
+        for name in BOUNDED_SET {
+            let out = sample(name, 100, 3);
+            assert!(out.violation.is_none(), "{name}: {:?}", out.violation);
+        }
+    }
+
+    #[test]
+    fn artifact_rejects_garbage() {
+        assert!(parse_artifact("hello").is_err());
+        assert!(parse_artifact("schedx-artifact v1\nseed: x\n").is_err());
+    }
+}

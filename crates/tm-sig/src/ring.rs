@@ -290,7 +290,7 @@ impl Ring {
     /// Returns the new timestamp.
     pub fn publish_software(&self, th: &HtmThread<'_>, sig: &Sig) -> u64 {
         while th.nt_cas(self.lock, 0, 1).is_err() {
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
         let ts = th.nt_read(self.timestamp) + 1;
         self.write_entry_nt(th, ts, sig);
@@ -310,7 +310,7 @@ impl Ring {
         summary: &RingSummary,
     ) -> u64 {
         while th.nt_cas(self.lock, 0, 1).is_err() {
-            std::thread::yield_now();
+            htm_sim::vclock::yield_now();
         }
         let ts = th.nt_read(self.timestamp) + 1;
         self.write_entry_nt(th, ts, sig);

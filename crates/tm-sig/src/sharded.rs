@@ -332,7 +332,7 @@ impl ShardedRing {
         for s in bits(smask) {
             let lock = self.shards[s].lock_addr();
             while th.nt_cas(lock, 0, 1).is_err() {
-                std::thread::yield_now();
+                htm_sim::vclock::yield_now();
             }
         }
         for s in bits(smask) {

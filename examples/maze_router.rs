@@ -61,6 +61,7 @@ fn route_all<'r, E: TmExecutor<'r>>(rt: &'r TmRuntime, p: &LabyrinthParams) -> (
             commits,
             tm,
             hw,
+            makespan: 0,
         },
         routed,
     )

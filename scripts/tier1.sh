@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, workspace tests, clippy -D warnings on every
-# workspace crate, and rustdoc with warnings denied (broken intra-doc links
-# or malformed doc comments fail the gate).
+# workspace crate, rustdoc with warnings denied (broken intra-doc links
+# or malformed doc comments fail the gate), and a bounded deterministic
+# schedule-exploration pass (schedx --bounded) over the virtual-clock
+# scenarios.
 #
 # Flags:
 #   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
@@ -34,6 +36,15 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== tier1: cargo doc -D warnings (workspace) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
+echo "== tier1: schedx --bounded (deterministic schedule exploration) =="
+# Bounded-depth exploration of the CI scenarios under the virtual clock, with
+# explicit resource limits: 120 s wall time and a 4 GiB address-space cap (the
+# run needs a few seconds and well under 1 GiB; the limits are a backstop
+# against an exploration-loop regression, not a tuning knob). On a violation
+# the binary writes a replay artifact to target/schedx/ and prints the
+# `--replay` command line; see docs/virtual-time.md.
+( ulimit -v 4194304; timeout 120 ./target/release/schedx --bounded )
 
 case "${1:-}" in
 --smoke)
