@@ -1,0 +1,222 @@
+//! Splitting-vs-stretching ablation across HTM capacity models: the same
+//! capacity-heavy transaction under each [`htm_sim::BackendKind`], rescued
+//! either by Part-HTM's **segment splitting** (partitioned sub-HTM path) or by
+//! Stretch-HTM's **capacity stretching** (suspend/resume resource stretching,
+//! `docs/backends.md`). The committed numbers live in `BENCH_7.json` so the
+//! ablation is reproducible from this tree alone.
+//!
+//! Every cell runs under the **virtual clock** ([`htm_sim::vclock`]) and
+//! reports commits per million simulated work units. Wall-clock throughput
+//! would mislead here: the global-lock fallback executes uninstrumented and
+//! therefore *fast* in simulator wall-clock, even though it serialises the
+//! cores — virtual time prices that serialisation the way real hardware
+//! would (the makespan is the slowest core's finish time). Virtual cells are
+//! also deterministic: the committed baseline reproduces bit-exactly on any
+//! host, so the regression gate tracks code changes, not host noise.
+//!
+//! The workload is an N-Reads-M-Writes transaction whose read set (~150 cache
+//! lines) overflows every backend's read budget (TSX pinned to 64 lines here,
+//! POWER 128, limited-set 64), with a write set small enough (2–3 lines) to
+//! fit even the limited-set write budget. Per backend, two rows:
+//!
+//! * **split** — `PartHtm`, adaptive planner with the backend's capacity-class
+//!   group cap ([`part_htm_core::backend_group_cap`]);
+//! * **stretch** — `StretchHtm`, whole-transaction attempts with stretched
+//!   reads. Only the POWER model supports suspended regions, so this row
+//!   degrades to HTM-GL (global-lock serialisation) on `tsx` and `limited`.
+//!
+//! What the committed `BENCH_7.json` shows (see EXPERIMENTS.md for caveats):
+//! on **POWER**, stretching roughly doubles splitting — ~30 suspended loads
+//! per transaction are far cheaper than re-running 32 sub-HTM segments under
+//! software metadata. On **TSX** the stretch row is pure glock, and even that
+//! outruns the partitioned path on this shape at 4 cores: with a 64-line
+//! budget the planner is forced to tiny groups and the per-access software
+//! instrumentation eats the parallelism — an honest negative result for
+//! splitting on deeply over-budget read sets. On **limited**, the model's
+//! software-managed overflow spill absorbs the whole read set in the fast
+//! path, so both rows coincide and neither rescue mechanism runs.
+//!
+//! Usage: `backendbench [--smoke] [--json PATH] [--baseline FILE]`
+//!   --smoke      ~10x fewer transactions (CI sanity run)
+//!   --json P     write machine-readable results to P ("-" for stdout)
+//!   --baseline F gate against a previously committed backendbench JSON
+//!                (exit 1 on failure): >10% regression of the POWER split or
+//!                POWER stretch row, or POWER stretching falling below 1.5x
+//!                POWER splitting (the committed baseline records ~2x;
+//!                the gap to 1.5 absorbs legitimate cost-model shifts, and
+//!                a fall below it means capacity stretching lost its point
+//!                on the one backend that supports it).
+
+use htm_sim::vclock::SchedSpec;
+use htm_sim::{BackendKind, HtmConfig};
+use part_htm_core::{PartHtm, StretchHtm, TmConfig, TmRuntime};
+use tm_bench::{baseline_number, emit_json, BenchArgs};
+use tm_harness::{run_threads_virtual, RunResult, StatsReport};
+use tm_workloads::micro;
+
+/// Simulated cores for every row (matches partbench / pathbench's thread count).
+const THREADS: usize = 4;
+
+struct Scale {
+    ops_per_thread: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self { ops_per_thread: 60 }
+    }
+    fn smoke() -> Self {
+        Self { ops_per_thread: 6 }
+    }
+}
+
+/// The capacity-heavy shape: 1200 contiguous word reads (~150 lines) against
+/// read budgets of 64/128/64 lines, 16 word writes (2–3 lines) fitting every
+/// write budget, declared at fine granularity so the adaptive planner picks
+/// the per-backend group width.
+fn params() -> micro::NrmwParams {
+    micro::NrmwParams {
+        array_len: 4_000,
+        n_reads: 1_200,
+        m_writes: 16,
+        work_per_iter: 0,
+        segments: 8,
+        stride: 1,
+    }
+    .fine_grained()
+}
+
+fn htm(kind: BackendKind) -> HtmConfig {
+    HtmConfig {
+        backend: Some(kind),
+        // Pins the TSX read budget to 64 lines so the workload is
+        // capacity-heavy on every backend (POWER and limited-set geometries
+        // are fixed by their models and ignore this).
+        read_lines_max: 64,
+        ..HtmConfig::default()
+    }
+}
+
+/// One (backend, executor) cell under the default deterministic schedule.
+fn bench_cell(kind: BackendKind, stretch: bool, ops_per_thread: usize) -> RunResult {
+    let p = params();
+    let rt = TmRuntime::new(htm(kind), TmConfig::default(), THREADS, p.app_words());
+    let shared = micro::init(&rt, &p);
+    let (r, _) = if stretch {
+        run_threads_virtual::<StretchHtm, _, _>(
+            &rt,
+            THREADS,
+            ops_per_thread,
+            SchedSpec::default(),
+            |t| micro::Nrmw::new(shared, t, 64),
+        )
+    } else {
+        run_threads_virtual::<PartHtm, _, _>(
+            &rt,
+            THREADS,
+            ops_per_thread,
+            SchedSpec::default(),
+            |t| micro::Nrmw::new(shared, t, 64),
+        )
+    };
+    r
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+
+    eprintln!("backendbench: {} run (virtual time, deterministic)", args.run_kind());
+
+    let kinds = [BackendKind::Tsx, BackendKind::Power, BackendKind::Limited];
+    let mut rows = Vec::new();
+    for kind in kinds {
+        eprintln!("  [{}] Part-HTM (splitting)...", kind.name());
+        let split = bench_cell(kind, false, scale.ops_per_thread);
+        eprintln!("  [{}] Stretch-HTM (stretching)...", kind.name());
+        let stretch = bench_cell(kind, true, scale.ops_per_thread);
+        rows.push((kind, split, stretch));
+    }
+
+    println!("backendbench results ({} run, commits per 1M virtual units)", args.run_kind());
+    for (kind, split, stretch) in &rows {
+        let ratio = stretch.virtual_throughput() / split.virtual_throughput();
+        println!(
+            "{:<8} split {:>10.2}   stretch {:>10.2}   stretch/split {ratio:>6.2}x",
+            kind.name(),
+            split.virtual_throughput(),
+            stretch.virtual_throughput(),
+        );
+        for (label, r) in [("split", split), ("stretch", stretch)] {
+            let rep = StatsReport::from_run(r);
+            if let Some(line) = rep.render_hot_path() {
+                println!("  [{} {label}] {line}", kind.name());
+            }
+        }
+    }
+
+    let by = |k: BackendKind| rows.iter().find(|(kind, _, _)| *kind == k).expect("row");
+    let (_, power_split, power_stretch) = by(BackendKind::Power);
+    let power_ratio = power_stretch.virtual_throughput() / power_split.virtual_throughput();
+
+    let mut row_json = String::new();
+    for (i, (kind, split, stretch)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        row_json.push_str(&format!(
+            "    \"{k}_split_vtp\": {:.3},\n    \"{k}_stretch_vtp\": {:.3}{sep}\n",
+            split.virtual_throughput(),
+            stretch.virtual_throughput(),
+            k = kind.name(),
+        ));
+    }
+    let p = params();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"backendbench\",\n",
+            "  \"config\": {{\"smoke\": {}, \"threads\": {}, \"n_reads\": {}, ",
+            "\"m_writes\": {}, \"segments\": {}}},\n",
+            "  \"rows\": {{\n{}  }},\n",
+            "  \"power_stretch_vs_split\": {:.3}\n",
+            "}}\n"
+        ),
+        smoke,
+        THREADS,
+        p.n_reads,
+        p.m_writes,
+        p.segments,
+        row_json,
+        power_ratio,
+    );
+
+    if let Some(path) = &args.json {
+        emit_json(path, &json);
+    }
+
+    if let Some(path) = &args.baseline {
+        let mut failed = false;
+        for (key, now) in [
+            ("power_split_vtp", power_split.virtual_throughput()),
+            ("power_stretch_vtp", power_stretch.virtual_throughput()),
+        ] {
+            let base = baseline_number(path, key);
+            let ratio = now / base;
+            println!("regression gate: {key} {now:.2} vs baseline {base:.2} ({ratio:.2}x)");
+            if ratio < 0.90 {
+                eprintln!("FAIL: {key} regressed more than 10% vs {path}");
+                failed = true;
+            }
+        }
+        if power_ratio < 1.5 {
+            eprintln!(
+                "FAIL: POWER stretching only {power_ratio:.2}x of splitting (floor 1.5x; \
+                 suspended-read stretching should beat partitioning on this read-heavy shape)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

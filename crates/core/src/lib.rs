@@ -30,6 +30,7 @@ pub mod parthtm;
 pub mod planner;
 pub mod runtime;
 pub mod stats;
+pub mod stretch;
 pub mod undo;
 
 pub use api::{
@@ -38,6 +39,7 @@ pub use api::{
 };
 pub use opaque::PartHtmO;
 pub use parthtm::PartHtm;
-pub use planner::{build_plan, FastProfile, FastRoute, PlanStep, SiteTable};
+pub use planner::{backend_group_cap, build_plan, FastProfile, FastRoute, PlanStep, SiteTable};
 pub use runtime::{TmConfig, TmRuntime, TmThread};
 pub use stats::TmStats;
+pub use stretch::{StretchCtx, StretchHtm};

@@ -64,6 +64,9 @@ pub const MERGE_AFTER: u32 = 4;
 pub const RAISE_AFTER: u32 = 64;
 /// Largest segments-per-group merge factor the controller will plan.
 pub const MAX_GROUP: u32 = 16;
+/// Reference write-set budget [`MAX_GROUP`] was tuned against: the TSX-like
+/// default geometry (64 sets x 8 ways = 512 written lines).
+pub const REFERENCE_WRITE_LINES: usize = 512;
 /// Site-table slots (power of two). Sites beyond the table share slots by
 /// hash collision — profiles blend, decisions stay safe (every decision is a
 /// performance hint, never a correctness input).
@@ -100,6 +103,10 @@ pub enum PlanChange {
 /// One site's lock-free abort profile. All fields are racy-by-design relaxed
 /// atomics; see the module docs.
 pub struct SiteSlot {
+    /// Hard merge-factor ceiling for this table (backend capacity class; see
+    /// [`backend_group_cap`]). Plans, limits and plateau re-probes never
+    /// exceed it.
+    cap: u32,
     /// Claimed site id + 1 (0 = empty slot).
     key: AtomicU32,
     /// Which EWMAs have samples (`F_*` bits).
@@ -122,15 +129,17 @@ pub struct SiteSlot {
 }
 
 impl SiteSlot {
-    fn new(init_group: u32) -> Self {
+    fn new(init_group: u32, cap: u32) -> Self {
+        let cap = cap.clamp(1, MAX_GROUP);
         Self {
+            cap,
             key: AtomicU32::new(0),
             flags: AtomicU32::new(0),
             res_ewma: AtomicU32::new(0),
             exh_ewma: AtomicU32::new(0),
             sub_cap_ewma: AtomicU32::new(0),
-            group: AtomicU32::new(init_group.clamp(1, MAX_GROUP)),
-            limit: AtomicU32::new(MAX_GROUP),
+            group: AtomicU32::new(init_group.clamp(1, cap)),
+            limit: AtomicU32::new(cap),
             credit: AtomicU32::new(0),
             clock: AtomicU64::new(0),
         }
@@ -218,7 +227,7 @@ impl SiteSlot {
     /// The merge factor the executor should plan with right now.
     #[inline]
     pub fn plan_group(&self) -> u32 {
-        self.group.load(Relaxed).clamp(1, MAX_GROUP)
+        self.group.load(Relaxed).clamp(1, self.cap)
     }
 
     /// A group of `used` segments died of a capacity-class abort: halve the
@@ -248,7 +257,7 @@ impl SiteSlot {
         Self::ewma(&self.sub_cap_ewma, false);
         self.set_flag(F_SUBCAP);
         let group = self.group.load(Relaxed);
-        let ceiling = max_run.clamp(1, MAX_GROUP);
+        let ceiling = max_run.clamp(1, self.cap);
         if group >= ceiling {
             return PlanChange::None;
         }
@@ -271,6 +280,22 @@ impl SiteSlot {
     }
 }
 
+/// Map a backend's write-set budget to the planner's merge-factor ceiling —
+/// the *capacity class* of the backend. [`MAX_GROUP`] was tuned against the
+/// TSX-like [`REFERENCE_WRITE_LINES`] budget; a backend with an `n`-times
+/// smaller write set gets an `n`-times smaller ceiling (floored at 1), so
+/// merged sub-HTM groups never plan wildly past what the hardware can hold:
+///
+/// | backend  | write lines | group cap |
+/// |----------|-------------|-----------|
+/// | tsx      | 512         | 16        |
+/// | power    | 64          | 2         |
+/// | limited  | 16          | 1         |
+pub fn backend_group_cap(write_lines_max: usize) -> u32 {
+    ((MAX_GROUP as usize * write_lines_max) / REFERENCE_WRITE_LINES).clamp(1, MAX_GROUP as usize)
+        as u32
+}
+
 /// The lock-free site table: [`SITE_SLOTS`] cache-line-aligned profiles,
 /// hash-indexed by site id with short linear probing. A site that finds
 /// neither itself nor an empty slot within the probe window shares the home
@@ -281,11 +306,19 @@ pub struct SiteTable {
 
 impl SiteTable {
     /// Build the table; fresh sites start planning `init_group` segments per
-    /// sub-HTM transaction.
+    /// sub-HTM transaction, up to [`MAX_GROUP`].
     pub fn new(init_group: u32) -> Self {
+        Self::with_group_cap(init_group, MAX_GROUP)
+    }
+
+    /// Build the table with a hard merge-factor ceiling (the backend's
+    /// capacity class, see [`backend_group_cap`]): `init_group`, every
+    /// learned plan, and the plateau re-probe are all clamped to `cap`.
+    /// `cap = MAX_GROUP` reproduces [`SiteTable::new`] exactly.
+    pub fn with_group_cap(init_group: u32, cap: u32) -> Self {
         Self {
             slots: (0..SITE_SLOTS)
-                .map(|_| CacheAligned::new(SiteSlot::new(init_group)))
+                .map(|_| CacheAligned::new(SiteSlot::new(init_group, cap)))
                 .collect(),
         }
     }
@@ -556,6 +589,26 @@ mod tests {
             s.record_clean_commit(16);
         }
         assert_eq!(s.plan_group(), 4, "plateau re-probe");
+    }
+
+    #[test]
+    fn backend_group_cap_matches_capacity_classes() {
+        assert_eq!(backend_group_cap(512), MAX_GROUP, "tsx default unchanged");
+        assert_eq!(backend_group_cap(64), 2, "power: 64-entry write set");
+        assert_eq!(backend_group_cap(16), 1, "limited: FORTH-style small set");
+        assert_eq!(backend_group_cap(1), 1, "floors at 1");
+        assert_eq!(backend_group_cap(1 << 20), MAX_GROUP, "caps at MAX_GROUP");
+    }
+
+    #[test]
+    fn group_cap_bounds_merges_and_plateau_reprobes() {
+        let t = SiteTable::with_group_cap(8, 2);
+        let s = t.slot(5);
+        assert_eq!(s.plan_group(), 2, "init group clamped to the cap");
+        for _ in 0..10 * RAISE_AFTER {
+            s.record_clean_commit(16);
+        }
+        assert_eq!(s.plan_group(), 2, "plateau re-probe never exceeds the cap");
     }
 
     #[test]

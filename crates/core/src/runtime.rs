@@ -215,7 +215,17 @@ impl TmRuntime {
 
         let sys = HtmSystem::new(htm_cfg, total);
         let summaries = ring.new_summary_tuned(cfg.summary_tuning());
-        let sites = SiteTable::new(cfg.plan_group);
+        // With an explicit backend, the planner's merge ceiling scales with
+        // the backend's write-set budget (its capacity class:
+        // [`crate::planner::backend_group_cap`]). Backend-less configs keep
+        // the unconditional MAX_GROUP ceiling — the legacy differential
+        // oracles pin that behaviour bit-for-bit, and their capacity
+        // landscape is probed dynamically by split/merge anyway.
+        let group_cap = match sys.config().backend {
+            Some(_) => crate::planner::backend_group_cap(sys.capacity_model().write_lines_max()),
+            None => crate::planner::MAX_GROUP,
+        };
+        let sites = SiteTable::with_group_cap(cfg.plan_group, group_cap);
         tm_sig::kernels::set_scalar(cfg.scalar_kernels);
         Self {
             sys,

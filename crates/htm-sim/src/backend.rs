@@ -1,0 +1,537 @@
+//! Pluggable capacity models: the [`HtmBackend`] trait and its three
+//! implementations.
+//!
+//! `htm-sim` historically hardcoded one TSX-like geometry (set-associative
+//! written-line L1, flat read budget). The paper's claim — Part-HTM salvages
+//! transactions that exceed *best-effort* resource limits — is a statement
+//! about a whole family of HTMs, so the capacity policy is now a trait:
+//!
+//! * [`TsxBackend`] — the original model, bit-exact with the legacy inline
+//!   path (`tests/backend_diff.rs` pins this differentially). Built from the
+//!   [`HtmConfig`] geometry, so `backend: Some(BackendKind::Tsx)` and
+//!   `backend: None` behave identically.
+//! * [`PowerBackend`] — an IBM POWER8-style model: a tiny flat 64-entry write
+//!   set, a modest read set, *suspended regions* ([`crate::HtmTx::suspend`] /
+//!   [`crate::HtmTx::resume`]: non-transactional reads and interrupt-immune
+//!   work mid-transaction) and rollback-only transactions
+//!   ([`crate::HtmThread::begin_rot`]). The capacity-stretching comparison
+//!   point from PAPERS.md ("Stretching the capacity of HTM in IBM POWER
+//!   architectures").
+//! * [`LimitedSetBackend`] — a FORTH-style limited read/write-set HTM
+//!   ("Limited Read/Write-Set HTM without modifying the ISA"): very small
+//!   hardware set budgets, but overflowing lines *spill* to a
+//!   software-managed structure instead of aborting, each spill costing extra
+//!   work units, until a per-transaction spill budget runs out.
+//!
+//! ## What a backend may and may not change
+//!
+//! A backend owns **capacity accounting only**. Conflict detection (the line
+//! table), write buffering, doom checking and commit publication are shared
+//! machinery and identical across backends — that is what keeps every backend
+//! serializable by construction (see `docs/backends.md`): a spilled or
+//! stretched line stays registered in the conflict table even though it no
+//! longer counts against the hardware budget, so requester-wins dooming and
+//! the atomic commit publish are unaffected.
+
+use crate::cache::L1Model;
+use crate::config::HtmConfig;
+use crate::heap::Line;
+
+/// Which backend an [`HtmConfig`] selects (`None` = the legacy inline TSX
+/// path, byte-for-byte the pre-trait behaviour).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// TSX/Haswell model: set-associative write L1, large flat read budget.
+    Tsx,
+    /// POWER8 model: flat 64-entry write set, suspend/resume, ROT flavour.
+    Power,
+    /// FORTH limited-set model: tiny sets with software-managed overflow.
+    Limited,
+}
+
+impl BackendKind {
+    /// Short stable name (CLI flags, JSON, docs tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Tsx => "tsx",
+            BackendKind::Power => "power",
+            BackendKind::Limited => "limited",
+        }
+    }
+
+    /// Parse a CLI operand (`tsx|power|limited`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tsx" => Some(BackendKind::Tsx),
+            "power" => Some(BackendKind::Power),
+            "limited" => Some(BackendKind::Limited),
+            _ => None,
+        }
+    }
+
+    /// Build the backend. `cfg` parameterizes the TSX model (its geometry
+    /// lives in [`HtmConfig`]); POWER and limited-set geometries are fixed
+    /// properties of the modelled hardware.
+    pub fn build(self, cfg: &HtmConfig) -> Box<dyn HtmBackend> {
+        match self {
+            BackendKind::Tsx => Box::new(TsxBackend::from_config(cfg)),
+            BackendKind::Power => Box::new(PowerBackend::new()),
+            BackendKind::Limited => Box::new(LimitedSetBackend::new()),
+        }
+    }
+
+    /// All backends, for conformance sweeps.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Tsx, BackendKind::Power, BackendKind::Limited];
+}
+
+/// The published resource geometry of one backend: everything a TM protocol
+/// (or the segment planner) needs to plan against the hardware, without
+/// knowing which backend it is.
+#[derive(Clone, Debug)]
+pub struct CapacityModel {
+    /// Backend display name.
+    pub name: &'static str,
+    /// Sets of the written-line model (1 = flat buffer).
+    pub write_sets: usize,
+    /// Ways of the written-line model.
+    pub write_ways: usize,
+    /// Flat budget of distinct read lines.
+    pub read_lines_max: usize,
+    /// Optional set-associative read model (0 = flat budget only).
+    pub l2_sets: usize,
+    /// Ways of the optional read model.
+    pub l2_ways: usize,
+    /// Whether [`crate::HtmTx::suspend`]/[`crate::HtmTx::resume`] are legal.
+    pub supports_suspend: bool,
+    /// Whether [`crate::HtmThread::begin_rot`] (rollback-only transactions)
+    /// is legal.
+    pub supports_rot: bool,
+    /// Lines one transaction may spill to software tracking (0 = overflow
+    /// aborts immediately, as on TSX).
+    pub spill_budget: usize,
+    /// Work units the software overflow handler costs per spilled line.
+    pub spill_charge: u64,
+    /// Work units (virtual-clock only) one suspend/resume round trip costs.
+    pub suspend_cost: u64,
+}
+
+impl CapacityModel {
+    /// Upper bound of distinct written lines (uniform set distribution).
+    pub fn write_lines_max(&self) -> usize {
+        self.write_sets * self.write_ways
+    }
+}
+
+/// Outcome of charging a new line against the capacity model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapOutcome {
+    /// The line fits the hardware budget.
+    Fits,
+    /// The line overflowed hardware but was spilled to software tracking;
+    /// the transaction must charge `charge` extra work units (the overflow
+    /// handler) and carries on.
+    Spilled {
+        /// Work units of the software spill handler.
+        charge: u64,
+    },
+    /// The line does not fit: abort with [`crate::AbortCode::Capacity`].
+    Overflow,
+}
+
+/// Per-transaction capacity state, owned by [`crate::HtmThread`] and operated
+/// on by the backend hooks. Reset and reused across transactions.
+pub struct TxCap {
+    /// Written-line occupancy model.
+    pub(crate) l1: L1Model,
+    /// Optional read-set associativity model.
+    pub(crate) l2: Option<L1Model>,
+    /// Distinct lines whose *first* access was a read.
+    pub(crate) read_lines: usize,
+    /// Flat read budget (== the model's `read_lines_max`).
+    pub(crate) read_budget: usize,
+    /// Spill budget remaining this transaction.
+    pub(crate) spill_left: usize,
+    /// Spill budget at transaction start (restored by [`TxCap::reset`]).
+    pub(crate) spill_budget: usize,
+    /// Lines spilled by this transaction (reads + writes).
+    pub(crate) spilled_lines: u64,
+}
+
+impl TxCap {
+    pub(crate) fn new(
+        write_sets: usize,
+        write_ways: usize,
+        read_budget: usize,
+        l2: Option<(usize, usize)>,
+        spill_budget: usize,
+    ) -> Self {
+        Self {
+            l1: L1Model::new(write_sets, write_ways),
+            l2: l2.map(|(s, w)| L1Model::new(s, w)),
+            read_lines: 0,
+            read_budget,
+            spill_left: spill_budget,
+            spill_budget,
+            spilled_lines: 0,
+        }
+    }
+
+    /// Forget all per-transaction state (transaction ended).
+    pub(crate) fn reset(&mut self) {
+        self.l1.reset();
+        if let Some(l2) = self.l2.as_mut() {
+            l2.reset();
+        }
+        self.read_lines = 0;
+        self.spill_left = self.spill_budget;
+        self.spilled_lines = 0;
+    }
+
+    /// Distinct lines whose first access was a read (spilled ones included).
+    pub fn read_lines(&self) -> usize {
+        self.read_lines
+    }
+
+    /// Distinct lines currently charged to the hardware write model.
+    pub fn write_lines(&self) -> usize {
+        self.l1.written_lines()
+    }
+
+    /// Lines spilled to software tracking by the current transaction.
+    pub fn spilled_lines(&self) -> u64 {
+        self.spilled_lines
+    }
+
+    /// Try to spill one line out of software accounting: consume budget and
+    /// report the handler charge, or `None` when the budget is dry.
+    fn consume_spill(&mut self, charge: u64) -> Option<u64> {
+        if self.spill_left == 0 {
+            return None;
+        }
+        self.spill_left -= 1;
+        self.spilled_lines += 1;
+        Some(charge)
+    }
+}
+
+/// Capacity policy of one simulated HTM implementation.
+///
+/// Backends are stateless and shared (`Send + Sync`): all per-transaction
+/// state lives in the [`TxCap`] the hooks receive. The default hook bodies
+/// implement the standard abort-on-overflow policy; [`LimitedSetBackend`]
+/// overrides them with the spill path.
+pub trait HtmBackend: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// The published resource geometry.
+    fn capacity(&self) -> &CapacityModel;
+
+    /// A transaction registered a **new** read line. `cap.read_lines` has
+    /// already been incremented (matching the legacy accounting order).
+    fn on_read_line(&self, cap: &mut TxCap, line: Line) -> CapOutcome {
+        if cap.read_lines > cap.read_budget {
+            return CapOutcome::Overflow;
+        }
+        if let Some(l2) = cap.l2.as_mut() {
+            if !l2.insert_line(line) {
+                return CapOutcome::Overflow;
+            }
+        }
+        CapOutcome::Fits
+    }
+
+    /// A transaction registered a **new** written line (or upgraded a read
+    /// line to written).
+    fn on_write_line(&self, cap: &mut TxCap, line: Line) -> CapOutcome {
+        if cap.l1.insert_written_line(line) {
+            CapOutcome::Fits
+        } else {
+            CapOutcome::Overflow
+        }
+    }
+}
+
+/// The TSX/Haswell model behind the trait: geometry straight from
+/// [`HtmConfig`], standard abort-on-overflow hooks, no suspend, no ROT.
+pub struct TsxBackend {
+    model: CapacityModel,
+}
+
+impl TsxBackend {
+    /// Mirror `cfg`'s geometry, so the trait-routed path is bit-exact with
+    /// the legacy inline path under the same configuration.
+    pub fn from_config(cfg: &HtmConfig) -> Self {
+        Self {
+            model: CapacityModel {
+                name: "tsx",
+                write_sets: cfg.l1_sets,
+                write_ways: cfg.l1_ways,
+                read_lines_max: cfg.read_lines_max,
+                l2_sets: cfg.l2_sets,
+                l2_ways: cfg.l2_ways,
+                supports_suspend: false,
+                supports_rot: false,
+                spill_budget: 0,
+                spill_charge: 0,
+                suspend_cost: 0,
+            },
+        }
+    }
+}
+
+impl HtmBackend for TsxBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Tsx
+    }
+    fn capacity(&self) -> &CapacityModel {
+        &self.model
+    }
+}
+
+/// POWER8 write-set entries: the TM store queue holds 64 cache lines,
+/// flat (no set conflicts).
+pub const POWER_WRITE_LINES: usize = 64;
+/// POWER8 read-set budget in lines (~8 KB of read tracking).
+pub const POWER_READ_LINES: usize = 128;
+/// Virtual-clock cost of one suspend/resume round trip (tsuspend./tresume.
+/// plus the pipeline drain they imply).
+pub const POWER_SUSPEND_COST: u64 = 8;
+
+/// The IBM POWER8-style model: tiny flat write set, suspend/resume regions,
+/// rollback-only transactions. Overflow aborts (no software spill); the
+/// capacity-*stretching* escape hatch is [`crate::HtmTx::read_stretched`] and
+/// [`crate::HtmTx::suspended_work`], which trade per-access suspend overhead
+/// for exemption from the read budget and the timer quantum.
+pub struct PowerBackend {
+    model: CapacityModel,
+}
+
+impl PowerBackend {
+    /// The fixed POWER8 geometry.
+    pub fn new() -> Self {
+        Self {
+            model: CapacityModel {
+                name: "power",
+                write_sets: 1,
+                write_ways: POWER_WRITE_LINES,
+                read_lines_max: POWER_READ_LINES,
+                l2_sets: 0,
+                l2_ways: 0,
+                supports_suspend: true,
+                supports_rot: true,
+                spill_budget: 0,
+                spill_charge: 0,
+                suspend_cost: POWER_SUSPEND_COST,
+            },
+        }
+    }
+}
+
+impl Default for PowerBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HtmBackend for PowerBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Power
+    }
+    fn capacity(&self) -> &CapacityModel {
+        &self.model
+    }
+}
+
+/// Limited-set hardware write budget: 4 sets x 4 ways = 16 lines.
+pub const LIMITED_WRITE_SETS: usize = 4;
+/// Ways of the limited-set write model.
+pub const LIMITED_WRITE_WAYS: usize = 4;
+/// Limited-set flat hardware read budget.
+pub const LIMITED_READ_LINES: usize = 64;
+/// Lines one transaction may overflow into the software structure.
+pub const LIMITED_SPILL_BUDGET: usize = 256;
+/// Work units the software overflow handler costs per spilled line.
+pub const LIMITED_SPILL_CHARGE: u64 = 8;
+
+/// The FORTH-style limited read/write-set model: hardware budgets far below
+/// TSX, but an overflowing line moves to a software-managed tracking
+/// structure (costing [`LIMITED_SPILL_CHARGE`] work units) instead of
+/// aborting, up to [`LIMITED_SPILL_BUDGET`] lines per transaction. The
+/// spilled line *stays registered in the conflict table* — only the capacity
+/// accounting moves to software — so isolation is untouched.
+pub struct LimitedSetBackend {
+    model: CapacityModel,
+}
+
+impl LimitedSetBackend {
+    /// The fixed limited-set geometry.
+    pub fn new() -> Self {
+        Self {
+            model: CapacityModel {
+                name: "limited",
+                write_sets: LIMITED_WRITE_SETS,
+                write_ways: LIMITED_WRITE_WAYS,
+                read_lines_max: LIMITED_READ_LINES,
+                l2_sets: 0,
+                l2_ways: 0,
+                supports_suspend: false,
+                supports_rot: false,
+                spill_budget: LIMITED_SPILL_BUDGET,
+                spill_charge: LIMITED_SPILL_CHARGE,
+                suspend_cost: 0,
+            },
+        }
+    }
+}
+
+impl Default for LimitedSetBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HtmBackend for LimitedSetBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Limited
+    }
+    fn capacity(&self) -> &CapacityModel {
+        &self.model
+    }
+
+    fn on_read_line(&self, cap: &mut TxCap, _line: Line) -> CapOutcome {
+        if cap.read_lines <= cap.read_budget {
+            return CapOutcome::Fits;
+        }
+        match cap.consume_spill(self.model.spill_charge) {
+            Some(charge) => CapOutcome::Spilled { charge },
+            None => CapOutcome::Overflow,
+        }
+    }
+
+    fn on_write_line(&self, cap: &mut TxCap, line: Line) -> CapOutcome {
+        if cap.l1.insert_written_line(line) {
+            return CapOutcome::Fits;
+        }
+        match cap.consume_spill(self.model.spill_charge) {
+            Some(charge) => CapOutcome::Spilled { charge },
+            None => CapOutcome::Overflow,
+        }
+    }
+}
+
+/// Cumulative per-thread counters for the backend-specific escape hatches
+/// (suspend/resume regions, software spills, rollback-only transactions).
+///
+/// Deliberately **not** part of [`crate::HtmStats`]: that struct is pinned to
+/// exactly one cache line (8 x u64) and cannot grow. These counters are cold
+/// (bumped only on backend-specific slow paths), so a plain unpadded struct
+/// on the thread handle is the right home.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StretchStats {
+    /// Suspended regions entered.
+    pub suspends: u64,
+    /// Suspended regions exited.
+    pub resumes: u64,
+    /// Non-transactional loads performed while suspended.
+    pub suspended_reads: u64,
+    /// Work units executed in suspended mode (quantum- and interrupt-immune).
+    pub suspended_work: u64,
+    /// Stretched reads: conflict-tracked loads exempted from the read budget.
+    pub stretched_reads: u64,
+    /// Lines spilled to software capacity tracking (limited-set backend).
+    pub spilled_lines: u64,
+    /// Rollback-only transactions started.
+    pub rot_begins: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(BackendKind::parse("sparc"), None);
+    }
+
+    #[test]
+    fn tsx_mirrors_config() {
+        let cfg = HtmConfig::default();
+        let be = BackendKind::Tsx.build(&cfg);
+        let m = be.capacity();
+        assert_eq!(m.write_lines_max(), cfg.l1_lines());
+        assert_eq!(m.read_lines_max, cfg.read_lines_max);
+        assert!(!m.supports_suspend && !m.supports_rot);
+        assert_eq!(m.spill_budget, 0);
+    }
+
+    #[test]
+    fn power_geometry() {
+        let m = PowerBackend::new();
+        let m = m.capacity();
+        assert_eq!(m.write_lines_max(), POWER_WRITE_LINES);
+        assert!(m.supports_suspend && m.supports_rot);
+    }
+
+    #[test]
+    fn limited_spills_then_overflows() {
+        let be = LimitedSetBackend::new();
+        let m = be.capacity().clone();
+        let mut cap = TxCap::new(
+            m.write_sets,
+            m.write_ways,
+            m.read_lines_max,
+            None,
+            m.spill_budget,
+        );
+        // Fill the hardware write budget: all Fits.
+        let mut line = 0u32;
+        for _ in 0..m.write_lines_max() {
+            assert_eq!(be.on_write_line(&mut cap, line), CapOutcome::Fits);
+            line += 1;
+        }
+        // The next `spill_budget` lines spill at the handler charge.
+        for _ in 0..m.spill_budget {
+            assert_eq!(
+                be.on_write_line(&mut cap, line),
+                CapOutcome::Spilled {
+                    charge: m.spill_charge
+                }
+            );
+            line += 1;
+        }
+        assert_eq!(cap.spilled_lines(), m.spill_budget as u64);
+        // Budget dry: overflow.
+        assert_eq!(be.on_write_line(&mut cap, line), CapOutcome::Overflow);
+        // Reset restores the spill budget.
+        cap.reset();
+        assert_eq!(cap.spill_left, m.spill_budget);
+        assert_eq!(cap.spilled_lines(), 0);
+    }
+
+    #[test]
+    fn tsx_hooks_match_legacy_order() {
+        // Trait-routed TSX must check the flat budget before the l2 model,
+        // after the caller already incremented read_lines — same order as the
+        // legacy inline path.
+        let cfg = HtmConfig {
+            read_lines_max: 2,
+            l2_sets: 2,
+            l2_ways: 1,
+            ..HtmConfig::tiny()
+        };
+        let be = TsxBackend::from_config(&cfg);
+        let mut cap = TxCap::new(4, 2, 2, Some((2, 1)), 0);
+        cap.read_lines = 1;
+        assert_eq!(be.on_read_line(&mut cap, 0), CapOutcome::Fits);
+        cap.read_lines = 2;
+        // Line 2 maps to l2 set 0, already holding line 0: l2 overflow.
+        assert_eq!(be.on_read_line(&mut cap, 2), CapOutcome::Overflow);
+        cap.read_lines = 3;
+        // Flat budget exceeded regardless of l2.
+        assert_eq!(be.on_read_line(&mut cap, 1), CapOutcome::Overflow);
+    }
+}

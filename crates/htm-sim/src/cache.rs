@@ -18,6 +18,9 @@ pub struct L1Model {
     occupancy: Box<[u8]>,
     /// Sets touched this transaction, for O(touched) reset.
     touched: Vec<u32>,
+    /// Lines currently tracked (kept as a counter so [`L1Model::forget_line`]
+    /// stays O(1); always equals the sum of `occupancy`).
+    live: u32,
 }
 
 impl L1Model {
@@ -30,6 +33,7 @@ impl L1Model {
             ways: ways as u8,
             occupancy: vec![0u8; sets].into_boxed_slice(),
             touched: Vec::with_capacity(64),
+            live: 0,
         }
     }
 
@@ -46,6 +50,24 @@ impl L1Model {
             self.touched.push(set as u32);
         }
         *occ += 1;
+        self.live += 1;
+        true
+    }
+
+    /// Remove one previously inserted line from the modelled cache without
+    /// ending the transaction — the software-spill primitive: the line's
+    /// conflict-table registration is untouched (isolation is unaffected),
+    /// only its capacity slot is released. Returns `false` if the line's set
+    /// holds nothing to forget.
+    #[inline]
+    pub fn forget_line(&mut self, line: Line) -> bool {
+        let set = (line & self.sets_mask) as usize;
+        let occ = &mut self.occupancy[set];
+        if *occ == 0 {
+            return false;
+        }
+        *occ -= 1;
+        self.live -= 1;
         true
     }
 
@@ -55,6 +77,7 @@ impl L1Model {
             self.occupancy[s as usize] = 0;
         }
         self.touched.clear();
+        self.live = 0;
     }
 
     /// Record a written line (alias of [`L1Model::insert_line`], named for the
@@ -66,10 +89,7 @@ impl L1Model {
 
     /// Number of lines currently tracked.
     pub fn written_lines(&self) -> usize {
-        self.touched
-            .iter()
-            .map(|&s| self.occupancy[s as usize] as usize)
-            .sum()
+        self.live as usize
     }
 }
 
@@ -108,6 +128,21 @@ mod tests {
         l1.reset();
         assert!(l1.insert_written_line(4));
         assert_eq!(l1.written_lines(), 1);
+    }
+
+    #[test]
+    fn forget_line_frees_a_way() {
+        let mut l1 = L1Model::new(4, 2);
+        assert!(l1.insert_written_line(0));
+        assert!(l1.insert_written_line(4));
+        assert!(!l1.insert_written_line(8), "set 0 full");
+        assert!(l1.forget_line(0), "spill one line out of set 0");
+        assert_eq!(l1.written_lines(), 1);
+        assert!(l1.insert_written_line(8), "freed way is reusable");
+        assert_eq!(l1.written_lines(), 2);
+        l1.reset();
+        assert_eq!(l1.written_lines(), 0);
+        assert!(!l1.forget_line(0), "nothing tracked after reset");
     }
 
     #[test]

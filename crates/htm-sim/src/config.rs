@@ -44,6 +44,14 @@ pub struct HtmConfig {
     /// Events retained per thread by the debugging trace (see [`crate::trace`]);
     /// 0 (the default) disables tracing entirely.
     pub trace_capacity: usize,
+    /// Capacity-model backend (see [`crate::backend`]). `None` (the default)
+    /// keeps the legacy inline TSX path — byte-for-byte the pre-trait
+    /// behaviour. `Some(BackendKind::Tsx)` routes the same geometry through
+    /// the [`crate::backend::HtmBackend`] trait (bit-exact, pinned by
+    /// `tests/backend_diff.rs`); `Power` and `Limited` select the alternative
+    /// capacity models, whose fixed geometries override the `l1_*`/`l2_*`/
+    /// `read_lines_max` fields above.
+    pub backend: Option<crate::backend::BackendKind>,
 }
 
 impl Default for HtmConfig {
@@ -58,6 +66,7 @@ impl Default for HtmConfig {
             interrupt_prob: 0.0,
             max_threads: crate::registry::MAX_THREADS,
             trace_capacity: 0,
+            backend: None,
         }
     }
 }
@@ -82,6 +91,7 @@ impl HtmConfig {
             interrupt_prob: 0.0,
             max_threads: 8,
             trace_capacity: 0,
+            backend: None,
         }
     }
 

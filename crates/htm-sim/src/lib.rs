@@ -55,6 +55,7 @@
 
 pub mod abort;
 pub mod align;
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod heap;
@@ -70,6 +71,7 @@ pub mod vclock;
 
 pub use abort::AbortCode;
 pub use align::{CacheAligned, CACHE_LINE};
+pub use backend::{BackendKind, CapacityModel, HtmBackend, StretchStats};
 pub use config::HtmConfig;
 pub use heap::{Addr, Heap, HeapBuilder, Line, WORDS_PER_LINE, WORDS_PER_LINE_SHIFT};
 pub use stats::HtmStats;

@@ -2,7 +2,7 @@
 //! per-thread handle from which hardware transactions are started.
 
 use crate::abort::AbortCode;
-use crate::cache::L1Model;
+use crate::backend::{CapacityModel, HtmBackend, StretchStats, TxCap};
 use crate::config::HtmConfig;
 use crate::heap::{Addr, Heap, Line};
 use crate::line_table::LineTable;
@@ -37,23 +37,56 @@ pub struct HtmSystem {
     pub(crate) table: LineTable,
     pub(crate) registry: TxRegistry,
     pub(crate) config: HtmConfig,
+    /// Capacity-model backend (see [`crate::backend`]); `None` keeps the
+    /// legacy inline TSX path.
+    pub(crate) backend: Option<Box<dyn HtmBackend>>,
 }
 
 impl HtmSystem {
     /// Build a machine with the given HTM geometry and a heap of `heap_words` words.
     pub fn new(config: HtmConfig, heap_words: usize) -> Self {
         config.validate();
+        let backend = config.backend.map(|k| k.build(&config));
         Self {
             heap: Heap::new(heap_words),
             table: LineTable::new(heap_words.div_ceil(crate::heap::WORDS_PER_LINE)),
             registry: TxRegistry::new(config.max_threads),
             config,
+            backend,
         }
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &HtmConfig {
         &self.config
+    }
+
+    /// The configured backend, if any (`None` = legacy inline TSX path).
+    pub fn backend(&self) -> Option<&dyn HtmBackend> {
+        self.backend.as_deref()
+    }
+
+    /// The machine's published capacity geometry — from the backend when one
+    /// is configured, otherwise synthesized from the legacy [`HtmConfig`]
+    /// fields. TM protocols and the segment planner plan against this rather
+    /// than poking at `l1_sets`/`l1_ways` directly.
+    pub fn capacity_model(&self) -> CapacityModel {
+        match self.backend.as_deref() {
+            Some(be) => be.capacity().clone(),
+            None => CapacityModel {
+                name: "tsx",
+                write_sets: self.config.l1_sets,
+                write_ways: self.config.l1_ways,
+                read_lines_max: self.config.read_lines_max,
+                l2_sets: self.config.l2_sets,
+                l2_ways: self.config.l2_ways,
+                supports_suspend: false,
+                supports_rot: false,
+                spill_budget: 0,
+                spill_charge: 0,
+                suspend_cost: 0,
+            },
+        }
     }
 
     /// Direct access to the heap (raw, non-conflict-checked operations).
@@ -69,6 +102,14 @@ impl HtmSystem {
             "thread id {id} >= max_threads"
         );
         let n_lines = self.heap.len().div_ceil(crate::heap::WORDS_PER_LINE);
+        let m = self.capacity_model();
+        let cap = TxCap::new(
+            m.write_sets,
+            m.write_ways,
+            m.read_lines_max,
+            (m.l2_sets > 0).then_some((m.l2_sets, m.l2_ways)),
+            m.spill_budget,
+        );
         HtmThread {
             sys: self,
             id: id as ThreadId,
@@ -76,12 +117,10 @@ impl HtmSystem {
             lstate: vec![LineState::default(); n_lines].into_boxed_slice(),
             epoch: 0,
             touched: Vec::with_capacity(64),
-            read_lines: 0,
-            l1: L1Model::new(self.config.l1_sets, self.config.l1_ways),
-            l2: (self.config.l2_sets > 0)
-                .then(|| L1Model::new(self.config.l2_sets, self.config.l2_ways)),
+            cap,
             rng: SmallRng::seed_from_u64(0x5EED_0000 + id as u64),
             stats: crate::align::CacheAligned::new(HtmStats::default()),
+            stretch: StretchStats::default(),
             trace: crate::trace::Trace::new(self.config.trace_capacity),
             in_tx: false,
         }
@@ -222,16 +261,17 @@ pub struct HtmThread<'s> {
     pub(crate) epoch: u32,
     /// Lines touched by the current transaction (for commit/abort cleanup).
     pub(crate) touched: Vec<Line>,
-    /// Distinct lines whose *first* access was a read (read-budget accounting).
-    pub(crate) read_lines: usize,
-    pub(crate) l1: L1Model,
-    /// Optional read-set associativity model (the L2).
-    pub(crate) l2: Option<L1Model>,
+    /// Per-transaction capacity state, shaped by the backend's
+    /// [`CapacityModel`] (write-set model, read budget, spill budget).
+    pub(crate) cap: TxCap,
     pub(crate) rng: SmallRng,
     /// Hardware statistics for this thread, padded to its own cache line so
     /// the hot-loop counter bumps never false-share with a neighbouring
     /// thread's handle (`Deref` keeps `th.stats.field` call sites unchanged).
     pub stats: crate::align::CacheAligned<HtmStats>,
+    /// Counters for the backend-specific escape hatches (suspends, spills,
+    /// ROTs); kept out of the cache-line-pinned [`HtmStats`].
+    pub stretch: StretchStats,
     /// Debugging event trace (empty unless [`HtmConfig::trace_capacity`] > 0).
     pub trace: crate::trace::Trace,
     pub(crate) in_tx: bool,
@@ -251,6 +291,31 @@ impl<'s> HtmThread<'s> {
     /// Begin a hardware transaction (`_xbegin`). Panics on nesting — flatten at the
     /// protocol level, as TSX effectively does.
     pub fn begin(&mut self) -> HtmTx<'_, 's> {
+        self.begin_inner(false)
+    }
+
+    /// Begin a **rollback-only transaction** (POWER's `tbegin.`-with-ROT
+    /// flavour): writes are buffered, conflict-tracked and atomically
+    /// published exactly like [`HtmThread::begin`], but *reads are invisible
+    /// to conflict detection* — they neither doom concurrent writers nor get
+    /// this transaction doomed by concurrent commits. Only single-writer
+    /// speculation (e.g. sandboxing) is sound under ROT; the conformance
+    /// suite pins the weaker semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the configured backend's
+    /// [`CapacityModel::supports_rot`] is true.
+    pub fn begin_rot(&mut self) -> HtmTx<'_, 's> {
+        assert!(
+            self.sys.capacity_model().supports_rot,
+            "begin_rot: backend has no rollback-only transactions"
+        );
+        self.stretch.rot_begins += 1;
+        self.begin_inner(true)
+    }
+
+    fn begin_inner(&mut self, rot: bool) -> HtmTx<'_, 's> {
         assert!(!self.in_tx, "nested hardware transaction");
         self.in_tx = true;
         self.stats.begins += 1;
@@ -263,7 +328,7 @@ impl<'s> HtmThread<'s> {
         }
         self.epoch += 1;
         self.sys.registry.begin(self.id);
-        HtmTx::new(self)
+        HtmTx::new(self, rot)
     }
 
     /// Convenience: strongly atomic non-transactional read by this thread.

@@ -21,6 +21,7 @@
 //!   simulated timer interrupt ([`AbortCode::Timer`]).
 
 use crate::abort::{AbortCode, TxResult};
+use crate::backend::CapOutcome;
 use crate::heap::Addr;
 use crate::line_table::AccessOutcome;
 use crate::system::HtmThread;
@@ -35,14 +36,22 @@ pub struct HtmTx<'a, 's> {
     th: &'a mut HtmThread<'s>,
     work: u64,
     active: bool,
+    /// Inside a suspended region ([`HtmTx::suspend`]): transactional
+    /// operations are illegal until [`HtmTx::resume`].
+    suspended: bool,
+    /// Rollback-only transaction ([`crate::HtmThread::begin_rot`]): reads
+    /// bypass conflict registration and capacity accounting.
+    rot: bool,
 }
 
 impl<'a, 's> HtmTx<'a, 's> {
-    pub(crate) fn new(th: &'a mut HtmThread<'s>) -> Self {
+    pub(crate) fn new(th: &'a mut HtmThread<'s>, rot: bool) -> Self {
         Self {
             th,
             work: 0,
             active: true,
+            suspended: false,
+            rot,
         }
     }
 
@@ -53,12 +62,23 @@ impl<'a, 's> HtmTx<'a, 's> {
 
     /// Distinct lines whose first access was a read.
     pub fn read_lines(&self) -> usize {
-        self.th.read_lines
+        self.th.cap.read_lines()
     }
 
-    /// Distinct lines currently in the write set.
+    /// Distinct lines currently charged to the hardware write-set model
+    /// (software-spilled lines excluded).
     pub fn write_lines(&self) -> usize {
-        self.th.l1.written_lines()
+        self.th.cap.write_lines()
+    }
+
+    /// Lines spilled to software capacity tracking by this transaction.
+    pub fn spilled_lines(&self) -> u64 {
+        self.th.cap.spilled_lines()
+    }
+
+    /// True while inside a suspended region.
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
     }
 
     #[inline]
@@ -70,19 +90,17 @@ impl<'a, 's> HtmTx<'a, 's> {
     fn rollback(&mut self, code: AbortCode) {
         debug_assert!(self.active);
         self.active = false;
+        self.suspended = false;
         let th = &mut *self.th;
         for &line in th.touched.iter() {
             th.sys.table.unregister(line, th.id);
         }
         th.touched.clear();
-        th.read_lines = 0;
         if !th.wbuf.is_empty() {
             th.wbuf.clear();
         }
-        th.l1.reset();
-        if let Some(l2) = th.l2.as_mut() {
-            l2.reset();
-        }
+        th.stretch.spilled_lines += th.cap.spilled_lines();
+        th.cap.reset();
         th.sys.registry.finish(th.id);
         th.stats.record_abort(code);
         th.stats.work_units += self.work;
@@ -132,10 +150,24 @@ impl<'a, 's> HtmTx<'a, 's> {
     /// Transactional load of the word at `addr`.
     pub fn read(&mut self, addr: Addr) -> TxResult<u64> {
         debug_assert!(self.active, "operation on finished transaction");
+        assert!(!self.suspended, "transactional read inside a suspended region");
         self.check_doomed()?;
         self.charge(1)?;
         let line = crate::line_of(addr);
         let st = self.th.lstate[line as usize];
+        if self.rot {
+            // Rollback-only transaction: the read is invisible to conflict
+            // detection and capacity accounting — serve own buffered writes,
+            // else the shared heap.
+            if st.epoch == self.th.epoch && st.flags & crate::system::LINE_WRITTEN != 0 {
+                if let Some(&v) = self.th.wbuf.get(&addr) {
+                    return Ok(v);
+                }
+            }
+            let v = self.th.sys.heap.load(addr);
+            self.check_doomed()?;
+            return Ok(v);
+        }
         if st.epoch != self.th.epoch {
             // First access to this line: register it in the conflict table.
             let mut backoff = crate::util::Backoff::new();
@@ -160,14 +192,27 @@ impl<'a, 's> HtmTx<'a, 's> {
                 flags: crate::system::LINE_READ,
             };
             self.th.touched.push(line);
-            self.th.read_lines += 1;
-            if self.th.read_lines > self.th.sys.config.read_lines_max {
-                return Err(self.fail(AbortCode::Capacity));
-            }
-            if let Some(l2) = self.th.l2.as_mut() {
-                if !l2.insert_line(line) {
-                    return Err(self.fail(AbortCode::Capacity));
+            self.th.cap.read_lines += 1;
+            let be = self.th.sys.backend.as_deref();
+            match be {
+                None => {
+                    // Legacy inline path, kept byte-for-byte (the TSX backend
+                    // below routes the identical checks through the trait;
+                    // tests/backend_diff.rs pins the equivalence).
+                    if self.th.cap.read_lines > self.th.cap.read_budget {
+                        return Err(self.fail(AbortCode::Capacity));
+                    }
+                    if let Some(l2) = self.th.cap.l2.as_mut() {
+                        if !l2.insert_line(line) {
+                            return Err(self.fail(AbortCode::Capacity));
+                        }
+                    }
                 }
+                Some(be) => match be.on_read_line(&mut self.th.cap, line) {
+                    CapOutcome::Fits => {}
+                    CapOutcome::Spilled { charge } => self.charge(charge)?,
+                    CapOutcome::Overflow => return Err(self.fail(AbortCode::Capacity)),
+                },
             }
         } else if st.flags & crate::system::LINE_WRITTEN != 0 {
             // The line is in the write set: the word itself may be buffered.
@@ -182,48 +227,67 @@ impl<'a, 's> HtmTx<'a, 's> {
         Ok(v)
     }
 
+    /// Register a first write to `line` (possibly an upgrade from a read):
+    /// conflict-table claim, line-state update, capacity charge. Shared by
+    /// [`HtmTx::write`] and [`HtmTx::write_private`].
+    fn register_write_line(&mut self, line: crate::heap::Line) -> TxResult<()> {
+        let st = self.th.lstate[line as usize];
+        let mut backoff = crate::util::Backoff::new();
+        loop {
+            match self
+                .th
+                .sys
+                .table
+                .tx_write(&self.th.sys.registry, line, self.th.id)
+            {
+                AccessOutcome::Ok => break,
+                AccessOutcome::Wait => {
+                    if self.doomed() {
+                        return Err(self.fail(AbortCode::Conflict));
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+        let fresh = st.epoch != self.th.epoch;
+        let flags = if fresh {
+            crate::system::LINE_WRITTEN
+        } else {
+            st.flags | crate::system::LINE_WRITTEN
+        };
+        self.th.lstate[line as usize] = crate::system::LineState {
+            epoch: self.th.epoch,
+            flags,
+        };
+        if fresh {
+            self.th.touched.push(line);
+        }
+        let be = self.th.sys.backend.as_deref();
+        match be {
+            None => {
+                if !self.th.cap.l1.insert_written_line(line) {
+                    return Err(self.fail(AbortCode::Capacity));
+                }
+            }
+            Some(be) => match be.on_write_line(&mut self.th.cap, line) {
+                CapOutcome::Fits => {}
+                CapOutcome::Spilled { charge } => self.charge(charge)?,
+                CapOutcome::Overflow => return Err(self.fail(AbortCode::Capacity)),
+            },
+        }
+        Ok(())
+    }
+
     /// Transactional store of `val` to the word at `addr` (buffered until commit).
     pub fn write(&mut self, addr: Addr, val: u64) -> TxResult<()> {
         debug_assert!(self.active, "operation on finished transaction");
+        assert!(!self.suspended, "transactional write inside a suspended region");
         self.check_doomed()?;
         self.charge(1)?;
         let line = crate::line_of(addr);
         let st = self.th.lstate[line as usize];
         if st.epoch != self.th.epoch || st.flags & crate::system::LINE_WRITTEN == 0 {
-            // First write to this line (possibly an upgrade from a read).
-            let mut backoff = crate::util::Backoff::new();
-            loop {
-                match self
-                    .th
-                    .sys
-                    .table
-                    .tx_write(&self.th.sys.registry, line, self.th.id)
-                {
-                    AccessOutcome::Ok => break,
-                    AccessOutcome::Wait => {
-                        if self.doomed() {
-                            return Err(self.fail(AbortCode::Conflict));
-                        }
-                        backoff.snooze();
-                    }
-                }
-            }
-            let fresh = st.epoch != self.th.epoch;
-            let flags = if fresh {
-                crate::system::LINE_WRITTEN
-            } else {
-                st.flags | crate::system::LINE_WRITTEN
-            };
-            self.th.lstate[line as usize] = crate::system::LineState {
-                epoch: self.th.epoch,
-                flags,
-            };
-            if fresh {
-                self.th.touched.push(line);
-            }
-            if !self.th.l1.insert_written_line(line) {
-                return Err(self.fail(AbortCode::Capacity));
-            }
+            self.register_write_line(line)?;
         }
         self.th.wbuf.insert(addr, val);
         Ok(())
@@ -241,44 +305,13 @@ impl<'a, 's> HtmTx<'a, 's> {
     /// rollback (failed attempts roll back their software cursors instead).
     pub fn write_private(&mut self, addr: Addr, val: u64) -> TxResult<()> {
         debug_assert!(self.active, "operation on finished transaction");
+        assert!(!self.suspended, "transactional write inside a suspended region");
         self.check_doomed()?;
         self.charge(1)?;
         let line = crate::line_of(addr);
         let st = self.th.lstate[line as usize];
         if st.epoch != self.th.epoch || st.flags & crate::system::LINE_WRITTEN == 0 {
-            let mut backoff = crate::util::Backoff::new();
-            loop {
-                match self
-                    .th
-                    .sys
-                    .table
-                    .tx_write(&self.th.sys.registry, line, self.th.id)
-                {
-                    AccessOutcome::Ok => break,
-                    AccessOutcome::Wait => {
-                        if self.doomed() {
-                            return Err(self.fail(AbortCode::Conflict));
-                        }
-                        backoff.snooze();
-                    }
-                }
-            }
-            let fresh = st.epoch != self.th.epoch;
-            let flags = if fresh {
-                crate::system::LINE_WRITTEN
-            } else {
-                st.flags | crate::system::LINE_WRITTEN
-            };
-            self.th.lstate[line as usize] = crate::system::LineState {
-                epoch: self.th.epoch,
-                flags,
-            };
-            if fresh {
-                self.th.touched.push(line);
-            }
-            if !self.th.l1.insert_written_line(line) {
-                return Err(self.fail(AbortCode::Capacity));
-            }
+            self.register_write_line(line)?;
         }
         self.th.sys.heap.store(addr, val);
         Ok(())
@@ -296,8 +329,167 @@ impl<'a, 's> HtmTx<'a, 's> {
     /// work, ...). Consumes time but touches no memory.
     pub fn work(&mut self, units: u64) -> TxResult<()> {
         debug_assert!(self.active, "operation on finished transaction");
+        assert!(!self.suspended, "transactional work inside a suspended region");
         self.check_doomed()?;
         self.charge(units)
+    }
+
+    /// True if the configured backend supports suspended regions.
+    fn supports_suspend(&self) -> bool {
+        self.th
+            .sys
+            .backend
+            .as_deref()
+            .is_some_and(|b| b.capacity().supports_suspend)
+    }
+
+    /// Virtual-clock cost of one suspend/resume round trip.
+    fn suspend_cost(&self) -> u64 {
+        self.th
+            .sys
+            .backend
+            .as_deref()
+            .map_or(0, |b| b.capacity().suspend_cost)
+    }
+
+    /// Enter a **suspended region** (POWER's `tsuspend.`): the transaction
+    /// stays live (its write buffer and conflict-table claims are intact, and
+    /// a conflicting peer access still dooms it), but subsequent code runs
+    /// non-transactionally until [`HtmTx::resume`]. Inside the region only
+    /// [`HtmTx::suspended_read`] and [`HtmTx::suspended_work`] are legal;
+    /// transactional reads/writes/commit panic.
+    ///
+    /// Suspended execution is charged to the virtual clock but **not** to the
+    /// timer quantum or the injected-interrupt draw — on POWER, interrupts
+    /// delivered in suspended mode do not abort the transaction, which is the
+    /// time-stretching half of the capacity-stretching strategy.
+    ///
+    /// The whole round-trip cost ([`crate::backend::CapacityModel::suspend_cost`])
+    /// is charged here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has no suspended regions
+    /// ([`crate::backend::CapacityModel::supports_suspend`] is false) or if
+    /// already suspended (suspended regions do not nest).
+    pub fn suspend(&mut self) {
+        debug_assert!(self.active, "operation on finished transaction");
+        assert!(
+            self.supports_suspend(),
+            "suspend: backend has no suspended regions"
+        );
+        assert!(!self.suspended, "nested suspend");
+        crate::vclock::charge(self.suspend_cost());
+        self.suspended = true;
+        self.th.stretch.suspends += 1;
+    }
+
+    /// Exit the suspended region (POWER's `tresume.`) and re-check the doom
+    /// flag: a conflict that arrived while suspended is observed here.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not suspended.
+    pub fn resume(&mut self) -> TxResult<()> {
+        debug_assert!(self.active, "operation on finished transaction");
+        assert!(self.suspended, "resume outside a suspended region");
+        self.suspended = false;
+        self.th.stretch.resumes += 1;
+        self.check_doomed()
+    }
+
+    /// Non-transactional load while suspended: returns the globally committed
+    /// value of `addr` — the transaction's own buffered writes are **not**
+    /// visible (exactly POWER's suspended-load semantics, where transactional
+    /// stores are invisible until `tend.`). The access is not
+    /// conflict-tracked and cannot abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not suspended.
+    pub fn suspended_read(&mut self, addr: Addr) -> u64 {
+        debug_assert!(self.active, "operation on finished transaction");
+        assert!(self.suspended, "suspended_read outside a suspended region");
+        crate::vclock::charge(1);
+        self.th.stretch.suspended_reads += 1;
+        self.th.sys.heap.load(addr)
+    }
+
+    /// Perform `units` of computation in suspended mode: virtual time
+    /// advances, but neither the timer quantum nor the injected-interrupt
+    /// draw applies — the transaction's speculative state survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when not suspended.
+    pub fn suspended_work(&mut self, units: u64) {
+        debug_assert!(self.active, "operation on finished transaction");
+        assert!(self.suspended, "suspended_work outside a suspended region");
+        crate::vclock::charge(units);
+        self.th.stretch.suspended_work += units;
+    }
+
+    /// A **stretched read**: the capacity-stretching primitive built on
+    /// suspend/resume. Models `tsuspend.` → software-logged load →
+    /// `tresume.`: the line is registered in the conflict table (so a racing
+    /// commit still dooms this transaction — serializability is preserved by
+    /// construction) but is **exempt from the read budget**, and the whole
+    /// round trip is charged to the virtual clock instead of the quantum.
+    /// Own buffered writes are visible, like [`HtmTx::read`].
+    ///
+    /// The price is the per-access suspend overhead
+    /// ([`crate::backend::CapacityModel::suspend_cost`] + 1 units), which is
+    /// what the splitting-vs-stretching ablation measures (`backendbench`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend has no suspended regions, or inside an explicit
+    /// suspended region (the round trip is modelled internally).
+    pub fn read_stretched(&mut self, addr: Addr) -> TxResult<u64> {
+        debug_assert!(self.active, "operation on finished transaction");
+        assert!(!self.suspended, "read_stretched inside a suspended region");
+        assert!(
+            self.supports_suspend(),
+            "read_stretched: backend has no suspended regions"
+        );
+        self.check_doomed()?;
+        crate::vclock::charge(self.suspend_cost() + 1);
+        let line = crate::line_of(addr);
+        let st = self.th.lstate[line as usize];
+        if st.epoch != self.th.epoch {
+            // Register like a read so conflicts doom us, but charge nothing
+            // to the capacity model.
+            let mut backoff = crate::util::Backoff::new();
+            loop {
+                match self
+                    .th
+                    .sys
+                    .table
+                    .tx_read(&self.th.sys.registry, line, self.th.id)
+                {
+                    AccessOutcome::Ok => break,
+                    AccessOutcome::Wait => {
+                        if self.doomed() {
+                            return Err(self.fail(AbortCode::Conflict));
+                        }
+                        backoff.snooze();
+                    }
+                }
+            }
+            self.th.lstate[line as usize] = crate::system::LineState {
+                epoch: self.th.epoch,
+                flags: crate::system::LINE_READ,
+            };
+            self.th.touched.push(line);
+            self.th.stretch.stretched_reads += 1;
+        } else if st.flags & crate::system::LINE_WRITTEN != 0 {
+            if let Some(&v) = self.th.wbuf.get(&addr) {
+                return Ok(v);
+            }
+        }
+        let v = self.th.sys.heap.load(addr);
+        self.check_doomed()?;
+        Ok(v)
     }
 
     /// Explicitly abort with a software-defined code (`_xabort(code)`).
@@ -321,13 +513,14 @@ impl<'a, 's> HtmTx<'a, 's> {
     /// atomically to the heap. Fails with `Conflict` if the transaction was doomed.
     pub fn commit(mut self) -> TxResult<()> {
         debug_assert!(self.active, "double commit");
+        assert!(!self.suspended, "commit inside a suspended region");
         if self.th.sys.registry.start_commit(self.th.id).is_err() {
             return Err(self.fail(AbortCode::Conflict));
         }
         // Point of no return: publish.
         self.active = false;
-        let read_lines = self.th.read_lines;
-        let write_lines = self.th.l1.written_lines();
+        let read_lines = self.th.cap.read_lines();
+        let write_lines = self.th.cap.write_lines();
         let th = &mut *self.th;
         if !th.wbuf.is_empty() {
             for (&addr, &val) in th.wbuf.iter() {
@@ -339,11 +532,8 @@ impl<'a, 's> HtmTx<'a, 's> {
             th.sys.table.unregister(line, th.id);
         }
         th.touched.clear();
-        th.read_lines = 0;
-        th.l1.reset();
-        if let Some(l2) = th.l2.as_mut() {
-            l2.reset();
-        }
+        th.stretch.spilled_lines += th.cap.spilled_lines();
+        th.cap.reset();
         th.sys.registry.finish(th.id);
         th.stats.commits += 1;
         th.stats.work_units += self.work;

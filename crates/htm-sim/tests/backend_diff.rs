@@ -1,0 +1,157 @@
+//! Differential oracle for the backend trait extraction: `backend: None`
+//! (the legacy inline capacity path) and `backend: Some(BackendKind::Tsx)`
+//! (the same geometry routed through the [`htm_sim::HtmBackend`] trait) must
+//! be **bit-exact** — same per-operation results, same abort codes, same
+//! statistics, same final heap — on arbitrary transactional programs and
+//! arbitrary geometries. This is the repo's standing convention: every fast
+//! path keeps a slower differential oracle pinned by a proptest; here the
+//! legacy path *is* the oracle for the trait routing.
+
+use htm_sim::{AbortCode, BackendKind, HtmConfig, HtmSystem};
+use proptest::prelude::*;
+
+/// A transactional program over 48 one-line counters: wide enough to hit the
+/// capacity walls of the small geometries below.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u8),
+    Add(u8, u8),
+    Work(u16),
+    Private(u8),
+    Abort(u8),
+    Commit,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..48).prop_map(Op::Read),
+            (0u8..48, 1u8..20).prop_map(|(c, d)| Op::Add(c, d)),
+            (1u16..400).prop_map(Op::Work),
+            (0u8..48).prop_map(Op::Private),
+            (1u8..200).prop_map(Op::Abort),
+            Just(Op::Commit),
+        ],
+        1..60,
+    )
+}
+
+/// Small geometries that make every abort class reachable.
+fn arb_geometry() -> impl Strategy<Value = HtmConfig> {
+    (
+        prop_oneof![Just(2usize), Just(4), Just(8)],
+        1usize..4,
+        4usize..40,
+        prop_oneof![Just(0usize), Just(4), Just(8)],
+        1usize..4,
+        200u64..2000,
+    )
+        .prop_map(|(l1_sets, l1_ways, read_lines_max, l2_sets, l2_ways, quantum)| {
+            HtmConfig {
+                l1_sets,
+                l1_ways,
+                read_lines_max,
+                l2_sets,
+                l2_ways,
+                quantum,
+                ..HtmConfig::tiny()
+            }
+        })
+}
+
+fn addr(counter: u8) -> u32 {
+    u32::from(counter) * 8
+}
+
+/// Run `programs` (each a transaction) single-threaded, recording every
+/// operation's result, and return (per-op results, final heap, stats).
+fn run(cfg: HtmConfig, programs: &[Vec<Op>]) -> (Vec<String>, Vec<u64>, htm_sim::HtmStats) {
+    let sys = HtmSystem::new(cfg, 48 * 8);
+    let mut th = sys.thread(0);
+    let mut log = Vec::new();
+    for prog in programs {
+        let mut tx = th.begin();
+        let mut aborted = false;
+        let mut early_commit = false;
+        for op in prog {
+            if matches!(op, Op::Commit) {
+                early_commit = true;
+                break;
+            }
+            let r: Result<u64, AbortCode> = match op {
+                Op::Read(c) => tx.read(addr(*c)),
+                Op::Add(c, d) => {
+                    let v = tx.read(addr(*c));
+                    match v {
+                        Ok(v) => tx.write(addr(*c), v + u64::from(*d)).map(|()| v),
+                        Err(e) => Err(e),
+                    }
+                }
+                Op::Work(u) => tx.work(u64::from(*u)).map(|()| 0),
+                Op::Private(c) => tx.write_private(addr(*c), 7).map(|()| 0),
+                Op::Abort(code) => Err(tx.xabort(*code)),
+                Op::Commit => unreachable!(),
+            };
+            log.push(format!(
+                "{op:?}:{r:?} rl={} wl={}",
+                tx.read_lines(),
+                tx.write_lines()
+            ));
+            if r.is_err() {
+                aborted = true;
+                break;
+            }
+        }
+        if !aborted {
+            let kind = if early_commit { "commit" } else { "final-commit" };
+            log.push(format!("{kind}:{:?}", tx.commit()));
+        }
+    }
+    let heap: Vec<u64> = (0..48).map(|c| sys.nt_read(addr(c))).collect();
+    (log, heap, (*th.stats).clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The TSX backend routed through the trait is bit-exact with the legacy
+    /// inline path: identical op results, abort codes, stats and heap.
+    #[test]
+    fn tsx_trait_routing_matches_legacy(
+        geometry in arb_geometry(),
+        programs in proptest::collection::vec(arb_ops(), 1..6),
+    ) {
+        let legacy_cfg = geometry.clone();
+        prop_assert_eq!(legacy_cfg.backend, None);
+        let trait_cfg = HtmConfig { backend: Some(BackendKind::Tsx), ..geometry };
+
+        let (log_a, heap_a, stats_a) = run(legacy_cfg, &programs);
+        let (log_b, heap_b, stats_b) = run(trait_cfg, &programs);
+
+        prop_assert_eq!(log_a, log_b, "per-operation results diverged");
+        prop_assert_eq!(heap_a, heap_b, "published heap diverged");
+        prop_assert_eq!(stats_a, stats_b, "hardware statistics diverged");
+    }
+}
+
+/// The capacity model synthesized for a backend-less system matches the
+/// geometry the TSX backend publishes — core/planner code plans against
+/// [`HtmSystem::capacity_model`] and must see the same numbers either way.
+#[test]
+fn capacity_model_agrees_across_routing() {
+    let cfg = HtmConfig::default();
+    let legacy = HtmSystem::new(cfg.clone(), 64).capacity_model();
+    let routed = HtmSystem::new(
+        HtmConfig {
+            backend: Some(BackendKind::Tsx),
+            ..cfg
+        },
+        64,
+    )
+    .capacity_model();
+    assert_eq!(legacy.write_lines_max(), routed.write_lines_max());
+    assert_eq!(legacy.read_lines_max, routed.read_lines_max);
+    assert_eq!(legacy.l2_sets, routed.l2_sets);
+    assert_eq!(legacy.supports_suspend, routed.supports_suspend);
+    assert_eq!(legacy.spill_budget, routed.spill_budget);
+}

@@ -3,7 +3,7 @@
 use crate::driver::{run_threads, run_threads_virtual, RunResult};
 use htm_sim::vclock::{SchedSpec, VReport};
 use htm_sim::HtmConfig;
-use part_htm_core::{PartHtm, PartHtmO, TmConfig, TmRuntime, Workload};
+use part_htm_core::{PartHtm, PartHtmO, StretchHtm, TmConfig, TmRuntime, Workload};
 use tm_baselines::{Hle, HtmGl, NOrec, NOrecRh, RingStm, Sequential, SpHt};
 
 /// A transactional-memory algorithm under evaluation.
@@ -30,6 +30,11 @@ pub enum Algo {
     SpHt,
     /// HLE-style lock elision (§2): one speculative attempt, then the lock.
     Hle,
+    /// Stretch-HTM: whole-transaction capacity *stretching* via suspend/resume
+    /// instead of Part-HTM's segment *splitting* — only effective on backends
+    /// with suspended regions (the `power` model); degrades to HTM-GL
+    /// elsewhere. The `backendbench` ablation's second arm.
+    StretchHtm,
 }
 
 impl Algo {
@@ -56,6 +61,7 @@ impl Algo {
             Algo::Sequential => "Sequential",
             Algo::SpHt => "SpHT",
             Algo::Hle => "HLE",
+            Algo::StretchHtm => "Stretch-HTM",
         }
     }
 
@@ -73,6 +79,7 @@ impl Algo {
             "sequential" | "seq" => Algo::Sequential,
             "spht" => Algo::SpHt,
             "hle" => Algo::Hle,
+            "stretch-htm" | "stretchhtm" => Algo::StretchHtm,
             _ => return None,
         })
     }
@@ -161,6 +168,7 @@ where
         }
         Algo::SpHt => run_threads::<SpHt, _, _>(&rt, threads, ops_per_thread, factory),
         Algo::Hle => run_threads::<Hle, _, _>(&rt, threads, ops_per_thread, factory),
+        Algo::StretchHtm => run_threads::<StretchHtm, _, _>(&rt, threads, ops_per_thread, factory),
     };
     let out = finish(&rt, shared);
     (result, out)
@@ -214,6 +222,9 @@ where
         }
         Algo::SpHt => run_threads_virtual::<SpHt, _, _>(&rt, threads, ops, spec, factory),
         Algo::Hle => run_threads_virtual::<Hle, _, _>(&rt, threads, ops, spec, factory),
+        Algo::StretchHtm => {
+            run_threads_virtual::<StretchHtm, _, _>(&rt, threads, ops, spec, factory)
+        }
     }
 }
 

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! repro <experiment|all> [--threads 1,2,4,8] [--scale 0.5] [--algos part-htm,htm-gl]
-//!       [--csv DIR] [--stats] [--reps N] [--adaptive on|off]
+//!       [--csv DIR] [--stats] [--reps N] [--adaptive on|off] [--backend tsx|power|limited]
 //! ```
 //!
 //! `--adaptive off` pins the static per-declared-segment plan (the paper's
 //! hand-tuned hints); `--adaptive on` forces the abort-profiled planner. The
 //! default keeps `TmConfig::default()` (adaptive).
+//!
+//! `--backend` routes every cell through an explicit HTM capacity model (see
+//! docs/backends.md): `tsx` is the differential twin of the default path,
+//! `power` models a 64-entry write set with suspend/resume, `limited` a
+//! FORTH-style small-set machine with software spill. Omitting the flag keeps
+//! the legacy inline path that the recorded figures were produced with.
 //!
 //! `--csv DIR` additionally writes one `DIR/<experiment>.csv` per figure, ready for
 //! plotting.
@@ -15,12 +21,13 @@
 //! Experiments: table1, fig3a, fig3b, fig3c, fig4a, fig4b, fig5a..fig5i, fig6a,
 //! fig6b. See EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 
+use htm_sim::BackendKind;
 use tm_harness::algo::Algo;
 use tm_harness::experiments::{run_experiment_table, ExpOpts, ALL_IDS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <experiment|all> [--threads 1,2,4] [--scale F] [--algos a,b,c] [--csv DIR] [--stats] [--reps N] [--adaptive on|off]\n\
+        "usage: repro <experiment|all> [--threads 1,2,4] [--scale F] [--algos a,b,c] [--csv DIR] [--stats] [--reps N] [--adaptive on|off] [--backend tsx|power|limited]\n\
          experiments: {}",
         ALL_IDS.join(" ")
     );
@@ -81,6 +88,14 @@ fn main() {
                     Some("off") => Some(false),
                     _ => usage(),
                 };
+            }
+            "--backend" => {
+                i += 1;
+                let kind = args
+                    .get(i)
+                    .and_then(|s| BackendKind::parse(s.trim()))
+                    .unwrap_or_else(|| usage());
+                opts.backend = Some(kind);
             }
             _ => usage(),
         }

@@ -4,7 +4,7 @@
 use crate::algo::{run_cell, run_cell_virtual, Algo};
 use crate::report::{StatsReport, Table, Unit};
 use htm_sim::vclock::SchedSpec;
-use htm_sim::HtmConfig;
+use htm_sim::{BackendKind, HtmConfig};
 use part_htm_core::{TmConfig, TmRuntime, Workload};
 use tm_workloads::stamp::{genome, intruder, kmeans, labyrinth, ssca2, vacation, yada};
 use tm_workloads::{eigen, list, micro};
@@ -29,6 +29,10 @@ pub struct ExpOpts {
     /// the static per-declared-segment plan (the paper's hand-tuned hints),
     /// `Some(true)` forces the abort-profiled planner, `None` keeps the default.
     pub adaptive: Option<bool>,
+    /// Route the HTM model through an explicit backend (`tsx`, `power`,
+    /// `limited`). `None` keeps the legacy inline path — the bit-exact
+    /// differential oracle — so default runs reproduce the recorded figures.
+    pub backend: Option<BackendKind>,
 }
 
 impl Default for ExpOpts {
@@ -40,6 +44,7 @@ impl Default for ExpOpts {
             stats: false,
             reps: 1,
             adaptive: None,
+            backend: None,
         }
     }
 }
@@ -65,6 +70,7 @@ struct FigSpec {
     stats: bool,
     reps: usize,
     adaptive: Option<bool>,
+    backend: Option<BackendKind>,
 }
 
 impl FigSpec {
@@ -98,6 +104,7 @@ impl FigSpec {
             stats: opts.stats,
             reps: opts.reps.max(1),
             adaptive: opts.adaptive,
+            backend: opts.backend,
         }
     }
 
@@ -127,6 +134,12 @@ where
     if let Some(adaptive) = spec.adaptive {
         tm.adaptive_plan = adaptive;
     }
+    // Wrap the per-experiment geometry so `--backend` routes every cell through
+    // the selected capacity model (None keeps the legacy bit-exact path).
+    let htm_for = |threads: usize| HtmConfig {
+        backend: spec.backend.or(htm_for(threads).backend),
+        ..htm_for(threads)
+    };
     // Mean throughput of one (algo, threads) cell over `reps` fresh runs.
     let mean_cell = |algo: Algo, threads: usize| {
         let mut sum = 0.0;
@@ -505,6 +518,7 @@ pub fn table1(opts: &ExpOpts) -> String {
             // hardware attempts).
             HtmConfig {
                 interrupt_prob: 5e-6,
+                backend: opts.backend,
                 ..HtmConfig::default()
             },
             tm.clone(),
@@ -552,7 +566,10 @@ pub fn vsweep(opts: &ExpOpts) -> Table {
                 algo,
                 t,
                 ops,
-                HtmConfig::default(),
+                HtmConfig {
+                    backend: opts.backend,
+                    ..HtmConfig::default()
+                },
                 tm.clone(),
                 p.app_words(),
                 SchedSpec::default(),
@@ -612,6 +629,7 @@ mod tests {
             stats: false,
             reps: 1,
             adaptive: None,
+            backend: None,
         }
     }
 
@@ -651,6 +669,7 @@ mod tests {
             stats: false,
             reps: 1,
             adaptive: None,
+            backend: None,
         };
         let s = table1(&o);
         assert!(s.contains("HTM-GL"));
@@ -666,6 +685,7 @@ mod tests {
             stats: false,
             reps: 1,
             adaptive: None,
+            backend: None,
         };
         let a = vsweep(&o);
         let b = vsweep(&o);
@@ -678,6 +698,43 @@ mod tests {
         // around a flat line: simulated cores genuinely overlap work).
         assert_ne!(a1, a2, "1-core and 2-core cells must differ");
         assert!(a1 > 0.0 && a2 > 0.0);
+    }
+
+    #[test]
+    fn backend_sweep_runs_all_three_models() {
+        // The same quick figure under each explicit capacity model: all must
+        // complete with non-zero throughput (the constrained models still make
+        // progress via splitting / the global-lock fallback), and the `tsx`
+        // route is the differential twin of the legacy path.
+        let mut o = quick();
+        o.threads = Some(vec![2]);
+        o.scale = 0.01;
+        o.algos = Some(vec![Algo::PartHtm, Algo::StretchHtm]);
+        for kind in [BackendKind::Tsx, BackendKind::Power, BackendKind::Limited] {
+            o.backend = Some(kind);
+            let t = fig3a(&o);
+            for algo in ["Part-HTM", "Stretch-HTM"] {
+                let v = t.value(2, algo).unwrap();
+                assert!(v > 0.0, "{algo} on {} produced no commits", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn vsweep_backend_cell_is_deterministic() {
+        let o = ExpOpts {
+            threads: Some(vec![2]),
+            scale: 0.1,
+            algos: Some(vec![Algo::PartHtm]),
+            stats: false,
+            reps: 1,
+            adaptive: None,
+            backend: Some(BackendKind::Power),
+        };
+        let a = vsweep(&o);
+        let b = vsweep(&o);
+        assert_eq!(a.value(2, "Part-HTM"), b.value(2, "Part-HTM"));
+        assert!(a.value(2, "Part-HTM").unwrap() > 0.0);
     }
 
     #[test]

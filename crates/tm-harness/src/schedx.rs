@@ -12,8 +12,8 @@
 //! the exact same interleaving — see `docs/virtual-time.md` for the format.
 
 use htm_sim::vclock::{SchedPolicy, SchedSpec, VClock, VReport};
-use htm_sim::{HtmConfig, HtmSystem};
-use part_htm_core::{PartHtm, TmConfig, TmRuntime, TxCtx, Workload};
+use htm_sim::{BackendKind, HtmConfig, HtmSystem};
+use part_htm_core::{PartHtm, StretchHtm, TmConfig, TmRuntime, TxCtx, Workload};
 use rand::rngs::SmallRng;
 use std::fmt::Write as _;
 
@@ -87,6 +87,11 @@ pub const SCENARIOS: &[(&str, usize, &str)] = &[
         "write-heavy Part-HTM on a tiny sharded ring with epoch summary resets",
     ),
     (
+        "power-stretch",
+        2,
+        "Stretch-HTM on the POWER backend: stretched reads + suspended work under the clock",
+    ),
+    (
         "order-canary",
         2,
         "schedule-dependent canary (commit order); violated by design at depth >= 2",
@@ -95,7 +100,7 @@ pub const SCENARIOS: &[(&str, usize, &str)] = &[
 
 /// The scenarios the CI `--bounded` gate runs (all invariants must hold on
 /// every explored schedule).
-pub const BOUNDED_SET: &[&str] = &["counter2", "planner", "ring-epoch"];
+pub const BOUNDED_SET: &[&str] = &["counter2", "planner", "ring-epoch", "power-stretch"];
 
 /// Increment `addr` once per transaction (single segment).
 struct Inc(htm_sim::Addr);
@@ -133,6 +138,40 @@ impl Workload for WideInc {
             let addr = self.base + ((s * per + i) as u32) * 8;
             let v = ctx.read(addr)?;
             ctx.write(addr, v + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// Read well past the POWER read budget (the tail of the scan goes through
+/// suspended loads), burn a suspended non-transactional burst, then increment
+/// `HOT` shared counters. Exercises the vclock's suspend/resume accounting:
+/// suspended time still advances the virtual clock but cannot be interrupted
+/// by the timer, and conflicts on stretched lines are still decision points.
+struct StretchRead {
+    base: htm_sim::Addr,
+}
+
+impl StretchRead {
+    /// POWER read budget is 128 lines; 140 guarantees stretched reads.
+    const LINES: u32 = 140;
+    const HOT: u32 = 4;
+}
+
+impl Workload for StretchRead {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segment<C: TxCtx>(&mut self, _s: usize, ctx: &mut C) -> htm_sim::abort::TxResult<()> {
+        let mut sum = 0u64;
+        for i in 0..Self::LINES {
+            sum = sum.wrapping_add(ctx.read(self.base + i * 8)?);
+        }
+        std::hint::black_box(sum);
+        ctx.nt_work(16)?;
+        for i in 0..Self::HOT {
+            let a = self.base + i * 8;
+            let v = ctx.read(a)?;
+            ctx.write(a, v + 1)?;
         }
         Ok(())
     }
@@ -223,6 +262,26 @@ pub fn run_scenario(name: &str, spec: &SchedSpec) -> Result<(VReport, String), S
                 bad.push(format!("expected 16 commits, got {}", r.commits));
             }
             check_clean(&rt, &[(0, 16)], &mut bad);
+            finish(name, r, rep, bad)
+        }
+        "power-stretch" => {
+            let htm = HtmConfig {
+                backend: Some(BackendKind::Power),
+                ..HtmConfig::default()
+            };
+            let rt = TmRuntime::new(htm, TmConfig::default(), 2, (StretchRead::LINES as usize) * 8);
+            let base = rt.app(0);
+            let (r, rep) =
+                run_threads_virtual::<StretchHtm, _, _>(&rt, 2, 3, spec.clone(), |_t| StretchRead {
+                    base,
+                });
+            let mut bad = Vec::new();
+            if r.commits != 6 {
+                bad.push(format!("expected 6 commits, got {}", r.commits));
+            }
+            let words: Vec<(usize, u64)> =
+                (0..StretchRead::HOT as usize).map(|i| (i * 8, 6)).collect();
+            check_clean(&rt, &words, &mut bad);
             finish(name, r, rep, bad)
         }
         "order-canary" => {

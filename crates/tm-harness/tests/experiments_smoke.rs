@@ -12,6 +12,7 @@ fn tiny_opts() -> ExpOpts {
         stats: false,
         reps: 1,
         adaptive: None,
+        backend: None,
     }
 }
 
@@ -50,8 +51,15 @@ fn figures_expose_tables_with_all_cells() {
 
 #[test]
 fn table1_exposes_no_table_but_renders_rows() {
-    let opts =
-        ExpOpts { threads: Some(vec![2]), scale: 0.05, algos: None, stats: false, reps: 1, adaptive: None };
+    let opts = ExpOpts {
+        threads: Some(vec![2]),
+        scale: 0.05,
+        algos: None,
+        stats: false,
+        reps: 1,
+        adaptive: None,
+        backend: None,
+    };
     let (out, table) = run_experiment_table("table1", &opts).unwrap();
     assert!(table.is_none());
     assert!(out.contains("HTM-GL"));
@@ -92,6 +100,7 @@ fn extended_algos_run_the_figures_too() {
         stats: true,
         reps: 2,
         adaptive: None,
+        backend: None,
     };
     for id in ["fig3a", "fig4a"] {
         let (out, table) = run_experiment_table(id, &opts).unwrap();

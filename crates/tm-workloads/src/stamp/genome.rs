@@ -122,6 +122,18 @@ impl Workload for Genome {
         };
     }
 
+    fn site(&self) -> u32 {
+        // One abort profile per STAMP phase: dedup inserts are tiny, build
+        // transactions walk and extend a chain (long, capacity-prone), match
+        // windows sit in between. Blended, the builders' resource failures
+        // would demote the dedup inserts off the fast path too.
+        match self.op {
+            GenomeOp::Dedup { .. } => 0,
+            GenomeOp::Match { .. } => 1,
+            GenomeOp::Build { .. } => 2,
+        }
+    }
+
     fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
         let s = self.shared;
         let p = &s.params;

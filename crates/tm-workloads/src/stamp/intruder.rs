@@ -108,6 +108,13 @@ impl Workload for Intruder {
         3
     }
 
+    fn site(&self) -> u32 {
+        // Deliberately single-site: every transaction runs the same
+        // capture/reassembly/detection pipeline over one sampled flow, so all
+        // transactions share one HTM appetite and one abort profile is right.
+        0
+    }
+
     fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
         let s = self.shared;
         match seg {

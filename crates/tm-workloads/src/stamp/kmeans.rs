@@ -126,6 +126,13 @@ impl Workload for Kmeans {
         self.point = rng.gen_range(0..self.shared.params.points);
     }
 
+    fn site(&self) -> u32 {
+        // Deliberately single-site: every transaction reassigns one point to
+        // the nearest centroid — a fixed-footprint shape (DIMS reads, one
+        // centroid update), so one abort profile covers them all.
+        0
+    }
+
     fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
         let s = self.shared;
         let p = &s.params;

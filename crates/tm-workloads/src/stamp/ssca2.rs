@@ -91,6 +91,13 @@ impl Workload for Ssca2 {
         self.dst = rng.gen_range(0..self.shared.params.vertices);
     }
 
+    fn site(&self) -> u32 {
+        // Deliberately single-site: every transaction appends one edge to one
+        // vertex's adjacency row — a few cache lines regardless of the
+        // sampled vertices, so one abort profile covers them all.
+        0
+    }
+
     fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
         let s = self.shared;
         let base = s.vertex_addr(self.src);

@@ -272,6 +272,19 @@ impl Workload for Vacation {
         }
     }
 
+    fn site(&self) -> u32 {
+        // One abort profile per transaction kind: reservations scan query
+        // windows over three resource tables (read-heavy), delete-customer
+        // touches one record plus its held resources (small), update-tables
+        // sweeps a price range (write-heavy). Their HTM appetites differ, so
+        // they must not share a blended profile.
+        match self.op {
+            VacOp::Reserve => 0,
+            VacOp::DeleteCustomer => 1,
+            VacOp::UpdateTables => 2,
+        }
+    }
+
     fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
         match self.op {
             VacOp::Reserve => self.reserve_kind(seg, ctx),

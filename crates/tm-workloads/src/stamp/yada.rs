@@ -119,6 +119,16 @@ impl Workload for Yada {
         self.cavity_segments() + 1
     }
 
+    fn site(&self) -> u32 {
+        // Cavity-size class: log2 of the cavity's segment count, saturated at
+        // 8 classes. A 2-segment cavity usually fits best-effort HTM whole; a
+        // 32-segment one never does. One blended profile would let the large
+        // cavities' capacity aborts demote the small ones off the fast path,
+        // while per-exact-size profiles would never re-accumulate history
+        // (sampled sizes rarely repeat).
+        self.cavity_segments().max(1).ilog2().min(7)
+    }
+
     fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
         let s = self.shared;
         let p = &s.params;

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Documentation hygiene gate (wired into scripts/tier1.sh):
+#
+#   1. Every file in docs/ is reachable from docs/INDEX.md (linked directly).
+#   2. Every intra-repo markdown link in docs/*.md and README.md resolves
+#      ([text](relative/path) — http(s) and #anchors are skipped).
+#   3. Every backticked code reference to a repo file resolves: `path/file.rs`,
+#      optionally with a `:line` suffix (the line must exist) or a `::item`
+#      suffix (stripped). Paths resolve repo-root-relative, doc-relative, or
+#      with the `crates/` prefix docs conventionally omit.
+#
+# Stale references were how the docs drifted before this gate existed (the
+# pre-split `AbortCode::Other` taxonomy survived two PRs in DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "doc-check: $1" >&2
+  fail=1
+}
+
+# --- 1. INDEX.md reachability -------------------------------------------------
+for doc in docs/*.md; do
+  base="$(basename "$doc")"
+  [ "$base" = "INDEX.md" ] && continue
+  if ! grep -qE "\(${base}\)" docs/INDEX.md; then
+    err "docs/INDEX.md does not link $doc"
+  fi
+done
+
+# --- 2 + 3. per-file link and code-reference checks ---------------------------
+# Resolve a doc-referenced path to a real file: as written (repo-root or
+# doc-relative), with the crates/ prefix docs omit for crate-local paths, or
+# — for shorthand like `sig.rs` / `htm-sim/registry.rs` — any tracked file
+# whose path contains the reference's components in order and ends with its
+# basename.
+all_files="$(git ls-files)"
+resolve() {
+  local ref="$1" dir="$2"
+  for cand in "$ref" "$dir/$ref" "crates/$ref"; do
+    if [ -f "$cand" ]; then
+      printf '%s' "$cand"
+      return 0
+    fi
+  done
+  local pattern="*${ref//\//*}"
+  local f
+  while IFS= read -r f; do
+    # shellcheck disable=SC2254
+    case "$f" in
+    $pattern)
+      if [ "$(basename "$f")" = "$(basename "$ref")" ]; then
+        printf '%s' "$f"
+        return 0
+      fi
+      ;;
+    esac
+  done <<<"$all_files"
+  return 1
+}
+
+for doc in docs/*.md README.md; do
+  dir="$(dirname "$doc")"
+
+  # Markdown links: [text](target). Skip URLs and pure anchors.
+  while IFS= read -r target; do
+    case "$target" in
+    http://* | https://* | '#'*) continue ;;
+    esac
+    target="${target%%#*}" # intra-file anchors on a real path
+    if ! resolve "$target" "$dir" >/dev/null; then
+      err "$doc: broken markdown link ($target)"
+    fi
+  done < <(grep -oE '\[[^][]+\]\([^()]+\)' "$doc" | sed -E 's/^\[[^][]+\]\(([^()]+)\)$/\1/')
+
+  # Backticked code references: `path/file.ext`, `file.rs:123`, `file.rs::item`.
+  while IFS= read -r ref; do
+    line=""
+    case "$ref" in
+    *::*) ref="${ref%%::*}" ;;
+    *:*)
+      line="${ref##*:}"
+      ref="${ref%:*}"
+      ;;
+    esac
+    if ! path="$(resolve "$ref" "$dir")"; then
+      err "$doc: code reference to missing file ($ref)"
+      continue
+    fi
+    if [ -n "$line" ] && [ "$line" -gt "$(wc -l <"$path")" ]; then
+      err "$doc: $ref:$line past end of file ($(wc -l <"$path") lines)"
+    fi
+  done < <(grep -oE '`[A-Za-z0-9_][A-Za-z0-9_./-]*\.(rs|sh|md|json|toml)(:[0-9]+|::[A-Za-z0-9_]+)?`' "$doc" | tr -d '`')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-check: FAILED" >&2
+  exit 1
+fi
+echo "doc-check: OK"

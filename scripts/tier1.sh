@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, workspace tests, clippy -D warnings on every
 # workspace crate, rustdoc with warnings denied (broken intra-doc links
-# or malformed doc comments fail the gate), and a bounded deterministic
+# or malformed doc comments fail the gate), documentation hygiene
+# (scripts/doc-check.sh: docs/ reachable from docs/INDEX.md, intra-repo
+# links and code references resolve), and a bounded deterministic
 # schedule-exploration pass (schedx --bounded) over the virtual-clock
 # scenarios.
 #
 # Flags:
 #   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
-#            including a ringbench --mode epoch pass, a membench pass and a
-#            partbench pass
+#            including a ringbench --mode epoch pass, a membench pass, a
+#            partbench pass and a backendbench pass
 #   --bench  full microbenchmark run: linebench + pathbench + ringbench (the
-#            latter in both summary-reset protocols) + membench + partbench,
-#            writing fresh numbers to target/BENCH_{2,3,4,5,6}.json and gating
-#            against the committed ./BENCH_{2,3,4,5,6}.json (a >10% regression
-#            on end-to-end partitioned throughput or sharded mixed publish
-#            throughput, a >2x blow-up of the epoch-mode sharded validation
-#            overhead, a >2x slow-down of the unrolled intersect kernel,
-#            padding turning measurably costly, the adaptive planner falling
-#            below 1.2x static-single-segment on the capacity-heavy row, or
-#            more than 8% behind hand-tuned static on the hint-optimal row,
-#            fails the gate)
+#            latter in both summary-reset protocols) + membench + partbench +
+#            backendbench, writing fresh numbers to
+#            target/BENCH_{2,3,4,5,6,7}.json and gating against the committed
+#            ./BENCH_{2,3,4,5,6,7}.json (a >10% regression on end-to-end
+#            partitioned throughput or sharded mixed publish throughput, a
+#            >2x blow-up of the epoch-mode sharded validation overhead, a >2x
+#            slow-down of the unrolled intersect kernel, padding turning
+#            measurably costly, the adaptive planner falling below 1.2x
+#            static-single-segment on the capacity-heavy row, more than 8%
+#            behind hand-tuned static on the hint-optimal row, a >10%
+#            regression of the POWER split/stretch ablation rows, or POWER
+#            capacity stretching falling below 1.5x splitting, fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -36,6 +40,9 @@ cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "== tier1: cargo doc -D warnings (workspace) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
+echo "== tier1: doc-check (docs/ reachability + reference resolution) =="
+./scripts/doc-check.sh
 
 echo "== tier1: schedx --bounded (deterministic schedule exploration) =="
 # Bounded-depth exploration of the CI scenarios under the virtual clock, with
@@ -60,6 +67,8 @@ case "${1:-}" in
     cargo run -q --release -p tm-bench --bin membench -- --smoke
     echo "== tier1: partbench --smoke =="
     cargo run -q --release -p tm-bench --bin partbench -- --smoke
+    echo "== tier1: backendbench --smoke =="
+    cargo run -q --release -p tm-bench --bin backendbench -- --smoke
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
@@ -82,7 +91,10 @@ case "${1:-}" in
     echo "== tier1: partbench (full, regression gate vs BENCH_6.json) =="
     cargo run -q --release -p tm-bench --bin partbench -- \
         --json target/BENCH_6.json --baseline BENCH_6.json
-    echo "   fresh numbers in target/BENCH_{2,3,4,5,6}.json; copy over the" \
+    echo "== tier1: backendbench (full, regression gate vs BENCH_7.json) =="
+    cargo run -q --release -p tm-bench --bin backendbench -- \
+        --json target/BENCH_7.json --baseline BENCH_7.json
+    echo "   fresh numbers in target/BENCH_{2,3,4,5,6,7}.json; copy over the" \
          "matching ./BENCH_N.json to rebaseline"
     ;;
 esac
