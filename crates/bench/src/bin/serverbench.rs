@@ -1,0 +1,344 @@
+//! Server-scale microbenchmark: group commit and admission control under
+//! open-loop load, emitting `BENCH_8.json`.
+//!
+//! Rows:
+//!
+//! * **small-tx (wall)** — a saturated stream of small single-shard KV/queue
+//!   requests on 4 workers, `batch_max: 8` against the unbatched
+//!   `batch_max: 1` differential oracle. Group commit amortizes the fixed
+//!   per-transaction costs (HTM begin/commit, glock check, ring publish)
+//!   across the batch; the acceptance floor is a 1.3x goodput gain.
+//! * **small-tx (virtual)** — the same comparison under the deterministic
+//!   virtual clock: goodput in requests per million work units plus
+//!   p50/p99/p999 sojourn latency, bit-reproducible from the spec (the cell
+//!   CI can diff exactly).
+//! * **overload (wall)** — a hot-key transfer-heavy mix. First a saturated
+//!   run with the controller on measures the sustainable service rate
+//!   ("saturation"); then a 2x-overload Poisson stream runs with admission
+//!   control on and off. The controller sheds excess to the serialized
+//!   slow path and must keep goodput within 0.8x of saturation; the
+//!   no-controller baseline shows the speculative retry convoy (lower
+//!   goodput, inflated p999).
+//!
+//! Usage: `serverbench [--smoke] [--json PATH] [--baseline FILE]`
+//!   --smoke      ~20x fewer requests (CI sanity run)
+//!   --json P     write machine-readable results to P ("-" for stdout)
+//!   --baseline F gate against a committed serverbench JSON: batched
+//!                goodput regressing >10%, batch speed-up below 1.3x,
+//!                overload goodput below 0.8x saturation, the controller
+//!                not beating the no-controller baseline, or overload p999
+//!                blowing up >3x over the committed value, fails (exit 1).
+
+use htm_sim::vclock::SchedSpec;
+use htm_sim::HtmConfig;
+use part_htm_core::{PartHtm, TmConfig, TmRuntime};
+use tm_bench::{baseline_number, emit_json, BenchArgs};
+use tm_harness::loadgen::ArrivalProcess;
+use tm_harness::StatsReport;
+use tm_server::service::{
+    gen_requests, run_server, Request, ServeMode, ServeOpts, ServerReport, ServerSpec, ServerState,
+};
+use tm_server::{AdmissionSpec, TrafficMix};
+
+/// Worker threads (matches the other benches' 4-core cells).
+const WORKERS: usize = 4;
+
+/// Service geometry: 8 shards, room for the preloaded balances plus churn.
+const SPEC: ServerSpec = ServerSpec {
+    shards: 8,
+    slots_per_shard: 1024,
+    queue_cap: 64,
+};
+
+struct Scale {
+    small_n: usize,
+    overload_n: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            small_n: 80_000,
+            overload_n: 24_000,
+        }
+    }
+    fn smoke() -> Self {
+        Self {
+            small_n: 4_000,
+            overload_n: 1_200,
+        }
+    }
+}
+
+/// The hot-key transfer mix of the overload row: almost every request moves
+/// balance between two of four hot keys, so speculative execution at 4
+/// workers is conflict-bound.
+fn overload_mix() -> TrafficMix {
+    TrafficMix {
+        tenants: 2,
+        keys: 64,
+        kv_weight: 1,
+        queue_weight: 0,
+        transfer_weight: 8,
+        hot_pct: 90,
+        hot_keys: 4,
+    }
+}
+
+/// Balances for the transfer mix (large enough that transfers rarely no-op
+/// on insufficient funds).
+fn preload_items(mix: &TrafficMix) -> Vec<(u32, u32, u64)> {
+    (0..mix.tenants)
+        .flat_map(|t| (0..mix.keys).map(move |k| (t, k, 1_000_000)))
+        .collect()
+}
+
+/// HTM geometry for the overload row: a tight timer quantum makes the
+/// transfer mix genuinely resource-limited (capacity-class trouble), the
+/// regime the admission controller exists for. The small-tx rows keep the
+/// default geometry (batching is measured on *healthy* hardware).
+fn overload_htm() -> HtmConfig {
+    HtmConfig {
+        quantum: 6,
+        ..HtmConfig::default()
+    }
+}
+
+/// One server cell on a fresh runtime.
+fn run_cell(
+    htm: &HtmConfig,
+    mix: &TrafficMix,
+    requests: &[Request],
+    batch_max: usize,
+    admission: AdmissionSpec,
+    mode: &ServeMode,
+) -> ServerReport {
+    let rt = TmRuntime::new(
+        htm.clone(),
+        TmConfig::default(),
+        WORKERS,
+        SPEC.app_words(),
+    );
+    let state = ServerState::new(&rt, SPEC);
+    state.preload(&rt, &preload_items(mix));
+    let opts = ServeOpts {
+        batch_max,
+        admission,
+        ..ServeOpts::default()
+    };
+    run_server::<PartHtm>(&rt, &state, WORKERS, requests, mode, &opts)
+}
+
+/// Best-of-3 wall-clock goodput cell (host noise discipline of the other
+/// benches).
+fn best_of_3(
+    htm: &HtmConfig,
+    mix: &TrafficMix,
+    requests: &[Request],
+    batch_max: usize,
+    admission: AdmissionSpec,
+) -> ServerReport {
+    (0..3)
+        .map(|_| run_cell(htm, mix, requests, batch_max, admission, &ServeMode::Wall))
+        .max_by(|a, b| a.goodput_wall().total_cmp(&b.goodput_wall()))
+        .expect("three runs")
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = if args.smoke {
+        Scale::smoke()
+    } else {
+        Scale::full()
+    };
+    eprintln!("serverbench: {} run", args.run_kind());
+
+    // ---- Row 1: small-transaction batching, wall clock ------------------
+    // 4 tenants x 512 keys = 2048 distinct keys over 8x1024 slots: ~25%
+    // table occupancy (open addressing needs headroom).
+    let small_mix = TrafficMix {
+        keys: 512,
+        ..TrafficMix::small_only()
+    };
+    // Saturated: everything due at t=0, so goodput measures service capacity.
+    let small_reqs = gen_requests(&small_mix, &vec![0u64; scale.small_n], 8001);
+    eprintln!("  [small-tx] batch_max 8 (wall)...");
+    let htm = HtmConfig::default();
+    let batched = best_of_3(&htm, &small_mix, &small_reqs, 8, AdmissionSpec::off());
+    eprintln!("  [small-tx] batch_max 1 oracle (wall)...");
+    let unbatched = best_of_3(&htm, &small_mix, &small_reqs, 1, AdmissionSpec::off());
+    let batch_speedup = batched.goodput_wall() / unbatched.goodput_wall();
+
+    // ---- Row 1v: the same comparison under the deterministic virtual clock
+    let varrivals = ArrivalProcess::Poisson { mean_gap: 2.0 }
+        .timestamps(scale.small_n / 4, 8002);
+    let vreqs = gen_requests(&small_mix, &varrivals, 8002);
+    let vmode = ServeMode::Virtual(SchedSpec::default());
+    eprintln!("  [small-tx] batch_max 8 (virtual)...");
+    let vbatched = run_cell(&htm, &small_mix, &vreqs, 8, AdmissionSpec::off(), &vmode);
+    eprintln!("  [small-tx] batch_max 1 oracle (virtual)...");
+    let vunbatched = run_cell(&htm, &small_mix, &vreqs, 1, AdmissionSpec::off(), &vmode);
+    let vbatch_speedup = vbatched.goodput_virtual() / vunbatched.goodput_virtual();
+
+    // ---- Row 2: overload admission control, wall clock -------------------
+    let omix = overload_mix();
+    eprintln!("  [overload] saturation probe (controller on)...");
+    let sat_reqs = gen_requests(&omix, &vec![0u64; scale.overload_n], 8003);
+    let ohtm = overload_htm();
+    let sat = best_of_3(&ohtm, &omix, &sat_reqs, 8, AdmissionSpec::default());
+    let saturation = sat.goodput_wall();
+
+    // 2x overload: Poisson arrivals at twice the saturation rate.
+    let mean_gap_ns = 1e9 / (2.0 * saturation);
+    let oarrivals =
+        ArrivalProcess::Poisson { mean_gap: mean_gap_ns }.timestamps(scale.overload_n, 8004);
+    let oreqs = gen_requests(&omix, &oarrivals, 8004);
+    eprintln!("  [overload] 2x rate, admission on...");
+    let ov_on = best_of_3(&ohtm, &omix, &oreqs, 8, AdmissionSpec::default());
+    eprintln!("  [overload] 2x rate, admission off (baseline)...");
+    let ov_off = best_of_3(&ohtm, &omix, &oreqs, 8, AdmissionSpec::off());
+
+    let sat_frac = ov_on.goodput_wall() / saturation;
+    let controller_gain = ov_on.goodput_wall() / ov_off.goodput_wall();
+    let p999_on = ov_on.latency.p999();
+    let p999_off = ov_off.latency.p999();
+
+    // ---- Report ----------------------------------------------------------
+    println!("serverbench results ({} run)", args.run_kind());
+    println!(
+        "small-tx (wall)  batched {:>12.0} req/s   unbatched {:>12.0} req/s   speedup {batch_speedup:>5.2}x",
+        batched.goodput_wall(),
+        unbatched.goodput_wall()
+    );
+    println!(
+        "small-tx (virt)  batched {:>12.2} req/Mu  unbatched {:>12.2} req/Mu  speedup {vbatch_speedup:>5.2}x",
+        vbatched.goodput_virtual(),
+        vunbatched.goodput_virtual()
+    );
+    println!(
+        "                 virtual latency (units): batched p50/p99/p999 {}/{}/{}  unbatched {}/{}/{}",
+        vbatched.latency.p50(),
+        vbatched.latency.p99(),
+        vbatched.latency.p999(),
+        vunbatched.latency.p50(),
+        vunbatched.latency.p99(),
+        vunbatched.latency.p999()
+    );
+    println!(
+        "overload (wall)  saturation {saturation:>10.0} req/s   2x-overload on {:>10.0} req/s ({:.2} of sat)   off {:>10.0} req/s",
+        ov_on.goodput_wall(),
+        sat_frac,
+        ov_off.goodput_wall()
+    );
+    println!(
+        "                 controller gain {controller_gain:>5.2}x   p999 on {:.2} ms / off {:.2} ms   shed {} of {}",
+        p999_on as f64 / 1e6,
+        p999_off as f64 / 1e6,
+        ov_on.run.tm.shed_commits,
+        ov_on.served
+    );
+    for (label, r) in [
+        ("small batched", &batched),
+        ("overload on", &ov_on),
+        ("overload off", &ov_off),
+    ] {
+        let rep = StatsReport::from_run(&r.run);
+        if let Some(line) = rep.render_hot_path() {
+            println!("[{label}] {line}");
+        }
+        if std::env::var_os("SERVERBENCH_DEBUG").is_some() {
+            eprint!("[{label}] {}", rep.to_json());
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serverbench\",\n",
+            "  \"config\": {{\"smoke\": {}, \"workers\": {}, \"shards\": {}, ",
+            "\"small_n\": {}, \"overload_n\": {}}},\n",
+            "  \"small_tx\": {{\"batched_ops_per_sec\": {:.0}, ",
+            "\"unbatched_ops_per_sec\": {:.0}, \"batch_speedup\": {:.3}, ",
+            "\"batch_groups\": {}, \"batch_reqs\": {}}},\n",
+            "  \"small_tx_virtual\": {{\"batched_req_per_mu\": {:.4}, ",
+            "\"unbatched_req_per_mu\": {:.4}, \"virtual_speedup\": {:.3}, ",
+            "\"batched_p999_units\": {}, \"unbatched_p999_units\": {}}},\n",
+            "  \"overload\": {{\"saturation_ops_per_sec\": {:.0}, ",
+            "\"on_ops_per_sec\": {:.0}, \"off_ops_per_sec\": {:.0}, ",
+            "\"sat_frac\": {:.3}, \"controller_gain\": {:.3}, ",
+            "\"p999_on_ns\": {}, \"p999_off_ns\": {}, ",
+            "\"shed_commits\": {}}}\n",
+            "}}\n"
+        ),
+        args.smoke,
+        WORKERS,
+        SPEC.shards,
+        scale.small_n,
+        scale.overload_n,
+        batched.goodput_wall(),
+        unbatched.goodput_wall(),
+        batch_speedup,
+        batched.run.tm.batch_groups,
+        batched.run.tm.batch_reqs,
+        vbatched.goodput_virtual(),
+        vunbatched.goodput_virtual(),
+        vbatch_speedup,
+        vbatched.latency.p999(),
+        vunbatched.latency.p999(),
+        saturation,
+        ov_on.goodput_wall(),
+        ov_off.goodput_wall(),
+        sat_frac,
+        controller_gain,
+        p999_on,
+        p999_off,
+        ov_on.run.tm.shed_commits,
+    );
+
+    if let Some(path) = &args.json {
+        emit_json(path, &json);
+    }
+
+    if let Some(path) = &args.baseline {
+        let base_batched = baseline_number(path, "batched_ops_per_sec");
+        let base_p999 = baseline_number(path, "p999_on_ns");
+        let ratio = batched.goodput_wall() / base_batched;
+        println!(
+            "regression gate: batched small-tx {:.0} vs baseline {base_batched:.0} ({ratio:.2}x)",
+            batched.goodput_wall()
+        );
+        let mut failed = false;
+        if ratio < 0.90 {
+            eprintln!("FAIL: batched small-tx goodput regressed more than 10% vs {path}");
+            failed = true;
+        }
+        if batch_speedup < 1.3 {
+            eprintln!("FAIL: group commit only {batch_speedup:.2}x over unbatched (floor 1.3x)");
+            failed = true;
+        }
+        if sat_frac < 0.8 {
+            eprintln!(
+                "FAIL: 2x-overload goodput {sat_frac:.2} of saturation with the controller \
+                 on (floor 0.8)"
+            );
+            failed = true;
+        }
+        if controller_gain < 1.0 {
+            eprintln!(
+                "FAIL: controller {controller_gain:.2}x vs the no-controller baseline \
+                 under 2x overload (must not lose)"
+            );
+            failed = true;
+        }
+        if (p999_on as f64) > 3.0 * base_p999 {
+            eprintln!(
+                "FAIL: overload p999 {p999_on} ns blew up >3x over the committed \
+                 {base_p999:.0} ns"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

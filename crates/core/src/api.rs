@@ -198,6 +198,19 @@ pub trait TmExecutor<'r>: Send + Sized {
     /// Returns the path that committed it.
     fn execute<W: Workload>(&mut self, w: &mut W) -> CommitPath;
 
+    /// Run one transaction that an admission controller decided to *shed*:
+    /// skip the speculative paths and commit on the protocol's cheapest
+    /// serialized path directly. Under overload the speculative retries are
+    /// what convoy the ring shards (backoff + global-lock waits), so a shed
+    /// request must not add to them. The default simply delegates to
+    /// [`TmExecutor::execute`] — protocols with a distinguished slow path
+    /// (Part-HTM, Part-HTM-O) override it to take the global lock without
+    /// any fast or partitioned attempt, recording the commit in
+    /// [`crate::TmStats::shed_commits`].
+    fn execute_shed<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        self.execute(w)
+    }
+
     /// The thread context (statistics live here).
     fn thread(&self) -> &TmThread<'r>;
 

@@ -39,7 +39,9 @@ pub use api::{
 };
 pub use opaque::PartHtmO;
 pub use parthtm::PartHtm;
-pub use planner::{backend_group_cap, build_plan, FastProfile, FastRoute, PlanStep, SiteTable};
+pub use planner::{
+    backend_group_cap, batch_site, build_plan, FastProfile, FastRoute, PlanStep, SiteTable,
+};
 pub use runtime::{TmConfig, TmRuntime, TmThread};
 pub use stats::TmStats;
 pub use stretch::{StretchCtx, StretchHtm};

@@ -708,6 +708,17 @@ impl<'r> TmExecutor<'r> for PartHtmO<'r> {
         self.drive(w)
     }
 
+    /// Shed: commit under the global lock (value-masked reads, as on this
+    /// executor's slow path) with no speculative attempt — see
+    /// [`PartHtm::execute_shed`](crate::PartHtm).
+    fn execute_shed<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        self.th.stats.shed_commits += 1;
+        run_global_lock(&self.th, w, true);
+        w.after_commit();
+        self.th.stats.record_commit(CommitPath::GlobalLock);
+        CommitPath::GlobalLock
+    }
+
     fn thread(&self) -> &TmThread<'r> {
         &self.th
     }

@@ -700,6 +700,18 @@ impl<'r> TmExecutor<'r> for PartHtm<'r> {
         self.drive(w, Self::try_fast, Self::try_partitioned, false)
     }
 
+    /// Shed: commit under the global lock with no speculative attempt. Under
+    /// overload the fast/partitioned retries (backoff, glock waits) are what
+    /// convoy the ring shards; a shed request takes the serialized path once
+    /// and leaves.
+    fn execute_shed<W: Workload>(&mut self, w: &mut W) -> CommitPath {
+        self.th.stats.shed_commits += 1;
+        run_global_lock(&self.th, w, false);
+        w.after_commit();
+        self.th.stats.record_commit(CommitPath::GlobalLock);
+        CommitPath::GlobalLock
+    }
+
     fn thread(&self) -> &TmThread<'r> {
         &self.th
     }

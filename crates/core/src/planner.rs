@@ -425,6 +425,23 @@ pub fn build_plan(
     (max_run.max(1)).min(u32::MAX as usize) as u32
 }
 
+/// Site id for a *batched request group*: `batch_max`-bounded groups of
+/// coalesced same-shard server requests executed as one multi-segment
+/// transaction (`crates/tm-server`). The planner keeps one abort profile per
+/// site, and a batch's resource appetite scales with its width — so batches
+/// report a site derived from `(op_class, shard, width-class)` rather than
+/// the per-request site: a shard whose 8-wide batches die of capacity aborts
+/// learns a smaller merge plan without also demoting the 2-wide batches.
+///
+/// The width class is `ceil(log2(width))` (1, 2, 3–4, 5–8, ... share a
+/// class), so the id space stays small enough for [`SITE_SLOTS`] while still
+/// separating the capacity regimes that matter. Ids are offset by `1 << 16`
+/// to keep clear of the hand-assigned per-workload sites.
+pub fn batch_site(op_class: u32, shard: u32, width: u32) -> u32 {
+    let wclass = 32 - (width.max(1) - 1).leading_zeros(); // ceil(log2(w))
+    (1 << 16) | (op_class << 12) | (shard << 4) | wclass
+}
+
 /// The single fast-path routing decision point shared by both executors
 /// (replacing the three-way `skip_fast` / static-hint / resource-streak
 /// branching that used to be duplicated in `parthtm.rs` and `opaque.rs`).
@@ -653,6 +670,20 @@ mod tests {
         // Full coverage, in order, no overlap.
         let covered: Vec<usize> = out.iter().flat_map(|p| p.start..p.end).collect();
         assert_eq!(covered, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sites_separate_width_classes() {
+        // Same shard, widths 1 / 2 / 4 / 8 — 2 and 3..=4 share a class edge:
+        assert_ne!(batch_site(0, 3, 1), batch_site(0, 3, 2));
+        assert_ne!(batch_site(0, 3, 2), batch_site(0, 3, 4));
+        assert_eq!(batch_site(0, 3, 3), batch_site(0, 3, 4));
+        assert_eq!(batch_site(0, 3, 5), batch_site(0, 3, 8));
+        // Distinct shards and op classes get distinct sites.
+        assert_ne!(batch_site(0, 3, 4), batch_site(0, 5, 4));
+        assert_ne!(batch_site(0, 3, 4), batch_site(1, 3, 4));
+        // Clear of the hand-assigned per-workload id space.
+        assert!(batch_site(0, 0, 1) >= 1 << 16);
     }
 
     #[test]

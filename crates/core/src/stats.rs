@@ -73,6 +73,16 @@ pub struct TmStats {
     /// Retry attempts the adaptive budgets avoided: on every retry loop that
     /// exhausted a reduced budget, the difference to the configured default.
     pub adaptive_retry_saves: u64,
+    /// Transactions an admission controller shed straight to the serialized
+    /// slow path ([`crate::TmExecutor::execute_shed`]); these also count in
+    /// `commits_gl`, so `shed_commits <= commits_gl`.
+    pub shed_commits: u64,
+    /// Multi-request group commits executed (batches of coalesced server
+    /// requests run as one planner-declared multi-segment transaction).
+    pub batch_groups: u64,
+    /// Requests carried by those group commits (`>= batch_groups`; the mean
+    /// batch width is `batch_reqs / batch_groups`).
+    pub batch_reqs: u64,
     /// Ring publishes (hardware or software) that touched each shard; a
     /// cross-shard commit counts once per shard it touched.
     pub shard_publishes: [u64; MAX_RING_SHARDS],
@@ -182,6 +192,9 @@ impl TmStats {
         self.plan_merges += o.plan_merges;
         self.plan_splits += o.plan_splits;
         self.adaptive_retry_saves += o.adaptive_retry_saves;
+        self.shed_commits += o.shed_commits;
+        self.batch_groups += o.batch_groups;
+        self.batch_reqs += o.batch_reqs;
         for s in 0..MAX_RING_SHARDS {
             self.shard_publishes[s] += o.shard_publishes[s];
             self.shard_validations[s] += o.shard_validations[s];

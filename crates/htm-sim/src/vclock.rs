@@ -447,6 +447,18 @@ pub fn yield_now() {
     std::thread::yield_now();
 }
 
+/// The calling core's current virtual time, or `None` when the thread is not
+/// attached. Read-only — unlike [`charge`] it never advances the clock or
+/// hands over the floor, so pacing loops (e.g. an open-loop load generator
+/// comparing arrival timestamps against "now") can poll it freely.
+#[inline]
+pub fn now() -> Option<u64> {
+    if ATTACHED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().map(|h| h.time))
+}
+
 /// A uniform `[0, 1)` draw from the calling core's schedule-seeded interrupt
 /// RNG, or `None` when the thread is not attached (callers fall back to their
 /// own RNG). Routing injected interrupts through this makes them part of the

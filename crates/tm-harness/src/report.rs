@@ -192,6 +192,13 @@ pub struct StatsReport {
     /// Retry attempts skipped because a site's learned budget was below the
     /// configured maximum.
     pub adaptive_retry_saves: u64,
+    /// Transactions an admission controller shed straight to the global lock
+    /// (a subset of the GL commits).
+    pub shed_commits: u64,
+    /// Multi-request group commits executed (tm-server batching).
+    pub batch_groups: u64,
+    /// Requests carried by those group commits.
+    pub batch_reqs: u64,
 }
 
 impl StatsReport {
@@ -230,7 +237,62 @@ impl StatsReport {
             plan_merges: r.tm.plan_merges,
             plan_splits: r.tm.plan_splits,
             adaptive_retry_saves: r.tm.adaptive_retry_saves,
+            shed_commits: r.tm.shed_commits,
+            batch_groups: r.tm.batch_groups,
+            batch_reqs: r.tm.batch_reqs,
         }
+    }
+
+    /// The report as one flat JSON object (dependency-free, like the bench
+    /// emitters): every counter under its field name, percentages under
+    /// `abort_pct_{conflict,capacity,explicit,other}` and
+    /// `commit_pct_{gl,htm,sw}`. This is what `tm-server` prints as its stats
+    /// snapshot and writes to its periodic dump file, so the admission
+    /// controller's decisions (`shed_commits`, `batch_groups`) are observable
+    /// without a debugger.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\n  \"label\": \"{}\",", self.label));
+        let pcts = [
+            ("abort_pct_conflict", self.abort_pct[0]),
+            ("abort_pct_capacity", self.abort_pct[1]),
+            ("abort_pct_explicit", self.abort_pct[2]),
+            ("abort_pct_other", self.abort_pct[3]),
+            ("commit_pct_gl", self.commit_pct[0]),
+            ("commit_pct_htm", self.commit_pct[1]),
+            ("commit_pct_sw", self.commit_pct[2]),
+        ];
+        for (k, v) in pcts {
+            out.push_str(&format!("\n  \"{k}\": {v:.4},"));
+        }
+        let counters = [
+            ("total_aborts", self.total_aborts),
+            ("total_commits", self.total_commits),
+            ("val_fast_hits", self.val_fast_hits),
+            ("val_fast_misses", self.val_fast_misses),
+            ("summary_miss_dirty", self.summary_miss_dirty),
+            ("summary_miss_inflight", self.summary_miss_inflight),
+            ("summary_resets", self.summary_resets),
+            ("epoch_retires", self.epoch_retires),
+            ("epoch_pinned_stalls", self.epoch_pinned_stalls),
+            ("journal_rollbacks", self.journal_rollbacks),
+            ("arena_reuses", self.arena_reuses),
+            ("arena_allocs", self.arena_allocs),
+            ("scalar_kernel_falls", self.scalar_kernel_falls),
+            ("site_demotions", self.site_demotions),
+            ("plan_merges", self.plan_merges),
+            ("plan_splits", self.plan_splits),
+            ("adaptive_retry_saves", self.adaptive_retry_saves),
+            ("shed_commits", self.shed_commits),
+            ("batch_groups", self.batch_groups),
+            ("batch_reqs", self.batch_reqs),
+        ];
+        for (k, v) in counters {
+            out.push_str(&format!("\n  \"{k}\": {v},"));
+        }
+        out.pop(); // trailing comma
+        out.push_str("\n}\n");
+        out
     }
 
     /// One-line partitioned-path hot-loop breakdown (validation fast-path hit
@@ -287,6 +349,12 @@ impl StatsReport {
                 self.plan_merges,
                 self.plan_splits,
                 self.adaptive_retry_saves
+            ));
+        }
+        if self.shed_commits != 0 || self.batch_groups != 0 {
+            line.push_str(&format!(
+                " | server: {} shed, {} batches / {} reqs",
+                self.shed_commits, self.batch_groups, self.batch_reqs
             ));
         }
         Some(line)
@@ -369,6 +437,9 @@ mod tests {
             plan_merges: 0,
             plan_splits: 0,
             adaptive_retry_saves: 0,
+            shed_commits: 0,
+            batch_groups: 0,
+            batch_reqs: 0,
         };
         assert!(r.render_hot_path().is_none());
         r.val_fast_hits = 3;
@@ -381,6 +452,51 @@ mod tests {
         r.site_demotions = 5;
         let line = r.render_hot_path().unwrap();
         assert!(line.contains("planner: 5 demotions, 2 merges, 0 splits, 0 retry saves"));
+        r.shed_commits = 7;
+        r.batch_groups = 4;
+        r.batch_reqs = 16;
+        let line = r.render_hot_path().unwrap();
+        assert!(line.contains("server: 7 shed, 4 batches / 16 reqs"));
+    }
+
+    #[test]
+    fn stats_json_is_flat_and_complete() {
+        let r = StatsReport {
+            label: "Part-HTM".into(),
+            abort_pct: [25.0, 50.0, 12.5, 12.5],
+            commit_pct: [10.0, 80.0, 10.0],
+            total_aborts: 8,
+            total_commits: 100,
+            val_fast_hits: 3,
+            val_fast_misses: 1,
+            summary_miss_dirty: 1,
+            summary_miss_inflight: 0,
+            summary_resets: 2,
+            epoch_retires: 1,
+            epoch_pinned_stalls: 0,
+            journal_rollbacks: 0,
+            arena_reuses: 6,
+            arena_allocs: 2,
+            scalar_kernel_falls: 0,
+            site_demotions: 0,
+            plan_merges: 1,
+            plan_splits: 0,
+            adaptive_retry_saves: 0,
+            shed_commits: 9,
+            batch_groups: 4,
+            batch_reqs: 16,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert!(j.contains("\"label\": \"Part-HTM\""));
+        assert!(j.contains("\"abort_pct_capacity\": 50.0000"));
+        assert!(j.contains("\"total_commits\": 100"));
+        assert!(j.contains("\"shed_commits\": 9"));
+        assert!(j.contains("\"batch_reqs\": 16"));
+        assert!(!j.contains(",\n}"), "no trailing comma");
+        // Every key is unique (flat object).
+        let keys: Vec<&str> = j.match_indices('"').map(|(i, _)| &j[i..i + 2]).collect();
+        assert!(!keys.is_empty());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use htm_sim::vclock::{SchedPolicy, SchedSpec, VClock, VReport};
 use htm_sim::{BackendKind, HtmConfig, HtmSystem};
-use part_htm_core::{PartHtm, StretchHtm, TmConfig, TmRuntime, TxCtx, Workload};
+use part_htm_core::{batch_site, PartHtm, StretchHtm, TmConfig, TmRuntime, TxCtx, Workload};
 use rand::rngs::SmallRng;
 use std::fmt::Write as _;
 
@@ -92,6 +92,11 @@ pub const SCENARIOS: &[(&str, usize, &str)] = &[
         "Stretch-HTM on the POWER backend: stretched reads + suspended work under the clock",
     ),
     (
+        "server-batch",
+        2,
+        "tm-server-shaped group commit: width-classed batch of per-request segments + hot line",
+    ),
+    (
         "order-canary",
         2,
         "schedule-dependent canary (commit order); violated by design at depth >= 2",
@@ -100,7 +105,13 @@ pub const SCENARIOS: &[(&str, usize, &str)] = &[
 
 /// The scenarios the CI `--bounded` gate runs (all invariants must hold on
 /// every explored schedule).
-pub const BOUNDED_SET: &[&str] = &["counter2", "planner", "ring-epoch", "power-stretch"];
+pub const BOUNDED_SET: &[&str] = &[
+    "counter2",
+    "planner",
+    "ring-epoch",
+    "power-stretch",
+    "server-batch",
+];
 
 /// Increment `addr` once per transaction (single segment).
 struct Inc(htm_sim::Addr);
@@ -140,6 +151,43 @@ impl Workload for WideInc {
             ctx.write(addr, v + 1)?;
         }
         Ok(())
+    }
+}
+
+/// A group-commit batch shaped like the tm-server batcher's output: `WIDTH`
+/// single-request segments against one shard's slot range plus a shared hot
+/// line, declared under the same width-classed planner site the server uses
+/// ([`batch_site`]). Two cores replay the batch against the *same* shard, so
+/// every interleaving of segment commits, hot-line conflicts and planner
+/// decisions is a schedule decision point; the invariant is the batch's
+/// all-or-nothing arithmetic (per-slot and hot-line sums both conserved).
+struct BatchGroup {
+    base: htm_sim::Addr,
+}
+
+impl BatchGroup {
+    /// Requests per group (the serverbench default batch width is 8; 4 keeps
+    /// the bounded frontier small while landing in a distinct width class).
+    const WIDTH: usize = 4;
+}
+
+impl Workload for BatchGroup {
+    type Snap = ();
+    fn sample(&mut self, _r: &mut SmallRng) {}
+    fn segments(&self) -> usize {
+        Self::WIDTH
+    }
+    fn site(&self) -> u32 {
+        batch_site(0, 0, Self::WIDTH as u32)
+    }
+    fn segment<C: TxCtx>(&mut self, s: usize, ctx: &mut C) -> htm_sim::abort::TxResult<()> {
+        // One "request": bump this request's slot, then the shard-hot line.
+        let slot = self.base + (s as u32) * 8;
+        let v = ctx.read(slot)?;
+        ctx.write(slot, v + 1)?;
+        let hot = self.base + (Self::WIDTH as u32) * 8;
+        let h = ctx.read(hot)?;
+        ctx.write(hot, h + 1)
     }
 }
 
@@ -281,6 +329,30 @@ pub fn run_scenario(name: &str, spec: &SchedSpec) -> Result<(VReport, String), S
             }
             let words: Vec<(usize, u64)> =
                 (0..StretchRead::HOT as usize).map(|i| (i * 8, 6)).collect();
+            check_clean(&rt, &words, &mut bad);
+            finish(name, r, rep, bad)
+        }
+        "server-batch" => {
+            let rt = TmRuntime::new(
+                HtmConfig::tiny(),
+                TmConfig::default(),
+                2,
+                (BatchGroup::WIDTH + 1) * 8,
+            );
+            let base = rt.app(0);
+            let (r, rep) =
+                run_threads_virtual::<PartHtm, _, _>(&rt, 2, 4, spec.clone(), |_t| BatchGroup {
+                    base,
+                });
+            let mut bad = Vec::new();
+            if r.commits != 8 {
+                bad.push(format!("expected 8 commits, got {}", r.commits));
+            }
+            // Each committed group bumps every slot once and the hot line
+            // WIDTH times — a torn group shows up as a skewed sum.
+            let mut words: Vec<(usize, u64)> =
+                (0..BatchGroup::WIDTH).map(|i| (i * 8, 8)).collect();
+            words.push((BatchGroup::WIDTH * 8, 8 * BatchGroup::WIDTH as u64));
             check_clean(&rt, &words, &mut bad);
             finish(name, r, rep, bad)
         }

@@ -1,0 +1,323 @@
+//! Group commit: coalesce small same-shard requests into one
+//! planner-declared multi-segment transaction.
+//!
+//! Small transactions pay the Part-HTM fixed costs — begin/commit of the
+//! hardware transaction, the glock check, ring-summary publish — once *per
+//! transaction*, and for a two-access Put that overhead dominates the actual
+//! work. A [`ReqGroup`] amortizes it: up to `batch_max` batchable requests
+//! bound for the same shard become one transaction with one segment per
+//! request, so the fast path commits the whole batch inside a single
+//! hardware transaction while the partitioned path inherits a natural
+//! segment boundary per request. The group declares a width-classed planner
+//! site ([`part_htm_core::batch_site`]), so the abort-profile planner learns
+//! capacity behaviour *per batch width* and an over-wide group is demoted or
+//! split back toward singleton granularity without un-learning the narrow
+//! widths.
+//!
+//! The [`Batcher`] enforces the ordering rules that make batching
+//! result-transparent (see `docs/tm-server.md`): per-shard FIFO pending
+//! lists, a full list flushes immediately, a transfer first flushes every
+//! pending list of a shard it touches and then runs as a singleton group.
+//! Each shard is served by exactly one worker, so per-shard service order
+//! equals arrival order for *any* `batch_max` — that is the differential
+//! oracle (`batch_max = 1`) the proptests pin.
+
+use crate::service::{Request, ServerState};
+use htm_sim::abort::TxResult;
+use part_htm_core::{batch_site, TxCtx, Workload};
+use rand::rngs::SmallRng;
+
+/// Planner op-class for batched small-request groups.
+const CLASS_SMALL: u32 = 0;
+/// Planner op-class for transfer singletons.
+const CLASS_TRANSFER: u32 = 1;
+
+/// A group of requests executing as one transaction: segment `i` serves
+/// request `i`. Built by the [`Batcher`]; results are readable after the
+/// executor commits it.
+pub struct ReqGroup<'s> {
+    state: &'s ServerState,
+    reqs: Vec<Request>,
+    results: Vec<u64>,
+    site: u32,
+}
+
+impl<'s> ReqGroup<'s> {
+    /// Wrap `reqs` (non-empty; all same home shard, or a lone transfer).
+    pub fn new(state: &'s ServerState, reqs: Vec<Request>) -> Self {
+        assert!(!reqs.is_empty());
+        let spec = state.spec();
+        let shard = reqs[0].op.home_shard(spec);
+        let class = if reqs.len() == 1 && !reqs[0].op.batchable() {
+            CLASS_TRANSFER
+        } else {
+            debug_assert!(
+                reqs.iter()
+                    .all(|r| r.op.batchable() && r.op.home_shard(spec) == shard),
+                "batched group must be same-shard batchable requests"
+            );
+            CLASS_SMALL
+        };
+        let site = batch_site(class, shard, reqs.len() as u32);
+        let results = vec![0; reqs.len()];
+        Self {
+            state,
+            reqs,
+            results,
+            site,
+        }
+    }
+
+    /// Requests in the group (service order).
+    pub fn requests(&self) -> &[Request] {
+        &self.reqs
+    }
+
+    /// Group width.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Always false (groups are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Response words, valid after the executor committed the group
+    /// (`results()[i]` answers `requests()[i]`).
+    pub fn results(&self) -> &[u64] {
+        &self.results
+    }
+}
+
+impl Workload for ReqGroup<'_> {
+    type Snap = ();
+
+    fn sample(&mut self, _rng: &mut SmallRng) {}
+
+    fn segments(&self) -> usize {
+        self.reqs.len()
+    }
+
+    fn site(&self) -> u32 {
+        self.site
+    }
+
+    fn segment<C: TxCtx>(&mut self, seg: usize, ctx: &mut C) -> TxResult<()> {
+        // Idempotent: a retried segment simply overwrites its slot.
+        let v = self.state.exec_op(&self.reqs[seg].op, ctx)?;
+        self.results[seg] = v;
+        Ok(())
+    }
+}
+
+/// Per-worker request coalescer: per-shard FIFO pending lists with the
+/// flush rules from the module docs.
+pub struct Batcher {
+    pending: Vec<Vec<Request>>,
+    batch_max: usize,
+    count: usize,
+    /// Round-robin cursor for idle flushes.
+    rr: usize,
+}
+
+impl Batcher {
+    /// A batcher over `shards` shards coalescing up to `batch_max` requests
+    /// per group (`1` = unbatched).
+    pub fn new(shards: usize, batch_max: usize) -> Self {
+        assert!(batch_max >= 1);
+        Self {
+            pending: vec![Vec::new(); shards],
+            batch_max,
+            count: 0,
+            rr: 0,
+        }
+    }
+
+    /// Requests pulled but not yet part of an emitted group.
+    pub fn pending(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Accept one request; returns the groups that must execute *now*, in
+    /// service order. A batchable request returns at most one group (its
+    /// shard's list reaching `batch_max`); a transfer returns the flushes of
+    /// every shard it touches (ascending shard id — the shards are disjoint,
+    /// so the inter-shard order is immaterial) followed by itself.
+    pub fn offer<'s>(&mut self, state: &'s ServerState, req: Request) -> Vec<ReqGroup<'s>> {
+        let spec = state.spec();
+        if req.op.batchable() {
+            let shard = req.op.home_shard(spec) as usize;
+            self.pending[shard].push(req);
+            self.count += 1;
+            if self.pending[shard].len() >= self.batch_max {
+                return vec![self.drain(state, shard).expect("just pushed")];
+            }
+            return Vec::new();
+        }
+        // Transfer: flush the pending lists of every shard it touches, then
+        // run it alone — per-shard service order stays arrival order.
+        let mut shards = vec![req.op.home_shard(spec)];
+        if let Some(s) = req.op.cross_shard(spec) {
+            shards.push(s);
+        }
+        shards.sort_unstable();
+        let mut out: Vec<ReqGroup<'s>> = shards
+            .into_iter()
+            .filter_map(|s| self.drain(state, s as usize))
+            .collect();
+        out.push(ReqGroup::new(state, vec![req]));
+        out
+    }
+
+    /// Flush one pending shard (round-robin), for when no arrival is due:
+    /// serving a partial batch beats idling on latency.
+    pub fn flush_next<'s>(&mut self, state: &'s ServerState) -> Option<ReqGroup<'s>> {
+        if self.count == 0 {
+            return None;
+        }
+        for i in 0..self.pending.len() {
+            let s = (self.rr + i) % self.pending.len();
+            if !self.pending[s].is_empty() {
+                self.rr = (s + 1) % self.pending.len();
+                return self.drain(state, s);
+            }
+        }
+        None
+    }
+
+    fn drain<'s>(&mut self, state: &'s ServerState, shard: usize) -> Option<ReqGroup<'s>> {
+        if self.pending[shard].is_empty() {
+            return None;
+        }
+        let reqs = std::mem::take(&mut self.pending[shard]);
+        self.count -= reqs.len();
+        Some(ReqGroup::new(state, reqs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Op, ServerSpec};
+    use part_htm_core::TmRuntime;
+
+    fn setup() -> (TmRuntime, ServerSpec) {
+        let spec = ServerSpec {
+            shards: 4,
+            slots_per_shard: 32,
+            queue_cap: 8,
+        };
+        (TmRuntime::with_defaults(1, spec.app_words()), spec)
+    }
+
+    /// A key living on the given shard (found by search).
+    fn key_on_shard(spec: &ServerSpec, shard: u32) -> u32 {
+        (0..).find(|&k| spec.shard_of_key(0, k) == shard).unwrap()
+    }
+
+    fn put(spec: &ServerSpec, shard: u32, val: u64) -> Request {
+        Request {
+            arrival: 0,
+            seq: 0,
+            op: Op::Put {
+                tenant: 0,
+                key: key_on_shard(spec, shard),
+                val,
+            },
+        }
+    }
+
+    #[test]
+    fn batches_flush_at_batch_max_in_fifo_order() {
+        let (rt, spec) = setup();
+        let state = ServerState::new(&rt, spec);
+        let mut b = Batcher::new(spec.shards, 3);
+        assert!(b.offer(&state, put(&spec, 1, 10)).is_empty());
+        assert!(b.offer(&state, put(&spec, 2, 99)).is_empty());
+        assert!(b.offer(&state, put(&spec, 1, 11)).is_empty());
+        assert_eq!(b.pending(), 3);
+        let groups = b.offer(&state, put(&spec, 1, 12));
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.len(), 3);
+        let vals: Vec<u64> = g
+            .requests()
+            .iter()
+            .map(|r| match r.op {
+                Op::Put { val, .. } => val,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, [10, 11, 12], "FIFO within the shard");
+        assert_eq!(b.pending(), 1, "other shard still pending");
+    }
+
+    #[test]
+    fn transfer_flushes_touched_shards_then_rides_alone() {
+        let (rt, spec) = setup();
+        let state = ServerState::new(&rt, spec);
+        // Find a cross-shard transfer.
+        let from = key_on_shard(&spec, 0);
+        let to = (0..)
+            .find(|&k| spec.shard_of_key(0, k) != 0)
+            .unwrap();
+        let xfer = Request {
+            arrival: 0,
+            seq: 0,
+            op: Op::Transfer {
+                tenant: 0,
+                from,
+                to,
+                amount: 1,
+            },
+        };
+        let home = xfer.op.home_shard(&spec);
+        let cross = xfer.op.cross_shard(&spec).unwrap();
+
+        let mut b = Batcher::new(spec.shards, 8);
+        assert!(b.offer(&state, put(&spec, home, 1)).is_empty());
+        assert!(b.offer(&state, put(&spec, cross, 2)).is_empty());
+        let groups = b.offer(&state, xfer);
+        assert_eq!(groups.len(), 3, "both flushes plus the transfer");
+        assert!(groups[..2].iter().all(|g| g.len() == 1));
+        let last = groups.last().unwrap();
+        assert_eq!(last.len(), 1);
+        assert!(!last.requests()[0].op.batchable());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn idle_flush_drains_round_robin() {
+        let (rt, spec) = setup();
+        let state = ServerState::new(&rt, spec);
+        let mut b = Batcher::new(spec.shards, 8);
+        for s in [0u32, 2, 3] {
+            b.offer(&state, put(&spec, s, u64::from(s)));
+        }
+        let mut seen = Vec::new();
+        while let Some(g) = b.flush_next(&state) {
+            seen.push(g.requests()[0].op.home_shard(&spec));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 2, 3]);
+        assert!(b.is_empty());
+        assert!(b.flush_next(&state).is_none());
+    }
+
+    #[test]
+    fn group_sites_are_width_classed() {
+        let (rt, spec) = setup();
+        let state = ServerState::new(&rt, spec);
+        let one = ReqGroup::new(&state, vec![put(&spec, 1, 1)]);
+        let two = ReqGroup::new(&state, vec![put(&spec, 1, 1), put(&spec, 1, 2)]);
+        assert_ne!(one.site(), two.site(), "width classes separate sites");
+        assert_eq!(one.segments(), 1);
+        assert_eq!(two.segments(), 2);
+    }
+}

@@ -812,6 +812,32 @@ impl RingSummary {
         self.completed.fetch_add(1, SeqCst);
     }
 
+    /// Publishes announced against this summary so far (monotone). With
+    /// [`RingSummary::completed_publishes`] this exposes the summary's
+    /// *occupancy* to admission controllers: per-shard arrival pressure
+    /// without touching the protocol's own counters.
+    #[inline]
+    pub fn started_publishes(&self) -> u64 {
+        self.started.load(SeqCst)
+    }
+
+    /// Publishes completed or cancelled so far (monotone).
+    #[inline]
+    pub fn completed_publishes(&self) -> u64 {
+        self.completed.load(SeqCst)
+    }
+
+    /// Publishes currently in flight (announced, not yet completed or
+    /// cancelled): the instantaneous occupancy of this summary's shard. The
+    /// two loads are not atomic together, so a racing publish can skew the
+    /// snapshot by ±1 per concurrent publisher — fine for an admission
+    /// heuristic, never a correctness input.
+    #[inline]
+    pub fn inflight_publishes(&self) -> u64 {
+        let s = self.started.load(SeqCst);
+        s.saturating_sub(self.completed.load(SeqCst))
+    }
+
     /// The summary fast path: `Some(ts)` when `read_sig` provably conflicts with
     /// nothing published after `start_time` (with `ts` the timestamp the caller may
     /// advance to), `None` when the precise walk must decide. `read_ts` reads the

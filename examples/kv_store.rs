@@ -1,136 +1,112 @@
-//! A transactional key-value store: multi-key read-modify-write transactions over
-//! the shared-heap hash map, executed under every protocol in the evaluation.
+//! A transactional key-value service: the `tm-server` front end driven end to
+//! end — multi-tenant KV puts/gets/adds, per-tenant queues and cross-shard
+//! transfers, every request a Part-HTM transaction, small same-shard requests
+//! coalesced by the group-commit batcher and excess arrivals shed to the
+//! serialized slow path by the admission controller.
 //!
-//! Each transaction atomically rebalances "stock" from one key to two others and
-//! bumps an audit counter — the kind of multi-object atomic update TM exists for.
-//! After each protocol's run the example sums the stock back out of the heap and
-//! asserts conservation, and checks the audit counter equals the committed
-//! transaction count.
+//! The example is deliberately a *thin* wrapper: everything — sharding,
+//! batching, admission, latency accounting, the stats snapshot — lives in
+//! [`part_htm::server`]; this file only picks a traffic mix, runs the batched
+//! server against the unbatched oracle, and checks the results agree (the
+//! group-commit transparency argument of `docs/tm-server.md`, executed).
 //!
 //! ```text
 //! cargo run --release --example kv_store
 //! ```
 
-use part_htm::core::ctx::SlowCtx;
-use part_htm::core::{TmConfig, TmThread, TxCtx, Workload};
-use part_htm::harness::{run_cell_with, Algo};
-use part_htm::htm::abort::TxResult;
+use part_htm::core::{PartHtm, TmConfig, TmRuntime};
 use part_htm::htm::HtmConfig;
-use part_htm::workloads::structures::HeapHashMap;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use part_htm::server::service::{run_server, ServeMode, ServeOpts, ServerState};
+use part_htm::server::{gen_requests, AdmissionSpec, ServerSpec, TrafficMix};
 
-const KEYS: u64 = 256;
-const SLOTS: usize = 1024;
-const INITIAL_STOCK: u64 = 100;
-const THREADS: usize = 4;
-const TXS_PER_THREAD: usize = 2_000;
+const WORKERS: usize = 4;
+const REQUESTS: usize = 20_000;
+const SPEC: ServerSpec = ServerSpec {
+    shards: 8,
+    slots_per_shard: 512,
+    queue_cap: 32,
+};
 
-#[derive(Clone, Copy)]
-struct Store {
-    map: HeapHashMap,
-    audit: part_htm::htm::Addr,
+/// Initial balances: 4 tenants x 64 keys so transfers have funds to move.
+fn preload_items() -> Vec<(u32, u32, u64)> {
+    (0..4u32)
+        .flat_map(|tenant| (0..64u32).map(move |key| (tenant, key, 1_000)))
+        .collect()
 }
 
-/// Move stock from one key to two others, atomically, and bump the audit counter.
-struct Rebalance {
-    store: Store,
-    src: u64,
-    dst: [u64; 2],
-}
-
-impl Workload for Rebalance {
-    type Snap = ();
-
-    fn sample(&mut self, rng: &mut SmallRng) {
-        self.src = rng.gen_range(0..KEYS);
-        self.dst = [rng.gen_range(0..KEYS), rng.gen_range(0..KEYS)];
-    }
-
-    fn segment<C: TxCtx>(&mut self, _seg: usize, ctx: &mut C) -> TxResult<()> {
-        let m = self.store.map;
-        let have = m.get(ctx, self.src)?.unwrap_or(0);
-        let move_out = (have / 2).min(10);
-        m.update(ctx, self.src, 0, |v| v - move_out)?;
-        m.update(ctx, self.dst[0], 0, |v| v + move_out / 2)?;
-        m.update(ctx, self.dst[1], 0, |v| v + (move_out - move_out / 2))?;
-        let a = ctx.read(self.store.audit)?;
-        ctx.write(self.store.audit, a + 1)
-    }
+/// One server run: fresh runtime and heap, saturated arrivals, the given
+/// worker count and batching/admission configuration. Returns (goodput,
+/// p99 ns, batched requests, final KV total).
+fn serve(
+    workers: usize,
+    n: usize,
+    batch_max: usize,
+    admission: AdmissionSpec,
+    stats: bool,
+) -> (f64, u64, u64, u64) {
+    let rt = TmRuntime::new(
+        HtmConfig::default(),
+        TmConfig::default(),
+        workers,
+        SPEC.app_words(),
+    );
+    let state = ServerState::new(&rt, SPEC);
+    state.preload(&rt, &preload_items());
+    let mix = TrafficMix {
+        keys: 64,
+        ..TrafficMix::default()
+    };
+    // Open-loop saturated arrivals: everything due at t=0.
+    let reqs = gen_requests(&mix, &vec![0u64; n], 42);
+    let opts = ServeOpts {
+        batch_max,
+        admission,
+        stats_stdout: stats,
+        ..ServeOpts::default()
+    };
+    let rep = run_server::<PartHtm>(&rt, &state, workers, &reqs, &ServeMode::Wall, &opts);
+    assert_eq!(rep.served, n as u64, "open-loop server serves all");
+    (
+        rep.goodput_wall(),
+        rep.latency.p99(),
+        rep.run.tm.batch_reqs,
+        state.kv_total_nt(&rt),
+    )
 }
 
 fn main() {
-    println!("{THREADS} threads x {TXS_PER_THREAD} rebalances over {KEYS} keys, every protocol:\n");
     println!(
-        "{:<12} {:>12} {:>14} {:>10}",
-        "algorithm", "tx/s", "total stock", "audited"
+        "tm-server: {WORKERS} workers, {} shards, {REQUESTS} mixed requests (KV + queue + transfer)\n",
+        SPEC.shards
     );
 
-    let app_words = HeapHashMap::words_needed(SLOTS) + 8;
-    for algo in Algo::COMPETITORS {
-        let (r, (total, audited)) = run_cell_with(
-            algo,
-            THREADS,
-            TXS_PER_THREAD,
-            HtmConfig::default(),
-            TmConfig::default(),
-            app_words,
-            |rt| {
-                let store = Store {
-                    map: HeapHashMap::new(rt.app(0), SLOTS),
-                    audit: rt.app(HeapHashMap::words_needed(SLOTS)),
-                };
-                // Seed the stock single-threadedly.
-                let th = TmThread::new(rt, 0);
-                let mut ctx = SlowCtx {
-                    th: &th.hw,
-                    mask_values: false,
-                };
-                for k in 0..KEYS {
-                    store.map.insert(&mut ctx, k, INITIAL_STOCK).unwrap();
-                }
-                store
-            },
-            |store, _t| Rebalance {
-                store,
-                src: 0,
-                dst: [1, 2],
-            },
-            |rt, store| {
-                let th = TmThread::new(rt, 0);
-                let mut ctx = SlowCtx {
-                    th: &th.hw,
-                    mask_values: false,
-                };
-                let total: u64 = (0..KEYS)
-                    .map(|k| store.map.get(&mut ctx, k).unwrap().unwrap_or(0))
-                    .sum();
-                (total, rt.verify_read(HeapHashMap::words_needed(SLOTS)))
-            },
-        );
-        println!(
-            "{:<12} {:>12.0} {:>14} {:>10}",
-            r.algo,
-            r.throughput(),
-            total,
-            audited
-        );
-        assert_eq!(
-            total,
-            KEYS * INITIAL_STOCK,
-            "{}: stock must be conserved",
-            r.algo
-        );
-        assert_eq!(
-            audited, r.commits,
-            "{}: audit counter must match commits",
-            r.algo
-        );
-        assert_eq!(r.commits, (THREADS * TXS_PER_THREAD) as u64);
-    }
+    let (tput_b, p99_b, batched, _) = serve(WORKERS, REQUESTS, 8, AdmissionSpec::default(), true);
+    println!();
+    let (tput_u, p99_u, _, _) = serve(WORKERS, REQUESTS, 1, AdmissionSpec::off(), false);
+
     println!(
-        "\nOK: every protocol conserved {} units of stock across {} transactions.",
-        KEYS * INITIAL_STOCK,
-        THREADS * TXS_PER_THREAD
+        "\n{:<26} {:>12} {:>12}",
+        "configuration", "req/s", "p99 (ns)"
     );
+    println!(
+        "{:<26} {:>12.0} {:>12}",
+        "batch 8 + admission", tput_b, p99_b
+    );
+    println!(
+        "{:<26} {:>12.0} {:>12}",
+        "unbatched oracle", tput_u, p99_u
+    );
+    println!(
+        "\ngroup commit coalesced {batched} of {REQUESTS} requests; speedup {:.2}x",
+        tput_b / tput_u
+    );
+
+    // Group commit is result-transparent under the per-shard FIFO rules: on a
+    // single worker (where cross-worker timing cannot reorder a Put against a
+    // cross-shard Transfer) the batched run's final heap state must match the
+    // unbatched oracle exactly.
+    let (_, _, _, total_b) = serve(1, REQUESTS / 4, 8, AdmissionSpec::default(), false);
+    let (_, _, _, total_u) = serve(1, REQUESTS / 4, 1, AdmissionSpec::off(), false);
+    assert_eq!(total_b, total_u, "batched run diverged from the oracle");
+    println!("OK: batched final state matches the unbatched oracle ({total_b} units).");
 }

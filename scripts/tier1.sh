@@ -10,20 +10,25 @@
 # Flags:
 #   --smoke  also run the microbenchmarks at reduced iterations (CI sanity),
 #            including a ringbench --mode epoch pass, a membench pass, a
-#            partbench pass and a backendbench pass
+#            partbench pass, a backendbench pass, a serverbench pass and a
+#            seeded schedx soak over the CI scenarios
 #   --bench  full microbenchmark run: linebench + pathbench + ringbench (the
 #            latter in both summary-reset protocols) + membench + partbench +
-#            backendbench, writing fresh numbers to
-#            target/BENCH_{2,3,4,5,6,7}.json and gating against the committed
-#            ./BENCH_{2,3,4,5,6,7}.json (a >10% regression on end-to-end
-#            partitioned throughput or sharded mixed publish throughput, a
-#            >2x blow-up of the epoch-mode sharded validation overhead, a >2x
-#            slow-down of the unrolled intersect kernel, padding turning
-#            measurably costly, the adaptive planner falling below 1.2x
-#            static-single-segment on the capacity-heavy row, more than 8%
-#            behind hand-tuned static on the hint-optimal row, a >10%
-#            regression of the POWER split/stretch ablation rows, or POWER
-#            capacity stretching falling below 1.5x splitting, fails the gate)
+#            backendbench + serverbench, writing fresh numbers to
+#            target/BENCH_{2,3,4,5,6,7,8}.json and gating against the
+#            committed ./BENCH_{2,3,4,5,6,7,8}.json (a >10% regression on
+#            end-to-end partitioned throughput or sharded mixed publish
+#            throughput, a >2x blow-up of the epoch-mode sharded validation
+#            overhead, a >2x slow-down of the unrolled intersect kernel,
+#            padding turning measurably costly, the adaptive planner falling
+#            below 1.2x static-single-segment on the capacity-heavy row, more
+#            than 8% behind hand-tuned static on the hint-optimal row, a >10%
+#            regression of the POWER split/stretch ablation rows, POWER
+#            capacity stretching falling below 1.5x splitting, server group
+#            commit falling below 1.3x unbatched or regressing >10%, the
+#            admission controller's overload goodput falling below 0.8x
+#            saturation or behind the no-controller baseline, or the overload
+#            p999 blowing past 3x its committed baseline, fails the gate)
 #
 # Fully offline: all dependencies are workspace-local (see docs/offline.md).
 set -euo pipefail
@@ -69,6 +74,15 @@ case "${1:-}" in
     cargo run -q --release -p tm-bench --bin partbench -- --smoke
     echo "== tier1: backendbench --smoke =="
     cargo run -q --release -p tm-bench --bin backendbench -- --smoke
+    echo "== tier1: serverbench --smoke =="
+    cargo run -q --release -p tm-bench --bin serverbench -- --smoke
+    echo "== tier1: schedx --seeds soak (seeded schedule sampling) =="
+    # Complements the bounded-exhaustive gate above: 32 seeded schedules per
+    # CI scenario reach interleavings past the exhaustive depth horizon.
+    for s in counter2 planner ring-epoch power-stretch server-batch; do
+        ( ulimit -v 4194304; timeout 120 ./target/release/schedx \
+            --scenario "$s" --seeds 32 )
+    done
     ;;
 --bench)
     echo "== tier1: linebench (full) =="
@@ -94,7 +108,10 @@ case "${1:-}" in
     echo "== tier1: backendbench (full, regression gate vs BENCH_7.json) =="
     cargo run -q --release -p tm-bench --bin backendbench -- \
         --json target/BENCH_7.json --baseline BENCH_7.json
-    echo "   fresh numbers in target/BENCH_{2,3,4,5,6,7}.json; copy over the" \
+    echo "== tier1: serverbench (full, regression gate vs BENCH_8.json) =="
+    cargo run -q --release -p tm-bench --bin serverbench -- \
+        --json target/BENCH_8.json --baseline BENCH_8.json
+    echo "   fresh numbers in target/BENCH_{2,3,4,5,6,7,8}.json; copy over the" \
          "matching ./BENCH_N.json to rebaseline"
     ;;
 esac

@@ -12,5 +12,6 @@ pub use htm_sim as htm;
 pub use part_htm_core as core;
 pub use tm_baselines as baselines;
 pub use tm_harness as harness;
+pub use tm_server as server;
 pub use tm_sig as sig;
 pub use tm_workloads as workloads;
